@@ -1,0 +1,32 @@
+"""Ablation benchmark: the protective range of progressive quantization.
+
+Quantifies how often level-2 dequantization would overflow INT8 without the
+[-119, 119] protective range (Section 4.1), and verifies it never overflows
+with it — the design choice that enables register-level parallelism.
+"""
+
+import numpy as np
+
+from repro.quant.progressive import progressive_dequantize_level1, progressive_quantize
+
+
+def _overflow_rate(protective: bool, trials: int = 50) -> float:
+    rng = np.random.default_rng(0)
+    overflows = 0
+    for _ in range(trials):
+        weight = rng.normal(0, rng.uniform(0.05, 1.0), size=(16, 128))
+        weight[rng.integers(0, 16), rng.integers(0, 128)] *= 25
+        pqw = progressive_quantize(weight, group_size=32, protective_range=protective)
+        try:
+            progressive_dequantize_level1(pqw)
+        except OverflowError:
+            overflows += 1
+    return overflows / trials
+
+
+def test_protective_range_eliminates_overflow(benchmark):
+    rate_with = benchmark.pedantic(_overflow_rate, args=(True,), rounds=1, iterations=1)
+    rate_without = _overflow_rate(False)
+    print(f"\noverflow rate: protective={rate_with:.2f}, naive={rate_without:.2f}")
+    assert rate_with == 0.0
+    assert rate_without > 0.1

@@ -1,0 +1,43 @@
+"""Ablation benchmark: subtraction-after vs subtraction-before multiplication.
+
+Reproduces the Figure 14 argument: with progressive quantization's integer
+scales, the subtraction-after-multiplication order never overflows the packed
+byte lanes (so register-level parallelism applies), whereas the
+subtraction-before-multiplication order frequently does.
+"""
+
+import numpy as np
+
+from repro.gpu import dequantize_subtract_after_multiply, dequantize_subtract_before_multiply
+from repro.quant.progressive import progressive_quantize
+
+
+def _overflow_counts(order: str, trials: int = 100) -> int:
+    rng = np.random.default_rng(1)
+    fn = (dequantize_subtract_after_multiply if order == "after"
+          else dequantize_subtract_before_multiply)
+    overflows = 0
+    for _ in range(trials):
+        weight = rng.normal(0, rng.uniform(0.05, 1.0), size=(4, 32))
+        # Plant strong positive and negative outliers so that many groups span
+        # (almost) the full INT8 range, as real salient channels do.
+        weight[:, rng.integers(0, 32)] *= 25.0
+        weight[:, rng.integers(0, 32)] *= -25.0
+        pqw = progressive_quantize(weight, group_size=8)
+        for row in range(4):
+            for g in range(4):
+                for half in range(2):
+                    start = g * 8 + half * 4
+                    codes = pqw.qweight[row, start:start + 4].astype(np.int64)[None, :]
+                    res = fn(codes, int(pqw.zeros[row, g]),
+                             int(pqw.scales_l2[row, g]))
+                    overflows += int(res.overflowed)
+    return overflows
+
+
+def test_subtraction_after_multiplication_never_overflows(benchmark):
+    after = benchmark.pedantic(_overflow_counts, args=("after",), rounds=1, iterations=1)
+    before = _overflow_counts("before")
+    print(f"\noverflow groups: after={after}, before={before}")
+    assert after == 0
+    assert before > 0

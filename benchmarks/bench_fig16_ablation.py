@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 16 (QoQ technique ablation)."""
+
+from repro.experiments import fig16_ablation
+
+
+def test_fig16_ablation(benchmark, accuracy_setup):
+    report = benchmark.pedantic(fig16_ablation.run,
+                                kwargs={"setup": accuracy_setup},
+                                rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.3f}"))
+    throughput = report.column("Throughput (tok/s)")
+    kv_mem = report.column("KV mem/token (KB)")
+    weight_mem = report.column("Weight mem (GB)")
+    # 4-bit weights shrink weight memory and raise throughput; 4-bit KV halves
+    # the per-token KV footprint and raises throughput again.
+    assert weight_mem[1] < weight_mem[0] / 1.8
+    assert throughput[1] > throughput[0]
+    assert kv_mem[4] < kv_mem[3] / 1.9
+    assert throughput[4] > throughput[3]

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 17 (same-batch throughput on L40S)."""
+
+from repro.experiments import fig17_same_batch
+
+
+def test_fig17_llama2_7b(benchmark):
+    report = benchmark.pedantic(fig17_same_batch.run, args=("llama-2-7b",), rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.2f}"))
+
+
+def test_fig17_llama2_13b(benchmark):
+    report = benchmark.pedantic(fig17_same_batch.run, args=("llama-2-13b",), kwargs={"batches": (2, 4, 8, 16, 32)}, rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.2f}"))

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 18 (dequantization overhead) and Figure 5."""
+
+from repro.experiments import fig18_dequant_overhead
+
+
+def test_fig18_overhead(benchmark):
+    report = benchmark(fig18_dequant_overhead.run)
+    print()
+    print(report.to_text("{:.1f}"))
+    for row in report.rows:
+        _, w8a8, w4a16, atom, qserve = row
+        assert atom >= max(w4a16, qserve) and w8a8 == 0.0
+
+
+def test_fig5_mainloop_composition(benchmark):
+    report = benchmark(fig18_dequant_overhead.run_mainloop_composition)
+    print()
+    print(report.to_text("{:.1f}"))

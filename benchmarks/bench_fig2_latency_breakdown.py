@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 2 (motivation: latency breakdown, W4A4 systems)."""
+
+from repro.experiments import fig2_motivation
+
+
+def test_fig2a_latency_breakdown(benchmark):
+    report = benchmark(fig2_motivation.run_latency_breakdown)
+    print()
+    print(report.to_text("{:.1f}"))
+    assert report.column("Attention %")[-1] > 50
+
+
+def test_fig2b_system_throughput(benchmark):
+    report = benchmark.pedantic(fig2_motivation.run_system_throughput, rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.0f}"))
+    values = dict(zip(report.column("System"), report.column("Throughput (tok/s)")))
+    assert values["atom-w4a4"] < values["trt-w8a8"]

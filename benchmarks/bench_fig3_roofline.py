@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 3 (A100 roofline, W4A16/W8A8 crossover)."""
+
+from repro.experiments import fig3_roofline
+
+
+def test_fig3_roofline(benchmark):
+    report = benchmark(fig3_roofline.run)
+    print()
+    print(report.to_text("{:.0f}"))
+    assert abs(report.extra["crossover"] - 78) <= 3

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Table 1 and the Section 6.4 KV4 kernel breakdown."""
+
+from repro.experiments import table1_kv4_attention
+from repro.gpu import A100, L40S
+
+
+def test_table1_a100(benchmark):
+    report = benchmark(table1_kv4_attention.run, gpu=A100)
+    print()
+    print(report.to_text("{:.2f}"))
+    assert all(s < 1.0 for s in report.column("naive speedup"))
+    assert all(s > 1.2 for s in report.column("QServe speedup"))
+
+
+def test_table1_l40s(benchmark):
+    report = benchmark(table1_kv4_attention.run, gpu=L40S)
+    print()
+    print(report.to_text("{:.2f}"))
+    # On L40S even the naive KV4 kernel beats KV8 (Section 5.3).
+    assert all(s > 1.0 for s in report.column("naive speedup"))
+
+
+def test_table1_optimization_breakdown(benchmark):
+    report = benchmark(table1_kv4_attention.run_breakdown)
+    print()
+    print(report.to_text("{:.2f}"))
+    latencies = report.column("Latency (ms)")
+    assert latencies == sorted(latencies, reverse=True)

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 2 (perplexity by precision and method)."""
+
+from repro.experiments import table2_perplexity
+
+
+def test_table2_perplexity(benchmark, accuracy_setup):
+    report = benchmark.pedantic(table2_perplexity.run,
+                                kwargs={"setup": accuracy_setup},
+                                rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.3f}"))
+    ppl = {f"{r[0]}/{r[1]}": r[2] for r in report.rows}
+    fp16 = ppl["FP16/-"]
+    # W8A8 SmoothQuant is near-lossless; every W4A4 setting degrades.
+    assert abs(ppl["W8A8/SmoothQuant"] - fp16) / fp16 < 0.05
+    assert all(v > fp16 for k, v in ppl.items() if k.startswith("W4A4"))

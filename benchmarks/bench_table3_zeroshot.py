@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 3 (zero-shot accuracy on five tasks)."""
+
+from repro.experiments import table3_zeroshot
+
+
+def test_table3_zeroshot(benchmark, accuracy_setup):
+    report = benchmark.pedantic(table3_zeroshot.run,
+                                kwargs={"setup": accuracy_setup, "num_examples": 8},
+                                rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.3f}"))
+    avg = dict(zip((f"{r[0]}/{r[1]}" for r in report.rows), report.column("Avg.")))
+    # FP16 is better than chance (0.25 on four choices).
+    assert avg["FP16/-"] > 0.3

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Table 4, Figure 15 and artifact Table 6 (throughput)."""
+
+from repro.experiments import table4_throughput
+from repro.gpu import A100, L40S
+
+
+def test_table4_a100(benchmark):
+    report = benchmark.pedantic(table4_throughput.run, args=(A100,), rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.2f}"))
+    assert all(s > 1.0 for s in report.column("Speedup vs best TRT"))
+
+
+def test_table4_l40s(benchmark):
+    report = benchmark.pedantic(table4_throughput.run, args=(L40S,), rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.2f}"))
+    assert all(s > 1.0 for s in report.column("Speedup vs best TRT"))
+
+
+def test_fig15_speedups(benchmark):
+    report = benchmark.pedantic(table4_throughput.run_fig15_speedups, rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.2f}"))
+    geo = report.extra["geomean"]
+    assert geo["A100"] > 1.0 and geo["L40S"] > 1.0
+
+
+def test_table6_artifact(benchmark):
+    report = benchmark.pedantic(table4_throughput.run_table6, rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.2f}"))
+    assert all(row[-1] > 1.0 for row in report.rows)

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table 5 (long-context accuracy, BF16 vs QoQ)."""
+
+from repro.experiments import table5_longbench
+
+
+def test_table5_longbench(benchmark, accuracy_setup):
+    report = benchmark.pedantic(table5_longbench.run,
+                                kwargs={"setup": accuracy_setup, "num_examples": 4},
+                                rounds=1, iterations=1)
+    print()
+    print(report.to_text("{:.3f}"))
+    bf16_avg = report.rows[0][-1]
+    qoq_avg = report.rows[1][-1]
+    # QoQ stays close to the full-precision long-context accuracy.
+    assert qoq_avg >= bf16_avg - 0.2

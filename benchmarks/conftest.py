@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure via the corresponding
+module in :mod:`repro.experiments`.  Accuracy benchmarks default to the
+``tiny`` scale so the whole suite completes in minutes; set
+``QSERVE_REPRO_SCALE=small`` to reproduce the numbers recorded in
+EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(scope="session")
+def accuracy_scale() -> str:
+    return os.environ.get("QSERVE_REPRO_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def accuracy_setup(accuracy_scale):
+    from repro.experiments.accuracy_common import build_setup
+    return build_setup(accuracy_scale, seed=0)

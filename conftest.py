@@ -1,0 +1,13 @@
+"""Pytest bootstrap.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(useful in fully offline environments where ``pip install -e .`` needs
+``--no-build-isolation``).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,32 @@
+"""Accuracy study: regenerate the Table 2 / Table 3 / Figure 16 comparisons.
+
+Runs the full accuracy experiment suite on the synthetic substrate — every
+baseline (SmoothQuant, GPTQ-R, AWQ, QuaRot, Atom, RTN) against QoQ — and the
+step-by-step QoQ ablation of Figure 16.
+
+Run with:  python examples/accuracy_study.py [tiny|small|medium]
+(The "small" scale matches the numbers recorded in EXPERIMENTS.md and takes a
+few minutes on a laptop; "tiny" finishes in well under a minute.)
+"""
+
+import sys
+
+from repro.experiments import (
+    fig16_ablation,
+    table2_perplexity,
+    table3_zeroshot,
+    table5_longbench,
+)
+from repro.experiments.accuracy_common import build_setup
+
+
+def main(scale: str = "tiny") -> None:
+    setup = build_setup(scale, seed=0)
+    print(table2_perplexity.run(setup=setup).to_text("{:.3f}"), "\n")
+    print(table3_zeroshot.run(setup=setup).to_text("{:.3f}"), "\n")
+    print(table5_longbench.run(setup=setup).to_text("{:.3f}"), "\n")
+    print(fig16_ablation.run(setup=setup).to_text("{:.3f}"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tiny")

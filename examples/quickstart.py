@@ -1,0 +1,50 @@
+"""Quickstart: quantize a model with QoQ (W4A8KV4) and measure the impact.
+
+Builds a small synthetic Llama-style model with genuine predictive structure,
+quantizes it with the full QoQ pipeline (progressive group quantization,
+SmoothAttention, rotation, smoothing, reordering, clipping), and compares
+perplexity, weight memory and generated text against the FP16 original.
+
+Run with:  python examples/quickstart.py [tiny|small]
+"""
+
+import sys
+
+from repro.data import evaluate_perplexity
+from repro.experiments.accuracy_common import build_setup
+from repro.qoq import QoQConfig, quantize_model_qoq
+
+
+def main(scale: str = "tiny") -> None:
+    print(f"Building synthetic corpus and model at scale '{scale}'...")
+    setup = build_setup(scale, seed=0)
+    model = setup.model
+
+    fp_ppl = evaluate_perplexity(model, setup.eval_sequences)
+    print(f"FP16 perplexity:            {fp_ppl:.3f} "
+          f"(bigram oracle: {setup.corpus.oracle_perplexity():.3f})")
+
+    config = QoQConfig(group_size=setup.group_size)
+    print(f"Quantizing with QoQ {config.precision_name} ...")
+    result = quantize_model_qoq(model, setup.calibration, config)
+
+    qoq_ppl = evaluate_perplexity(result.model, setup.eval_sequences,
+                                  result.forward_config)
+    print(f"QoQ W4A8KV4 perplexity:     {qoq_ppl:.3f} "
+          f"(+{qoq_ppl - fp_ppl:.3f} over FP16)")
+
+    fp16_bytes = sum(l.weight.size * 2 for l in model.named_linears().values())
+    q_bytes = result.weight_memory_bytes()
+    print(f"Transformer weight memory:  {fp16_bytes / 1024:.1f} KiB (FP16) -> "
+          f"{q_bytes / 1024:.1f} KiB (W4, {fp16_bytes / q_bytes:.1f}x smaller)")
+
+    prompt = setup.corpus.eval_tokens[:16]
+    fp_text = model.generate(prompt, max_new_tokens=8)
+    qoq_text = result.model.generate(prompt, max_new_tokens=8,
+                                     forward_config=result.forward_config)
+    print(f"FP16 greedy continuation:   {fp_text.tolist()}")
+    print(f"QoQ greedy continuation:    {qoq_text.tolist()}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tiny")

@@ -1,0 +1,51 @@
+"""Serving-throughput study: reproduce the headline Table 4 comparison.
+
+Measures the maximum achievable generation throughput (1024-token prompts,
+512-token outputs, device memory budget respected) of TensorRT-LLM-style
+FP16 / W4A16 / W8A8, Atom, QuaRot and QServe W4A8KV4 for a chosen model on
+A100 and L40S, and prints the cost-efficiency claim of Figure 1 (QServe on
+L40S vs TensorRT-LLM on A100).
+
+Run with:  python examples/serving_throughput.py [model-name]
+           (model-name from: llama-3-8b, llama-2-7b, mistral-7b, llama-2-13b,
+            llama-30b, yi-34b, llama-2-70b, qwen1.5-72b)
+"""
+
+import sys
+
+from repro.experiments.runner import format_table
+from repro.gpu import A100, L40S
+from repro.model import get_config
+from repro.serving import SYSTEM_PRESETS, max_achievable_throughput
+
+SYSTEMS = ["trt-fp16", "trt-w4a16", "trt-w8a8", "atom-w4a4", "quarot-w4a4",
+           "qserve-w4a8kv4-chn", "qserve-w4a8kv4-grp"]
+
+
+def main(model_name: str = "llama-2-7b") -> None:
+    cfg = get_config(model_name)
+    rows = []
+    results = {}
+    for gpu in (A100, L40S):
+        for system in SYSTEMS:
+            result = max_achievable_throughput(cfg, gpu, SYSTEM_PRESETS[system])
+            results[(gpu.name, system)] = result
+            rows.append([gpu.name, system,
+                         result.batch if result.batch else "OOM",
+                         round(result.tokens_per_second, 1)])
+    print(f"Maximum achievable throughput for {model_name} "
+          f"(1024 in / 512 out, tokens/s):\n")
+    print(format_table(["GPU", "System", "Max batch", "Throughput"], rows))
+
+    best_trt_a100 = max(results[("A100", s)].tokens_per_second
+                        for s in ("trt-fp16", "trt-w4a16", "trt-w8a8"))
+    qserve_l40s = results[("L40S", "qserve-w4a8kv4-grp")].tokens_per_second
+    cost_ratio = A100.price_kusd / L40S.price_kusd
+    print(f"\nQServe on L40S reaches {qserve_l40s:.0f} tok/s vs "
+          f"{best_trt_a100:.0f} tok/s for the best TensorRT-LLM config on A100 "
+          f"({qserve_l40s / best_trt_a100:.2f}x) — on a GPU that costs "
+          f"{cost_ratio:.1f}x less (Figure 1).")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama-2-7b")

@@ -1,0 +1,19 @@
+"""QServe / QoQ reproduction library.
+
+A pure-Python (NumPy) reproduction of *QServe: W4A8KV4 Quantization and
+System Co-design for Efficient LLM Serving* (MLSys 2025).
+
+The package is organised in two halves that mirror the paper:
+
+* the **QoQ quantization algorithm** (:mod:`repro.quant`, :mod:`repro.qoq`,
+  :mod:`repro.baselines`) operating on a from-scratch NumPy LLM substrate
+  (:mod:`repro.model`, :mod:`repro.data`);
+* the **QServe serving system** reproduced as an analytical GPU cost model
+  plus a discrete serving simulator (:mod:`repro.gpu`, :mod:`repro.serving`),
+  with one experiment module per paper table/figure
+  (:mod:`repro.experiments`).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,36 @@
+"""Baseline post-training quantization methods the paper compares against.
+
+Each baseline exposes a ``quantize_*`` function with the same shape as the QoQ
+pipeline: it takes a :class:`~repro.model.transformer.TransformerModel` plus
+calibration batches and returns a quantized model together with the
+:class:`~repro.model.transformer.ForwardConfig` describing KV-cache handling.
+
+* :mod:`repro.baselines.rtn` — round-to-nearest at arbitrary W/A/KV precision;
+* :mod:`repro.baselines.smoothquant` — SmoothQuant W8A8 (per-channel weights,
+  per-token activations, static KV8);
+* :mod:`repro.baselines.awq` — AWQ-style activation-aware weight scaling
+  (W4A16 g128 in the paper's Table 2, also usable as a W4A8 weight quantizer);
+* :mod:`repro.baselines.gptq` — GPTQ error-compensated rounding with the
+  activation-order ("reorder") trick, i.e. GPTQ-R;
+* :mod:`repro.baselines.quarot` — QuaRot-style W4A4 with block-input rotation;
+* :mod:`repro.baselines.atom` — Atom-style W4A4 g128 with mixed-precision
+  salient channels and KV4.
+"""
+
+from repro.baselines.rtn import quantize_rtn
+from repro.baselines.smoothquant import quantize_smoothquant
+from repro.baselines.awq import quantize_awq, search_awq_scales
+from repro.baselines.gptq import gptq_quantize_weight, quantize_gptq
+from repro.baselines.quarot import quantize_quarot
+from repro.baselines.atom import quantize_atom
+
+__all__ = [
+    "quantize_rtn",
+    "quantize_smoothquant",
+    "quantize_awq",
+    "search_awq_scales",
+    "gptq_quantize_weight",
+    "quantize_gptq",
+    "quantize_quarot",
+    "quantize_atom",
+]

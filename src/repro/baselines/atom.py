@@ -1,0 +1,104 @@
+"""Atom-style W4A4 g128 quantization (Zhao et al., 2023).
+
+Atom keeps the most salient input channels (identified from calibration
+activations) in higher precision (INT8) and quantizes the remaining channels
+to INT4 with per-group scales, for both weights and activations; the KV cache
+is quantized to 4 bits.  This mixed-precision strategy is what QoQ's
+activation-aware channel reordering replaces (Section 4.3.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.model.quantized import ActQuantSpec, FakeQuantLinear
+from repro.model.transformer import ForwardConfig, TransformerModel
+from repro.quant.dtypes import INT4, INT8
+from repro.quant.kv_quant import KVQuantConfig
+from repro.quant.quantizer import Granularity, fake_quantize
+
+__all__ = ["quantize_atom", "AtomLinear"]
+
+
+class AtomLinear(FakeQuantLinear):
+    """Linear layer with Atom's mixed-precision activation quantization.
+
+    The weight passed in is already fake-quantized (INT8 for salient columns,
+    INT4 groups elsewhere).  At runtime the salient activation channels are
+    quantized to INT8 and the rest to INT4 per group, matching Atom's kernel.
+    """
+
+    def __init__(self, weight: np.ndarray, salient: np.ndarray, name: str = "",
+                 group_size: Optional[int] = None) -> None:
+        super().__init__(weight, name=name, act_spec=ActQuantSpec(bits=16))
+        self.salient = np.asarray(salient, dtype=np.int64)
+        self.act_group_size = group_size
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        t = self._transform_input(x)
+        flat = t.reshape(-1, t.shape[-1])
+        quantized = np.empty_like(flat)
+        mask = np.zeros(flat.shape[1], dtype=bool)
+        mask[self.salient] = True
+        if mask.any():
+            quantized[:, mask] = fake_quantize(
+                flat[:, mask], INT8, granularity=Granularity.PER_TOKEN, symmetric=True)
+        rest = flat[:, ~mask]
+        if rest.shape[1] > 0:
+            g = self.act_group_size
+            if g and rest.shape[1] % g == 0:
+                quantized[:, ~mask] = fake_quantize(
+                    rest, INT4, granularity=Granularity.PER_GROUP, symmetric=True,
+                    group_size=g)
+            else:
+                quantized[:, ~mask] = fake_quantize(
+                    rest, INT4, granularity=Granularity.PER_TOKEN, symmetric=True)
+        out = quantized.reshape(t.shape) @ self.weight.T
+        return out
+
+
+def quantize_atom(
+    model: TransformerModel,
+    calibration_batches: List[np.ndarray],
+    group_size: Optional[int] = 128,
+    kv_bits: int = 4,
+    salient_fraction: float = 0.05,
+) -> tuple[TransformerModel, ForwardConfig]:
+    """Quantize ``model`` to Atom-style W4A4 g128 KV4.
+
+    ``salient_fraction`` of the input channels (by calibration activation
+    magnitude) are kept in INT8 for both weights and activations; the paper's
+    Atom keeps 128 of 4096 channels, i.e. ~3%.
+    """
+    work = model.clone()
+    recorder = work.run_calibration(calibration_batches)
+    fwd = ForwardConfig(kv_quant=KVQuantConfig(bits=kv_bits, per_head=True))
+
+    for name, layer in work.named_linears().items():
+        weight = np.asarray(layer.weight, dtype=np.float64)
+        in_features = weight.shape[1]
+        g = group_size if (group_size and in_features % group_size == 0) else None
+        act_absmax = recorder.absmax[name]
+        n_salient = max(1, int(round(salient_fraction * in_features)))
+        salient = np.argsort(-act_absmax, kind="stable")[:n_salient]
+
+        w_q = np.empty_like(weight)
+        mask = np.zeros(in_features, dtype=bool)
+        mask[salient] = True
+        w_q[:, mask] = fake_quantize(weight[:, mask], INT8,
+                                     granularity=Granularity.PER_CHANNEL,
+                                     symmetric=True)
+        rest = weight[:, ~mask]
+        if rest.shape[1] > 0:
+            if g and rest.shape[1] % g == 0:
+                w_q[:, ~mask] = fake_quantize(rest, INT4,
+                                              granularity=Granularity.PER_GROUP,
+                                              symmetric=False, group_size=g)
+            else:
+                w_q[:, ~mask] = fake_quantize(rest, INT4,
+                                              granularity=Granularity.PER_CHANNEL,
+                                              symmetric=False)
+        work.set_linear(name, AtomLinear(w_q, salient, name=name, group_size=g))
+    return work, fwd

@@ -1,0 +1,70 @@
+"""QuaRot-style W4A4 quantization (Ashkboos et al., 2024).
+
+QuaRot rotates weights and activations with Hadamard matrices so that outliers
+are spread across channels, then quantizes both weights and activations to
+4 bits.  The paper evaluates two settings: per-channel/per-token W4A4 and
+per-group (g128) W4A4; both are reproduced here via ``group_size``.  The KV
+cache is also quantized to 4 bits (per-head) as in the original system.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.model.quantized import ActQuantSpec, FakeQuantLinear
+from repro.model.transformer import ForwardConfig, TransformerModel
+from repro.qoq.clipping import search_clip_ratio
+from repro.qoq.rotation import rotation_matrix_for
+from repro.quant.dtypes import INT4
+from repro.quant.kv_quant import KVQuantConfig
+from repro.quant.quantizer import Granularity, fake_quantize
+
+__all__ = ["quantize_quarot"]
+
+
+def _w4_fake_quant(weight: np.ndarray, group_size: Optional[int],
+                   clip_ratio: float = 1.0) -> np.ndarray:
+    granularity = Granularity.PER_GROUP if group_size else Granularity.PER_CHANNEL
+    return fake_quantize(weight, INT4, granularity=granularity, symmetric=False,
+                         group_size=group_size, clip_ratio=clip_ratio)
+
+
+def quantize_quarot(
+    model: TransformerModel,
+    calibration_batches: List[np.ndarray],
+    group_size: Optional[int] = None,
+    kv_bits: int = 4,
+    enable_clipping: bool = True,
+    rotation_seed: int = 0,
+) -> tuple[TransformerModel, ForwardConfig]:
+    """Quantize ``model`` to W4A4(KV4) with Hadamard rotations.
+
+    Every linear layer's input is rotated (the rotation is folded into the
+    weight as in Section 4.3.1); weights and activations are then quantized to
+    4 bits at the requested granularity, with an optional clip-ratio search on
+    the weights (the QuaRot paper searches weight clipping as well).
+    """
+    work = model.clone()
+    recorder = work.run_calibration(calibration_batches)
+    fwd = ForwardConfig(kv_quant=KVQuantConfig(bits=kv_bits, per_head=True))
+
+    for name, layer in work.named_linears().items():
+        weight = np.asarray(layer.weight, dtype=np.float64)
+        in_features = weight.shape[1]
+        g = group_size if (group_size and in_features % group_size == 0) else None
+        rotation = rotation_matrix_for(in_features, seed=rotation_seed)
+        weight = weight @ rotation
+        samples = recorder.input_samples(name) @ rotation
+
+        clip_ratio = 1.0
+        if enable_clipping:
+            clip_ratio, _ = search_clip_ratio(
+                weight, samples, fmt=INT4, group_size=g, symmetric=False,
+                candidates=np.linspace(1.0, 0.85, 4))
+        w_q = _w4_fake_quant(weight, g, clip_ratio=clip_ratio)
+        act_spec = ActQuantSpec(bits=4, group_size=g)
+        work.set_linear(name, FakeQuantLinear(w_q, name=name, act_spec=act_spec,
+                                              rotation=rotation))
+    return work, fwd

@@ -1,0 +1,70 @@
+"""Round-to-nearest (RTN) quantization at arbitrary precision.
+
+RTN is the no-calibration baseline of Table 2: weights are quantized directly
+with per-channel or per-group scales, activations per-token, the KV cache per
+head — no rotation, smoothing, clipping or reordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.model.quantized import ActQuantSpec, FakeQuantLinear, W4A8Linear, W8A8Linear
+from repro.model.transformer import ForwardConfig, TransformerModel
+from repro.quant.dtypes import INT4, INT8
+from repro.quant.kv_quant import KVQuantConfig
+from repro.quant.quantizer import Granularity, fake_quantize
+
+__all__ = ["quantize_rtn"]
+
+
+def _rtn_weight(weight: np.ndarray, bits: int, group_size: Optional[int]) -> np.ndarray:
+    fmt = INT8 if bits == 8 else INT4
+    granularity = Granularity.PER_GROUP if group_size else Granularity.PER_CHANNEL
+    symmetric = bits == 8
+    return fake_quantize(weight, fmt, granularity=granularity, symmetric=symmetric,
+                         group_size=group_size)
+
+
+def quantize_rtn(
+    model: TransformerModel,
+    weight_bits: int = 4,
+    act_bits: int = 8,
+    kv_bits: int = 4,
+    group_size: Optional[int] = None,
+    integer_path: bool = True,
+) -> tuple[TransformerModel, ForwardConfig]:
+    """Quantize ``model`` with plain round-to-nearest.
+
+    ``integer_path=True`` uses the integer-arithmetic W4A8/W8A8 linears when
+    the precision matches; otherwise simulated quantization is used.
+    Returns ``(quantized_model, forward_config)``.
+    """
+    if weight_bits not in (4, 8, 16):
+        raise ValueError("weight_bits must be 4, 8 or 16")
+    if act_bits not in (4, 8, 16):
+        raise ValueError("act_bits must be 4, 8 or 16")
+    work = model.clone()
+    fwd = ForwardConfig(kv_quant=KVQuantConfig(bits=kv_bits, per_head=True))
+
+    for name, layer in work.named_linears().items():
+        weight = layer.weight
+        in_features = weight.shape[1]
+        g = group_size if (group_size and in_features % group_size == 0) else None
+        if weight_bits == 16 and act_bits == 16:
+            continue
+        if integer_path and weight_bits == 4 and act_bits == 8:
+            new_layer = W4A8Linear(weight, name=name, group_size=g)
+        elif integer_path and weight_bits == 8 and act_bits == 8:
+            new_layer = W8A8Linear(weight, name=name)
+        else:
+            w_q = weight if weight_bits == 16 else _rtn_weight(weight, weight_bits, g)
+            act_group = g if act_bits == 4 else None
+            new_layer = FakeQuantLinear(
+                w_q, name=name,
+                act_spec=ActQuantSpec(bits=act_bits, group_size=act_group))
+        work.set_linear(name, new_layer)
+    return work, fwd

@@ -1,0 +1,47 @@
+"""SmoothQuant (Xiao et al., 2023) — the W8A8 baseline of Table 2.
+
+Activation outliers are migrated into the weights of the *input modules* with
+per-channel factors ``λ_j = act_absmax_j^α / weight_absmax_j^(1-α)`` (α = 0.5),
+then weights are quantized per-channel INT8 and activations per-token INT8.
+The KV cache uses static per-tensor INT8 quantization, matching the
+TensorRT-LLM configuration the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.model.quantized import W8A8Linear
+from repro.model.transformer import (
+    ForwardConfig,
+    INPUT_MODULE_SUFFIXES,
+    TransformerModel,
+)
+from repro.qoq.smoothing import compute_smoothing_scales
+from repro.quant.kv_quant import KVQuantConfig
+
+__all__ = ["quantize_smoothquant"]
+
+
+def quantize_smoothquant(
+    model: TransformerModel,
+    calibration_batches: List[np.ndarray],
+    alpha: float = 0.5,
+    kv_bits: int = 8,
+) -> tuple[TransformerModel, ForwardConfig]:
+    """Quantize ``model`` to W8A8 with SmoothQuant calibration."""
+    work = model.clone()
+    recorder = work.run_calibration(calibration_batches)
+    fwd = ForwardConfig(kv_quant=KVQuantConfig(bits=kv_bits, per_head=False))
+
+    for name, layer in work.named_linears().items():
+        weight = np.asarray(layer.weight, dtype=np.float64)
+        input_scale = None
+        if name.endswith(INPUT_MODULE_SUFFIXES):
+            act_absmax = recorder.absmax[name]
+            input_scale = compute_smoothing_scales(act_absmax, weight, alpha=alpha)
+            weight = weight * input_scale[None, :]
+        work.set_linear(name, W8A8Linear(weight, name=name, input_scale=input_scale))
+    return work, fwd

@@ -1,0 +1,36 @@
+"""Synthetic data and evaluation harnesses.
+
+The paper evaluates on WikiText-2 perplexity, five zero-shot common-sense
+tasks (lm-eval) and LongBench.  None of those datasets can be shipped offline,
+so this package provides synthetic stand-ins with the same *metrics*:
+
+* :mod:`repro.data.corpus` — a Zipfian bigram language over the model's
+  vocabulary whose sequences are learnable by the synthetic models, so that
+  perplexity differences between quantization settings are meaningful;
+* :mod:`repro.data.calibration` — calibration-set sampling;
+* :mod:`repro.data.perplexity` — token-level perplexity evaluation;
+* :mod:`repro.data.tasks` — synthetic multiple-choice (zero-shot) and
+  long-context retrieval (LongBench-like) suites scored by model likelihood.
+"""
+
+from repro.data.corpus import CorpusConfig, SyntheticCorpus
+from repro.data.calibration import sample_calibration_batches
+from repro.data.perplexity import evaluate_perplexity, perplexity_from_logits
+from repro.data.tasks import (
+    MultipleChoiceExample,
+    build_zero_shot_suite,
+    build_long_context_suite,
+    evaluate_task_accuracy,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "SyntheticCorpus",
+    "sample_calibration_batches",
+    "evaluate_perplexity",
+    "perplexity_from_logits",
+    "MultipleChoiceExample",
+    "build_zero_shot_suite",
+    "build_long_context_suite",
+    "evaluate_task_accuracy",
+]

@@ -1,0 +1,31 @@
+"""Calibration-set sampling.
+
+QoQ (like SmoothQuant / AWQ / GPTQ) is a post-training method driven by a
+small calibration set.  The paper calibrates on Pile samples; here calibration
+batches are drawn from the synthetic corpus' training split.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data.corpus import SyntheticCorpus
+
+__all__ = ["sample_calibration_batches"]
+
+
+def sample_calibration_batches(
+    corpus: SyntheticCorpus,
+    num_batches: int = 8,
+    seq_len: int = 64,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """Sample ``num_batches`` random sequences of ``seq_len`` tokens."""
+    rng = np.random.default_rng(seed)
+    stream = corpus.train_tokens
+    if stream.size < seq_len:
+        raise ValueError("calibration sequence length exceeds corpus size")
+    starts = rng.integers(0, stream.size - seq_len, size=num_batches)
+    return [stream[s:s + seq_len].copy() for s in starts]

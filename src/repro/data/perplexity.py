@@ -1,0 +1,55 @@
+"""Token-level perplexity evaluation (the WikiText-2 metric of Table 2)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.model.transformer import ForwardConfig, TransformerModel
+
+__all__ = ["perplexity_from_logits", "evaluate_perplexity"]
+
+
+def perplexity_from_logits(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Perplexity of ``targets`` under next-token ``logits``.
+
+    ``logits[i]`` must predict ``targets[i]``; both have the same leading
+    length.  Uses the log-sum-exp formulation for numerical stability.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.shape[0] != targets.shape[0]:
+        raise ValueError("logits and targets must align")
+    max_logit = np.max(logits, axis=-1, keepdims=True)
+    logsumexp = np.log(np.sum(np.exp(logits - max_logit), axis=-1)) + max_logit[:, 0]
+    target_logit = logits[np.arange(targets.size), targets]
+    nll = logsumexp - target_logit
+    return float(np.exp(np.mean(nll)))
+
+
+def evaluate_perplexity(
+    model: TransformerModel,
+    sequences: List[np.ndarray],
+    forward_config: Optional[ForwardConfig] = None,
+) -> float:
+    """Average perplexity of a model over a list of token sequences.
+
+    Each sequence is evaluated teacher-forced: position ``i`` predicts token
+    ``i+1``.  The negative log-likelihoods of all sequences are pooled before
+    exponentiating (matching the standard corpus-level perplexity definition).
+    """
+    total_nll = 0.0
+    total_tokens = 0
+    for seq in sequences:
+        seq = np.asarray(seq, dtype=np.int64)
+        if seq.size < 2:
+            raise ValueError("sequences must contain at least two tokens")
+        logits = model.forward(seq[:-1], forward_config)
+        targets = seq[1:]
+        max_logit = np.max(logits, axis=-1, keepdims=True)
+        logsumexp = np.log(np.sum(np.exp(logits - max_logit), axis=-1)) + max_logit[:, 0]
+        target_logit = logits[np.arange(targets.size), targets]
+        total_nll += float(np.sum(logsumexp - target_logit))
+        total_tokens += targets.size
+    return float(np.exp(total_nll / total_tokens))

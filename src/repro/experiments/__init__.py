@@ -1,0 +1,16 @@
+"""One module per paper table/figure.
+
+Every experiment module exposes a ``run(...)`` function returning a
+:class:`repro.experiments.runner.ExperimentReport` that can be printed as the
+rows/series of the corresponding table or figure.  The benchmark harness in
+``benchmarks/`` and the scripts in ``examples/`` are thin wrappers over these.
+
+Efficiency experiments (roofline, kernel latencies, throughput) are pure cost
+model evaluations and run in seconds.  Accuracy experiments (perplexity,
+zero-shot, ablation) run the NumPy models; their cost is controlled by the
+``scale`` argument ("tiny" for CI, "small" for the reported numbers).
+"""
+
+from repro.experiments.runner import ExperimentReport, format_table
+
+__all__ = ["ExperimentReport", "format_table"]

@@ -1,0 +1,111 @@
+"""Shared setup for the accuracy experiments (Tables 2/3/5, Figure 16).
+
+Builds the synthetic corpus, the calibrated model, calibration batches and the
+evaluation sequences at one of two scales:
+
+* ``"tiny"`` — 2-layer, 64-hidden model; seconds per configuration.  Used by
+  the test suite and CI.  Orderings between closely spaced methods are noisy
+  at this scale.
+* ``"small"`` — 4-layer, 128-hidden model with a larger evaluation set; used
+  for the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data import (
+    CorpusConfig,
+    SyntheticCorpus,
+    evaluate_perplexity,
+    sample_calibration_batches,
+)
+from repro.model import TransformerModel, generate_model, get_config
+from repro.model.weights import OutlierProfile
+from repro.model.transformer import ForwardConfig
+
+__all__ = ["AccuracySetup", "build_setup", "SCALES"]
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    model_name: str
+    group_size: int
+    num_classes: int
+    train_tokens: int
+    eval_tokens: int
+    eval_seq_len: int
+    eval_sequences: int
+    calib_batches: int
+    calib_seq_len: int
+
+
+SCALES: Dict[str, ScaleSpec] = {
+    "tiny": ScaleSpec(model_name="tiny-llama", group_size=32, num_classes=16,
+                      train_tokens=6144, eval_tokens=2048, eval_seq_len=128,
+                      eval_sequences=6, calib_batches=4, calib_seq_len=48),
+    "small": ScaleSpec(model_name="small-llama", group_size=32, num_classes=24,
+                       train_tokens=8192, eval_tokens=4096, eval_seq_len=256,
+                       eval_sequences=16, calib_batches=6, calib_seq_len=64),
+    "medium": ScaleSpec(model_name="medium-llama", group_size=64, num_classes=48,
+                        train_tokens=16384, eval_tokens=8192, eval_seq_len=256,
+                        eval_sequences=32, calib_batches=8, calib_seq_len=64),
+}
+
+#: Outlier structure used for all accuracy experiments: strong activation
+#: outliers (~20x) and Key outliers (~8x) so that the failure modes QoQ
+#: targets dominate the quantization error.
+ACCURACY_PROFILE = OutlierProfile(
+    activation_outlier_scale=20.0,
+    key_outlier_scale=8.0,
+    heavy_tail_fraction=0.02,
+)
+
+
+@dataclass
+class AccuracySetup:
+    """Everything an accuracy experiment needs."""
+
+    scale: str
+    spec: ScaleSpec
+    corpus: SyntheticCorpus
+    model: TransformerModel
+    calibration: List[np.ndarray]
+    eval_sequences: List[np.ndarray]
+
+    @property
+    def group_size(self) -> int:
+        return self.spec.group_size
+
+    def perplexity(self, model: TransformerModel,
+                   forward_config: ForwardConfig | None = None) -> float:
+        return evaluate_perplexity(model, self.eval_sequences, forward_config)
+
+
+def build_setup(scale: str = "tiny", seed: int = 0) -> AccuracySetup:
+    """Build the corpus, model and calibration data for one scale."""
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    spec = SCALES[scale]
+    config = get_config(spec.model_name)
+    corpus = SyntheticCorpus(CorpusConfig(
+        vocab_size=config.vocab_size,
+        num_train_tokens=spec.train_tokens,
+        num_eval_tokens=spec.eval_tokens,
+        num_classes=spec.num_classes,
+        seed=seed,
+    ))
+    model = generate_model(
+        config, seed=seed, profile=ACCURACY_PROFILE,
+        bigram_matrix=corpus.transition_matrix,
+        token_classes=corpus.token_classes,
+        train_tokens=corpus.train_tokens,
+    )
+    calibration = sample_calibration_batches(
+        corpus, num_batches=spec.calib_batches, seq_len=spec.calib_seq_len, seed=seed)
+    eval_sequences = corpus.chunks("eval", spec.eval_seq_len)[:spec.eval_sequences]
+    return AccuracySetup(scale=scale, spec=spec, corpus=corpus, model=model,
+                         calibration=calibration, eval_sequences=eval_sequences)

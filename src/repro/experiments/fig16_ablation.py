@@ -1,0 +1,128 @@
+"""Figure 16 — ablation of the QoQ techniques.
+
+Starting from W8A8KV8 round-to-nearest, techniques are added one at a time in
+the paper's order; for every stage the experiment reports (a) perplexity,
+(b) end-to-end serving throughput on L40S at batch 64, and (c) the GPU memory
+consumed by weights and KV cache — the three panels of Figure 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.accuracy_common import AccuracySetup, build_setup
+from repro.experiments.runner import ExperimentReport
+from repro.gpu import L40S
+from repro.model import get_config
+from repro.qoq import QoQConfig, quantize_model_qoq
+from repro.serving import SYSTEM_PRESETS, measure_throughput
+
+__all__ = ["run", "ablation_stages", "AblationStage"]
+
+
+@dataclass(frozen=True)
+class AblationStage:
+    """One cumulative stage of the Figure 16 ablation."""
+
+    label: str
+    config: QoQConfig
+    #: Serving-system preset used for the throughput / memory panels.
+    system: str
+
+    def serving_system(self):
+        """System config matching this stage's weight/KV precision.
+
+        The preset supplies the GEMM dataflow; the attention kernel and
+        memory precisions follow the stage (KV8 stages use the TensorRT-LLM
+        KV8 kernel, KV4 stages use QServe's).
+        """
+        from dataclasses import replace as _replace
+        base = SYSTEM_PRESETS[self.system]
+        kv_bits = self.config.kv_bits
+        kernel = "kv4-qserve" if kv_bits == 4 else ("kv8-trt" if kv_bits == 8 else "kv16")
+        return _replace(base, kv_bits=kv_bits, attention_kernel=kernel,
+                        weight_bits=float(self.config.weight_bits),
+                        kv_param_overhead=8.0 if kv_bits == 4 else 0.0)
+
+
+def ablation_stages(group_size: int = 128) -> List[AblationStage]:
+    """The cumulative stages of Figure 16, in order."""
+    off = dict(enable_rotation=False, enable_smoothing=False,
+               enable_smooth_attention=False, enable_reorder=False,
+               enable_clipping=False)
+    stages = [
+        AblationStage("8-bit Quant. (W8A8KV8)",
+                      QoQConfig(weight_bits=8, kv_bits=8, group_size=None, **off),
+                      "trt-w8a8"),
+        AblationStage("+ 4-bit Weight Quant. (W4A8KV8)",
+                      QoQConfig(weight_bits=4, kv_bits=8, group_size=None, **off),
+                      "qserve-w4a8kv4-chn"),
+        AblationStage("+ Block Rotation and Smoothing",
+                      QoQConfig(weight_bits=4, kv_bits=8, group_size=None,
+                                enable_rotation=True, enable_smoothing=True,
+                                enable_smooth_attention=False,
+                                enable_reorder=False, enable_clipping=False),
+                      "qserve-w4a8kv4-chn"),
+        AblationStage("+ Block-MSE-based Weight Clip",
+                      QoQConfig(weight_bits=4, kv_bits=8, group_size=None,
+                                enable_rotation=True, enable_smoothing=True,
+                                enable_smooth_attention=False,
+                                enable_reorder=False, enable_clipping=True),
+                      "qserve-w4a8kv4-chn"),
+        AblationStage("+ 4-bit KV Quant. (W4A8KV4)",
+                      QoQConfig(weight_bits=4, kv_bits=4, group_size=None,
+                                enable_rotation=True, enable_smoothing=True,
+                                enable_smooth_attention=False,
+                                enable_reorder=False, enable_clipping=True),
+                      "qserve-w4a8kv4-chn"),
+        AblationStage("+ SmoothAttention",
+                      QoQConfig(weight_bits=4, kv_bits=4, group_size=None,
+                                enable_rotation=True, enable_smoothing=True,
+                                enable_smooth_attention=True,
+                                enable_reorder=False, enable_clipping=True),
+                      "qserve-w4a8kv4-chn"),
+        AblationStage("+ Progressive Group Quant.",
+                      QoQConfig(weight_bits=4, kv_bits=4, group_size=group_size,
+                                enable_rotation=True, enable_smoothing=True,
+                                enable_smooth_attention=True,
+                                enable_reorder=False, enable_clipping=True),
+                      "qserve-w4a8kv4-grp"),
+        AblationStage("+ Activation-aware Reorder",
+                      QoQConfig(weight_bits=4, kv_bits=4, group_size=group_size,
+                                enable_rotation=True, enable_smoothing=True,
+                                enable_smooth_attention=True,
+                                enable_reorder=True, enable_clipping=True),
+                      "qserve-w4a8kv4-grp"),
+    ]
+    return stages
+
+
+def run(scale: str = "tiny", seed: int = 0, batch: int = 64,
+        throughput_model: str = "llama-2-7b",
+        setup: Optional[AccuracySetup] = None) -> ExperimentReport:
+    """Run the ablation; perplexity on the synthetic model, throughput on L40S."""
+    setup = setup or build_setup(scale, seed=seed)
+    serving_model = get_config(throughput_model)
+    report = ExperimentReport(
+        experiment_id="fig16",
+        title="QoQ technique ablation: perplexity, L40S throughput, GPU memory",
+        headers=["Stage", "Perplexity", "Throughput (tok/s)",
+                 "Weight mem (GB)", "KV mem/token (KB)"],
+        notes=(f"accuracy scale={setup.scale}; throughput/memory computed for "
+               f"{throughput_model} at batch {batch} on L40S."),
+    )
+    for stage in ablation_stages(group_size=setup.group_size):
+        result = quantize_model_qoq(setup.model, setup.calibration, stage.config)
+        ppl = setup.perplexity(result.model, result.forward_config)
+        system = stage.serving_system()
+        throughput = measure_throughput(serving_model, L40S, system, batch=batch)
+        weight_gb = serving_model.weight_bytes(stage.config.weight_bits) / (1 << 30)
+        kv_kb = serving_model.kv_bytes_per_token(stage.config.kv_bits) / 1024.0
+        report.add_row(stage.label, ppl, throughput.tokens_per_second,
+                       weight_gb, kv_kb)
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text("{:.3f}"))

@@ -1,0 +1,57 @@
+"""Figure 17 — same-batch throughput comparison on L40S.
+
+Unlike Table 4 (each system picks its own maximum batch), this experiment
+fixes the batch size and compares systems directly, which isolates the
+per-iteration kernel speedup from the batch-enlargement effect of 4-bit
+weights/KV.  Systems whose memory budget cannot hold the requested batch are
+reported as "OOM" (throughput 0), as in the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentReport
+from repro.gpu import GPUSpec, L40S
+from repro.model import get_config
+from repro.serving import SYSTEM_PRESETS, max_achievable_batch, measure_throughput
+
+__all__ = ["run"]
+
+_SYSTEMS = ("trt-fp16", "trt-w4a16", "trt-w8a8", "atom-w4a4", "quarot-w4a4",
+            "qserve-w4a8kv4-chn", "qserve-w4a8kv4-grp")
+
+
+def run(model_name: str = "llama-2-7b", gpu: GPUSpec = L40S,
+        batches: Sequence[int] = (4, 8, 16, 32, 64),
+        normalize: bool = True) -> ExperimentReport:
+    cfg = get_config(model_name)
+    report = ExperimentReport(
+        experiment_id="fig17",
+        title=f"Same-batch throughput of {model_name} on {gpu.name}"
+              + (" (normalised to TRT-FP16)" if normalize else " (tokens/s)"),
+        headers=["Batch", *_SYSTEMS],
+        notes="0 = OOM at that batch size.",
+    )
+    for batch in batches:
+        values = []
+        for system_name in _SYSTEMS:
+            system = SYSTEM_PRESETS[system_name]
+            if max_achievable_batch(cfg, gpu, system) < batch:
+                values.append(0.0)
+                continue
+            values.append(measure_throughput(cfg, gpu, system, batch=batch)
+                          .tokens_per_second)
+        if normalize:
+            # Normalise to TRT-FP16; when FP16 is OOM at this batch (as happens
+            # on L40S at batch 64) fall back to the best TRT configuration so
+            # the relative ordering is still visible, mirroring the figure's
+            # treatment of OOM bars.
+            ref = values[0] or max(values[:3], default=0.0)
+            values = [v / ref if ref > 0 else 0.0 for v in values]
+        report.add_row(batch, *values)
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text("{:.2f}"))

@@ -1,0 +1,58 @@
+"""Figure 18 — main-loop dequantization overhead of quantized GEMMs.
+
+For W8A8, W4A16, W4A4 (Atom) and QServe's per-group W4A8, reports the fraction
+of main-loop compute time spent on CUDA-core dequantization as the batch size
+grows, plus the achieved speed relative to an ideal kernel without any
+dequantization — the two quantities plotted in Figure 18.  Also exposes the
+per-iteration instruction accounting behind Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentReport
+from repro.gpu import A100, GEMM_PRECISIONS, GPUSpec, gemm_latency
+
+__all__ = ["run", "run_mainloop_composition"]
+
+_CONFIGS = ("w8a8", "w4a16", "w4a4-atom", "w4a8-qserve-grp")
+
+
+def run(gpu: GPUSpec = A100, n: int = 4096, k: int = 4096,
+        batches: Sequence[int] = (8, 16, 32, 64, 128)) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="fig18",
+        title=f"Dequantization overhead in the GEMM main loop ({gpu.name}, {n}x{k})",
+        headers=["Batch", *[f"{c} overhead %" for c in _CONFIGS]],
+        notes="Overhead = CUDA-core dequantization time / total main-loop compute time.",
+    )
+    for m in batches:
+        row = []
+        for config in _CONFIGS:
+            lat = gemm_latency(gpu, m, n, k, GEMM_PRECISIONS[config])
+            row.append(100.0 * lat.dequant_overhead)
+        report.add_row(m, *row)
+    return report
+
+
+def run_mainloop_composition(gpu: GPUSpec = A100, m: int = 64, n: int = 4096,
+                             k: int = 4096) -> ExperimentReport:
+    """Figure 5 companion: absolute latency breakdown of each GEMM dataflow."""
+    report = ExperimentReport(
+        experiment_id="fig5",
+        title=f"GEMM latency breakdown at m={m} ({gpu.name}, {n}x{k})",
+        headers=["Dataflow", "Tensor core (us)", "CUDA core dequant (us)",
+                 "Memory (us)", "Total (us)"],
+    )
+    for config in ("fp16", "w8a8", "w4a16", "w4a4-atom", "w4a8-qserve-chn",
+                   "w4a8-qserve-grp"):
+        lat = gemm_latency(gpu, m, n, k, GEMM_PRECISIONS[config])
+        report.add_row(config, lat.tensor_core * 1e6, lat.cuda_core * 1e6,
+                       lat.memory * 1e6, lat.total * 1e6)
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text("{:.1f}"))
+    print(run_mainloop_composition().to_text("{:.1f}"))

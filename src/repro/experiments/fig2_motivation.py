@@ -1,0 +1,66 @@
+"""Figure 2 — motivation: latency breakdown and W4A4 system throughput.
+
+* Figure 2a: fraction of decode-iteration latency spent in attention, GEMM and
+  everything else for Llama-2-7B on A100 as the batch size grows 1→64.
+* Figure 2b: maximum achievable A100 throughput of Llama-2-7B under
+  TensorRT-LLM (FP16 / W4A16 / W8A8) and the W4A4 systems Atom and QuaRot —
+  demonstrating that W4A4 fails to beat even FP16 end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentReport
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import SYSTEM_PRESETS, ServingEngine, max_achievable_throughput
+
+__all__ = ["run_latency_breakdown", "run_system_throughput", "run"]
+
+
+def run_latency_breakdown(model_name: str = "llama-2-7b",
+                          batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+                          context_len: int = 1024) -> ExperimentReport:
+    """Figure 2a: attention / GEMM / other share of decode latency vs batch."""
+    model = get_config(model_name)
+    engine = ServingEngine(model, A100, SYSTEM_PRESETS["trt-w8a8"])
+    report = ExperimentReport(
+        experiment_id="fig2a",
+        title="Decode latency share by operator (Llama-2-7B, A100, W8A8)",
+        headers=["Batch", "Attention %", "GEMM %", "Other %"],
+        notes=f"context length {context_len} tokens.",
+    )
+    for batch in batches:
+        step = engine.decode_step(batch, context_len)
+        report.add_row(batch, 100 * step.fraction("attention"),
+                       100 * step.fraction("gemm"), 100 * step.fraction("other"))
+    return report
+
+
+def run_system_throughput(model_name: str = "llama-2-7b") -> ExperimentReport:
+    """Figure 2b: Llama-2-7B maximum achievable throughput on A100 by system."""
+    model = get_config(model_name)
+    report = ExperimentReport(
+        experiment_id="fig2b",
+        title="Llama-2-7B system throughput on A100 (tokens/s)",
+        headers=["System", "Throughput (tok/s)", "Batch"],
+    )
+    for name in ["trt-fp16", "trt-w4a16", "trt-w8a8", "atom-w4a4", "quarot-w4a4"]:
+        result = max_achievable_throughput(model, A100, SYSTEM_PRESETS[name])
+        report.add_row(name, result.tokens_per_second, result.batch)
+    return report
+
+
+def run(model_name: str = "llama-2-7b") -> ExperimentReport:
+    """Combined report (2a series plus 2b rows in the notes)."""
+    breakdown = run_latency_breakdown(model_name)
+    throughput = run_system_throughput(model_name)
+    breakdown.notes += "\n" + throughput.to_text("{:.0f}")
+    breakdown.extra["fig2b"] = throughput
+    return breakdown
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_latency_breakdown().to_text("{:.1f}"))
+    print(run_system_throughput().to_text("{:.0f}"))

@@ -1,0 +1,52 @@
+"""Figure 3 — A100 roofline for LLM serving.
+
+Reports the attainable throughput of W4A16, W8A8, W4A8 and W4A4 GEMMs as a
+function of the decode batch size (= computation intensity), the attention
+roofline for FP16/INT8/INT4 KV caches, and the W4A16↔W8A8 crossover point
+(~78 on A100).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentReport
+from repro.gpu import A100, GPUSpec, attention_roofline_tops, gemm_roofline_tops, \
+    roofline_crossover_batch
+
+__all__ = ["run"]
+
+_GEMM_CONFIGS = [
+    ("FP16xFP16", 16, 16),
+    ("INT4xFP16 (W4A16)", 4, 16),
+    ("INT8xINT8 (W8A8)", 8, 8),
+    ("INT4xINT8 (W4A8)", 4, 8),
+    ("INT4xINT4 (W4A4)", 4, 4),
+]
+
+
+def run(spec: GPUSpec = A100,
+        batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 48, 64, 78, 96, 128, 160, 192),
+        ) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="fig3",
+        title=f"{spec.name} roofline: attainable TOPS vs computation intensity",
+        headers=["Batch (intensity)", *[name for name, _, _ in _GEMM_CONFIGS]],
+    )
+    for m in batches:
+        report.add_row(m, *[gemm_roofline_tops(spec, m, wb, ab)
+                            for _, wb, ab in _GEMM_CONFIGS])
+    crossover = roofline_crossover_batch(spec, 4, 16, 8, 8)
+    attn = {bits: attention_roofline_tops(spec, bits) for bits in (16, 8, 4)}
+    report.notes = (
+        f"W4A16->W8A8 crossover at batch ~{crossover:.0f} (paper: ~78). "
+        f"Attention roofline TOPS: FP16 KV {attn[16]:.0f}, INT8 KV {attn[8]:.0f}, "
+        f"INT4 KV {attn[4]:.0f} (each halving of KV precision doubles the roof)."
+    )
+    report.extra["crossover"] = crossover
+    report.extra["attention_roofline"] = attn
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text("{:.0f}"))

@@ -1,0 +1,63 @@
+"""Shared experiment reporting utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentReport", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 float_fmt: str = "{:.2f}") -> str:
+    """Render rows as a fixed-width text table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """Result of one experiment: an identifier, a table, and free-form notes."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} columns, got {len(values)}")
+        self.rows.append(list(values))
+
+    def to_text(self, float_fmt: str = "{:.2f}") -> str:
+        body = format_table(self.headers, self.rows, float_fmt=float_fmt)
+        header = f"== {self.experiment_id}: {self.title} =="
+        parts = [header, body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> List[object]:
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_by(self, key_column: str, key: object) -> Optional[List[object]]:
+        idx = self.headers.index(key_column)
+        for row in self.rows:
+            if row[idx] == key:
+                return row
+        return None

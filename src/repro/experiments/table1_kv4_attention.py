@@ -1,0 +1,62 @@
+"""Table 1 — decode attention latency: KV8 vs naive KV4 vs QServe KV4.
+
+Also covers the Section 6.4 "improvement breakdown for KV4 attention": the
+intermediate kernels (bit-trick dequantization, simplified control flow) are
+reported alongside the naive and final kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentReport
+from repro.gpu import A100, GPUSpec, KV_KERNELS, attention_decode_latency
+from repro.model import get_config
+
+__all__ = ["run", "run_breakdown"]
+
+
+def run(model_name: str = "llama-2-7b", gpu: GPUSpec = A100, batch: int = 64,
+        seq_lens: Sequence[int] = (128, 256, 512, 1024, 1536)) -> ExperimentReport:
+    cfg = get_config(model_name)
+    report = ExperimentReport(
+        experiment_id="table1",
+        title=f"Decode attention latency on {gpu.name} ({model_name}, batch {batch})",
+        headers=["Seq len", "8-bit KV (ms)", "4-bit KV naive (ms)", "naive speedup",
+                 "4-bit KV QServe (ms)", "QServe speedup"],
+    )
+    for seq in seq_lens:
+        args = (batch, seq, cfg.num_heads, cfg.num_kv_heads, cfg.head_dim)
+        kv8 = attention_decode_latency(gpu, KV_KERNELS["kv8-trt"], *args).total
+        naive = attention_decode_latency(gpu, KV_KERNELS["kv4-naive"], *args).total
+        ours = attention_decode_latency(gpu, KV_KERNELS["kv4-qserve"], *args).total
+        report.add_row(seq, kv8 * 1e3, naive * 1e3, kv8 / naive, ours * 1e3, kv8 / ours)
+    return report
+
+
+def run_breakdown(model_name: str = "llama-2-7b", gpu: GPUSpec = A100,
+                  batch: int = 64, seq_len: int = 1024) -> ExperimentReport:
+    """Section 6.4: step-by-step KV4 kernel optimisation breakdown."""
+    cfg = get_config(model_name)
+    stages = [
+        ("Naive dynamic per-head KV4", "kv4-naive"),
+        ("+ bit-trick dequantization", "kv4-bittrick"),
+        ("+ simplified control flow", "kv4-simplectrl"),
+        ("+ FP16 arithmetic & prefetch (QServe)", "kv4-qserve"),
+    ]
+    report = ExperimentReport(
+        experiment_id="table1-breakdown",
+        title=f"KV4 attention optimisation breakdown ({gpu.name}, seq {seq_len})",
+        headers=["Stage", "Latency (ms)", "Speedup over KV8"],
+    )
+    args = (batch, seq_len, cfg.num_heads, cfg.num_kv_heads, cfg.head_dim)
+    kv8 = attention_decode_latency(gpu, KV_KERNELS["kv8-trt"], *args).total
+    for label, kernel in stages:
+        lat = attention_decode_latency(gpu, KV_KERNELS[kernel], *args).total
+        report.add_row(label, lat * 1e3, kv8 / lat)
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text("{:.2f}"))
+    print(run_breakdown().to_text("{:.2f}"))

@@ -1,0 +1,83 @@
+"""Table 2 — WikiText-2 perplexity across precisions and quantization methods.
+
+Reproduces the rows of Table 2 on the synthetic substrate: FP16,
+SmoothQuant W8A8, GPTQ-R / AWQ W4A16 g128, QuaRot / Atom W4A4, and
+RTN / AWQ / QoQ at W4A8KV4 (per-channel and per-group).  Absolute perplexities
+are not comparable to the paper's (different corpus and models); the
+reproduced quantity is the *ordering and relative degradation* of the methods
+against the shared FP16 reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines import (
+    quantize_atom,
+    quantize_awq,
+    quantize_gptq,
+    quantize_quarot,
+    quantize_rtn,
+    quantize_smoothquant,
+)
+from repro.experiments.accuracy_common import AccuracySetup, build_setup
+from repro.experiments.runner import ExperimentReport
+from repro.qoq import QoQConfig, quantize_model_qoq
+
+__all__ = ["run"]
+
+
+def run(scale: str = "tiny", seed: int = 0,
+        setup: Optional[AccuracySetup] = None) -> ExperimentReport:
+    """Evaluate every Table 2 row and return the report."""
+    setup = setup or build_setup(scale, seed=seed)
+    g = setup.group_size
+    model, calib = setup.model, setup.calibration
+    report = ExperimentReport(
+        experiment_id="table2",
+        title="WikiText-2-style perplexity by precision and method (lower is better)",
+        headers=["Precision", "Method", "Perplexity"],
+        notes=(f"scale={setup.scale}, model={setup.spec.model_name}, "
+               f"group size g={g}; FP16 row is the shared reference."),
+    )
+
+    fp16 = setup.perplexity(model)
+    report.add_row("FP16", "-", fp16)
+
+    mm, fwd = quantize_smoothquant(model, calib)
+    report.add_row("W8A8", "SmoothQuant", setup.perplexity(mm, fwd))
+
+    mm, fwd = quantize_gptq(model, calib, group_size=g)
+    report.add_row(f"W4A16 g{g}", "GPTQ-R", setup.perplexity(mm, fwd))
+    mm, fwd = quantize_awq(model, calib, group_size=g)
+    report.add_row(f"W4A16 g{g}", "AWQ", setup.perplexity(mm, fwd))
+
+    mm, fwd = quantize_quarot(model, calib, group_size=None)
+    report.add_row("W4A4", "QuaRot", setup.perplexity(mm, fwd))
+    mm, fwd = quantize_quarot(model, calib, group_size=g)
+    report.add_row(f"W4A4 g{g}", "QuaRot", setup.perplexity(mm, fwd))
+    mm, fwd = quantize_atom(model, calib, group_size=g)
+    report.add_row(f"W4A4 g{g}", "Atom", setup.perplexity(mm, fwd))
+
+    # W4A8KV4 family (per-channel weights).
+    mm, fwd = quantize_rtn(model, weight_bits=4, act_bits=8, kv_bits=4)
+    report.add_row("W4A8KV4", "RTN", setup.perplexity(mm, fwd))
+    mm, fwd = quantize_awq(model, calib, act_bits=8, kv_bits=4, group_size=None)
+    report.add_row("W4A8KV4", "AWQ", setup.perplexity(mm, fwd))
+    res = quantize_model_qoq(model, calib, QoQConfig(group_size=None))
+    report.add_row("W4A8KV4", "QoQ", setup.perplexity(res.model, res.forward_config))
+
+    # W4A8KV4 g128-equivalent (per-group weights).
+    mm, fwd = quantize_rtn(model, weight_bits=4, act_bits=8, kv_bits=4, group_size=g)
+    report.add_row(f"W4A8KV4 g{g}", "RTN", setup.perplexity(mm, fwd))
+    mm, fwd = quantize_awq(model, calib, act_bits=8, kv_bits=4, group_size=g)
+    report.add_row(f"W4A8KV4 g{g}", "AWQ", setup.perplexity(mm, fwd))
+    res = quantize_model_qoq(model, calib, QoQConfig(group_size=g))
+    report.add_row(f"W4A8KV4 g{g}", "QoQ", setup.perplexity(res.model, res.forward_config))
+
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    print(run(scale=sys.argv[1] if len(sys.argv) > 1 else "tiny").to_text("{:.3f}"))

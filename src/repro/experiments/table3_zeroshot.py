@@ -1,0 +1,55 @@
+"""Table 3 — zero-shot accuracy on five common-sense tasks.
+
+The synthetic five-task suite of :mod:`repro.data.tasks` is scored by model
+likelihood exactly like lm-eval scores PIQA/ARC/HellaSwag/WinoGrande.  The
+reproduced quantity is the accuracy *gap* each quantization method opens
+against the FP16 reference (QoQ small, QuaRot/Atom larger).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines import quantize_atom, quantize_quarot
+from repro.data import build_zero_shot_suite, evaluate_task_accuracy
+from repro.data.tasks import ZERO_SHOT_TASK_NAMES
+from repro.experiments.accuracy_common import AccuracySetup, build_setup
+from repro.experiments.runner import ExperimentReport
+from repro.qoq import QoQConfig, quantize_model_qoq
+
+__all__ = ["run"]
+
+
+def run(scale: str = "tiny", seed: int = 0, num_examples: int = 12,
+        setup: Optional[AccuracySetup] = None) -> ExperimentReport:
+    setup = setup or build_setup(scale, seed=seed)
+    g = setup.group_size
+    suite = build_zero_shot_suite(setup.corpus, num_examples_per_task=num_examples,
+                                  seed=seed)
+    headers = ["Precision", "Method", *ZERO_SHOT_TASK_NAMES, "Avg."]
+    report = ExperimentReport(
+        experiment_id="table3",
+        title="Zero-shot accuracy on five synthetic common-sense tasks",
+        headers=headers,
+        notes=f"scale={setup.scale}; {num_examples} examples per task.",
+    )
+
+    def add(precision: str, method: str, model, fwd=None) -> None:
+        acc = evaluate_task_accuracy(model, suite, fwd)
+        report.add_row(precision, method, *[acc[t] for t in ZERO_SHOT_TASK_NAMES],
+                       acc["Avg."])
+
+    add("FP16", "-", setup.model)
+    mm, fwd = quantize_quarot(setup.model, setup.calibration, group_size=None)
+    add("W4A4", "QuaRot", mm, fwd)
+    mm, fwd = quantize_atom(setup.model, setup.calibration, group_size=g)
+    add(f"W4A4 g{g}", "Atom", mm, fwd)
+    res = quantize_model_qoq(setup.model, setup.calibration, QoQConfig(group_size=None))
+    add("W4A8KV4", "QoQ", res.model, res.forward_config)
+    res = quantize_model_qoq(setup.model, setup.calibration, QoQConfig(group_size=g))
+    add(f"W4A8KV4 g{g}", "QoQ", res.model, res.forward_config)
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text("{:.3f}"))

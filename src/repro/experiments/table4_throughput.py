@@ -1,0 +1,115 @@
+"""Table 4 / Figure 15 — maximum achievable serving throughput.
+
+For every model of the paper's benchmark suite and both GPUs, the maximum
+achievable generation throughput (1024-token prompts, 512-token outputs, same
+device memory budget) is measured for TensorRT-LLM FP16 / W4A16 / W8A8, Atom,
+QuaRot and QServe (per-channel on A100, per-group on L40S, following the
+paper's choice).  The speedup column normalises QServe against the best
+TensorRT-LLM configuration, which is how Table 4 reports it.
+
+The artifact-appendix Table 6 (QServe vs TRT-W8A8 for three models on A100) is
+a sub-selection of the same data and is exposed through ``run_table6``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.runner import ExperimentReport
+from repro.gpu import A100, GPUSpec, L40S
+from repro.model import get_config
+from repro.serving import SYSTEM_PRESETS, max_achievable_throughput
+
+__all__ = ["PAPER_MODELS", "run", "run_table6", "run_fig15_speedups"]
+
+#: The eight models of Table 4, in the paper's column order.
+PAPER_MODELS = (
+    "llama-3-8b", "llama-2-7b", "mistral-7b", "llama-2-13b",
+    "llama-30b", "yi-34b", "llama-2-70b", "qwen1.5-72b",
+)
+
+_TRT_SYSTEMS = ("trt-fp16", "trt-w4a16", "trt-w8a8")
+
+
+def _qserve_system(gpu: GPUSpec) -> str:
+    """Per-channel QServe on A100, per-group on L40S (Section 6.3)."""
+    return "qserve-w4a8kv4-chn" if gpu.name == "A100" else "qserve-w4a8kv4-grp"
+
+
+def run(gpu: GPUSpec = A100, models: Sequence[str] = PAPER_MODELS,
+        include_w4a4: bool = True) -> ExperimentReport:
+    systems = list(_TRT_SYSTEMS) + (["atom-w4a4", "quarot-w4a4"] if include_w4a4 else [])
+    qserve = _qserve_system(gpu)
+    headers = ["Model", *systems, "QServe", "Speedup vs best TRT"]
+    report = ExperimentReport(
+        experiment_id="table4",
+        title=f"Max achievable throughput on {gpu.name} (tokens/s); 0 = OOM",
+        headers=headers,
+        notes="Speedup is QServe over the best TensorRT-LLM precision, as in Table 4.",
+    )
+    for model_name in models:
+        cfg = get_config(model_name)
+        row: Dict[str, float] = {}
+        for system in systems:
+            row[system] = max_achievable_throughput(
+                cfg, gpu, SYSTEM_PRESETS[system]).tokens_per_second
+        qserve_tput = max_achievable_throughput(
+            cfg, gpu, SYSTEM_PRESETS[qserve]).tokens_per_second
+        best_trt = max(row[s] for s in _TRT_SYSTEMS)
+        speedup = qserve_tput / best_trt if best_trt > 0 else float("inf")
+        report.add_row(model_name, *[row[s] for s in systems], qserve_tput, speedup)
+    return report
+
+
+def run_fig15_speedups(models: Sequence[str] = PAPER_MODELS) -> ExperimentReport:
+    """Figure 15: QServe speedup over the best TRT-LLM config on both GPUs."""
+    report = ExperimentReport(
+        experiment_id="fig15",
+        title="QServe speedup over best TensorRT-LLM configuration",
+        headers=["Model", "A100 speedup", "L40S speedup"],
+    )
+    per_gpu = {gpu.name: run(gpu, models=models, include_w4a4=False)
+               for gpu in (A100, L40S)}
+    for model_name in models:
+        speedups = []
+        for gpu_name in ("A100", "L40S"):
+            row = per_gpu[gpu_name].row_by("Model", model_name)
+            speedups.append(row[-1])
+        report.add_row(model_name, *speedups)
+    geo_a = _geomean([r[1] for r in report.rows if r[1] != float("inf")])
+    geo_l = _geomean([r[2] for r in report.rows if r[2] != float("inf")])
+    report.notes = f"Geometric-mean speedup: A100 {geo_a:.2f}x, L40S {geo_l:.2f}x."
+    report.extra["geomean"] = {"A100": geo_a, "L40S": geo_l}
+    return report
+
+
+def run_table6(models: Sequence[str] = ("llama-3-8b", "llama-2-7b", "mistral-7b"),
+               gpu: GPUSpec = A100) -> ExperimentReport:
+    """Artifact-appendix Table 6: QServe vs TRT-LLM W8A8 on A100."""
+    report = ExperimentReport(
+        experiment_id="table6",
+        title="Artifact Table 6: generation throughput (tokens/s) on A100",
+        headers=["Model", "TensorRT-LLM (W8A8KV8)", "QServe", "Speedup"],
+    )
+    for model_name in models:
+        cfg = get_config(model_name)
+        trt = max_achievable_throughput(cfg, gpu, SYSTEM_PRESETS["trt-w8a8"])
+        qserve = max_achievable_throughput(cfg, gpu, SYSTEM_PRESETS[_qserve_system(gpu)])
+        speedup = (qserve.tokens_per_second / trt.tokens_per_second
+                   if trt.tokens_per_second else float("inf"))
+        report.add_row(model_name, trt.tokens_per_second, qserve.tokens_per_second,
+                       speedup)
+    return report
+
+
+def _geomean(values) -> float:
+    import numpy as np
+    values = [v for v in values if v > 0]
+    return float(np.exp(np.mean(np.log(values)))) if values else 0.0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(A100).to_text("{:.0f}"))
+    print(run(L40S).to_text("{:.0f}"))
+    print(run_fig15_speedups().to_text("{:.2f}"))
+    print(run_table6().to_text("{:.0f}"))

@@ -1,0 +1,64 @@
+"""Analytical GPU cost model.
+
+The QServe speedups come from keeping the GEMM main loop on INT8 tensor cores
+and keeping decode attention memory-bound.  Reproducing that on a CPU requires
+modelling the GPU, not running it; this package implements the roofline and
+instruction-count arguments of Sections 3 and 5 as executable code:
+
+* :mod:`repro.gpu.specs` — A100 / L40S device models;
+* :mod:`repro.gpu.roofline` — roofline curves (Figure 3);
+* :mod:`repro.gpu.gemm` — GEMM latency with main-loop dequantization charged
+  to CUDA cores (Figure 5, Figure 18);
+* :mod:`repro.gpu.attention_kernel` — decode attention latency for KV8 /
+  naive KV4 / QServe KV4 (Table 1, Section 5.3);
+* :mod:`repro.gpu.layout` — `ldmatrix` and compute-aware weight reordering
+  simulation (Figure 12);
+* :mod:`repro.gpu.rlp` — register-level-parallelism dequantization with
+  overflow checking (Figures 13/14).
+"""
+
+from repro.gpu.specs import GPUSpec, A100, L40S, get_gpu
+from repro.gpu.roofline import (
+    gemm_roofline_tops,
+    attention_roofline_tops,
+    roofline_crossover_batch,
+)
+from repro.gpu.gemm import (
+    GEMMPrecision,
+    GEMM_PRECISIONS,
+    GemmLatency,
+    gemm_latency,
+    dequant_overhead_fraction,
+)
+from repro.gpu.attention_kernel import (
+    AttentionKernelConfig,
+    AttentionLatency,
+    attention_decode_latency,
+    KV_KERNELS,
+)
+from repro.gpu.layout import (
+    ldmatrix_thread_map,
+    compute_thread_map,
+    pointer_arithmetic_ops,
+    compute_aware_reorder,
+    inverse_reorder,
+)
+from repro.gpu.rlp import (
+    simulate_vadd4,
+    simulate_rlp_dequant,
+    dequantize_subtract_before_multiply,
+    dequantize_subtract_after_multiply,
+)
+
+__all__ = [
+    "GPUSpec", "A100", "L40S", "get_gpu",
+    "gemm_roofline_tops", "attention_roofline_tops", "roofline_crossover_batch",
+    "GEMMPrecision", "GEMM_PRECISIONS", "GemmLatency", "gemm_latency",
+    "dequant_overhead_fraction",
+    "AttentionKernelConfig", "AttentionLatency", "attention_decode_latency",
+    "KV_KERNELS",
+    "ldmatrix_thread_map", "compute_thread_map", "pointer_arithmetic_ops",
+    "compute_aware_reorder", "inverse_reorder",
+    "simulate_vadd4", "simulate_rlp_dequant",
+    "dequantize_subtract_before_multiply", "dequantize_subtract_after_multiply",
+]

@@ -1,0 +1,170 @@
+"""GEMM latency model with main-loop dequantization on CUDA cores.
+
+Section 3.2 / Figure 5: state-of-the-art GEMM kernels use an output-stationary
+dataflow whose sequential *main loop* iterates over the reduction dimension.
+Anything that has to run inside that loop on CUDA cores — INT4→FP16 weight
+conversion for W4A16, INT32→FP32 partial-sum dequantization for per-group
+W4A4, INT4→INT8 weight dequantization for W4A8 — competes with tensor-core
+work whose peak throughput is 30-50x higher.
+
+``gemm_latency`` charges:
+
+* tensor-core time: ``2*m*n*k / TC_peak``;
+* main-loop CUDA-core time: (dequant ops per element) x (elements touched per
+  GEMM) / (CUDA-core peak), with a register-pressure penalty for dataflows
+  that keep two sets of accumulators (Atom);
+* memory time: weights + activations + outputs over effective bandwidth;
+
+and reports ``max(memory, tensor + cuda)`` — memory transfers overlap with
+compute (multi-stage software pipelining, Section 5.2.4) but the main loop's
+CUDA-core work does not overlap with its tensor-core work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.gpu.specs import GPUSpec
+
+__all__ = [
+    "GEMMPrecision",
+    "GEMM_PRECISIONS",
+    "GemmLatency",
+    "gemm_latency",
+    "dequant_overhead_fraction",
+]
+
+
+@dataclass(frozen=True)
+class GEMMPrecision:
+    """Description of a quantized GEMM dataflow (one column of Figure 5).
+
+    Attributes
+    ----------
+    weight_bits / act_bits:
+        Storage precision of weights and activations.
+    compute_dtype:
+        Tensor-core dtype the multiply-accumulate runs in.
+    weight_dequant_ops:
+        CUDA-core ops per *weight element* spent in the main loop
+        (weight unpacking / conversion / zero-point handling).
+    psum_dequant_ops:
+        CUDA-core ops per *partial-sum element per group* spent in the main
+        loop (Atom-style INT32→FP32 conversion + FMA).
+    cuda_dtype:
+        CUDA-core dtype those ops execute in.
+    register_pressure_penalty:
+        Multiplier (>1) modelling reduced latency hiding when the dataflow
+        doubles its accumulator registers (Section 3.2).
+    group_size:
+        Group size for per-group dataflows (drives the partial-sum term).
+    """
+
+    name: str
+    weight_bits: int
+    act_bits: int
+    compute_dtype: str
+    weight_dequant_ops: float = 0.0
+    psum_dequant_ops: float = 0.0
+    cuda_dtype: str = "fp32"
+    register_pressure_penalty: float = 1.0
+    group_size: int = 128
+
+    @property
+    def weight_bytes(self) -> float:
+        return self.weight_bits / 8.0
+
+    @property
+    def act_bytes(self) -> float:
+        return self.act_bits / 8.0
+
+
+#: The dataflows compared throughout the paper.  Dequantization op counts
+#: follow Section 5.2/5.3: naive INT4→FP16 conversion costs ~2 ops/element,
+#: QServe's RLP unpacking costs 3 logical ops per 8 weights plus one vadd4 /
+#: one multiply per 4 weights (≈0.75 ops/element for per-group, ≈0.5 for
+#: per-channel where zero-point subtraction moves to the epilogue), and Atom
+#: pays ~5 ops per partial sum per group plus a register-pressure penalty.
+GEMM_PRECISIONS: Dict[str, GEMMPrecision] = {
+    "fp16": GEMMPrecision(
+        name="fp16", weight_bits=16, act_bits=16, compute_dtype="fp16"),
+    "w8a8": GEMMPrecision(
+        name="w8a8", weight_bits=8, act_bits=8, compute_dtype="int8"),
+    "w4a16": GEMMPrecision(
+        name="w4a16", weight_bits=4, act_bits=16, compute_dtype="fp16",
+        weight_dequant_ops=2.0, cuda_dtype="fp32"),
+    "w4a4-atom": GEMMPrecision(
+        name="w4a4-atom", weight_bits=4, act_bits=4, compute_dtype="int4",
+        psum_dequant_ops=10.0, cuda_dtype="fp32",
+        register_pressure_penalty=1.5, group_size=128),
+    "w4a4-quarot": GEMMPrecision(
+        name="w4a4-quarot", weight_bits=4, act_bits=4, compute_dtype="int4",
+        psum_dequant_ops=9.0, cuda_dtype="fp32",
+        register_pressure_penalty=1.4, group_size=128),
+    "w4a8-qserve-chn": GEMMPrecision(
+        name="w4a8-qserve-chn", weight_bits=4, act_bits=8, compute_dtype="int8",
+        weight_dequant_ops=0.5, cuda_dtype="int32"),
+    "w4a8-qserve-grp": GEMMPrecision(
+        name="w4a8-qserve-grp", weight_bits=4, act_bits=8, compute_dtype="int8",
+        weight_dequant_ops=0.75, cuda_dtype="int32", group_size=128),
+}
+
+
+@dataclass
+class GemmLatency:
+    """Latency breakdown of one GEMM call (seconds)."""
+
+    total: float
+    tensor_core: float
+    cuda_core: float
+    memory: float
+
+    @property
+    def compute(self) -> float:
+        return self.tensor_core + self.cuda_core
+
+    @property
+    def dequant_overhead(self) -> float:
+        """Fraction of main-loop compute time spent on dequantization."""
+        if self.compute == 0:
+            return 0.0
+        return self.cuda_core / self.compute
+
+
+def gemm_latency(spec: GPUSpec, m: int, n: int, k: int,
+                 precision: GEMMPrecision) -> GemmLatency:
+    """Latency of an ``m x n x k`` GEMM under ``precision`` on ``spec``."""
+    if m <= 0 or n <= 0 or k <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    macs = float(m) * n * k
+    ops = 2.0 * macs
+
+    tc_peak = spec.tensor_core_tops(precision.compute_dtype) * 1e12
+    tc_time = ops / (tc_peak * spec.compute_efficiency)
+
+    cuda_ops = 0.0
+    if precision.weight_dequant_ops:
+        cuda_ops += precision.weight_dequant_ops * n * k
+    if precision.psum_dequant_ops:
+        n_groups = max(1, k // precision.group_size)
+        cuda_ops += precision.psum_dequant_ops * m * n * n_groups
+    cuda_peak = spec.cuda_core_tops(precision.cuda_dtype) * 1e12
+    cuda_time = (cuda_ops * precision.register_pressure_penalty
+                 / (cuda_peak * spec.compute_efficiency))
+
+    weight_bytes = n * k * precision.weight_bytes
+    act_bytes = m * k * precision.act_bytes
+    out_bytes = m * n * 2.0  # FP16 outputs for every dataflow (Figure 11)
+    mem_time = (weight_bytes + act_bytes + out_bytes) / (
+        spec.effective_bandwidth_gbps * 1e9)
+
+    total = max(mem_time, tc_time + cuda_time)
+    return GemmLatency(total=total, tensor_core=tc_time, cuda_core=cuda_time,
+                       memory=mem_time)
+
+
+def dequant_overhead_fraction(spec: GPUSpec, m: int, n: int, k: int,
+                              precision: GEMMPrecision) -> float:
+    """Main-loop dequantization overhead as a fraction of compute time (Fig. 18)."""
+    return gemm_latency(spec, m, n, k, precision).dequant_overhead

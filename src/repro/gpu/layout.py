@@ -1,0 +1,140 @@
+"""Tensor-core operand layout simulation (Figure 12).
+
+INT8 tensor-core GEMM intrinsics require each thread to hold a strided slice
+of the operand tile.  For same-width storage (W8A8) the ``ldmatrix``
+instruction performs that permutation for free; when storage (INT4) and
+compute (INT8) widths differ, ``ldmatrix`` distributes *bytes*, not elements,
+so threads end up with the wrong data and the kernel falls back to per-segment
+pointer arithmetic on CUDA cores.  QServe's *compute-aware weight reordering*
+stores weights in exactly the order threads consume them, restoring one
+128-bit load per thread per tile.
+
+This module simulates the three layouts at element granularity so tests can
+verify (a) the mismatch really occurs for W4A8 + ``ldmatrix``, (b) the
+reordered layout gives every thread precisely the elements it needs, and
+(c) the pointer-arithmetic counts behind the cost model's constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TILE_ROWS",
+    "TILE_COLS",
+    "NUM_THREADS",
+    "compute_thread_map",
+    "ldmatrix_thread_map",
+    "compute_aware_reorder",
+    "inverse_reorder",
+    "pointer_arithmetic_ops",
+]
+
+#: Tensor-core tile geometry used in the discussion (Figure 12): a 32x32
+#: INT8 tile distributed over one warp of 32 threads.
+TILE_ROWS = 32     # output channels
+TILE_COLS = 32     # input channels
+NUM_THREADS = 32
+_SEGMENT = 4       # elements each thread consumes per fragment segment
+
+
+def compute_thread_map(num_threads: int = NUM_THREADS,
+                       rows: int = TILE_ROWS,
+                       cols: int = TILE_COLS) -> Dict[int, List[Tuple[int, int]]]:
+    """Elements (row, col) each thread needs for tensor-core *computation*.
+
+    Mirrors the m16n8k32-style fragment layout sketched in Figure 12a: thread
+    ``t`` works on output channel ``t // 4 (+ strides of 8)`` and on input
+    channels ``(t % 4) * 4 .. +4`` plus the same channels shifted by 16.
+    """
+    mapping: Dict[int, List[Tuple[int, int]]] = {t: [] for t in range(num_threads)}
+    for t in range(num_threads):
+        base_row = t // 4
+        base_col = (t % 4) * _SEGMENT
+        for row in range(base_row, rows, 8):
+            for col_block in (0, cols // 2):
+                for c in range(_SEGMENT):
+                    mapping[t].append((row, base_col + col_block + c))
+    return mapping
+
+
+def ldmatrix_thread_map(element_bits: int, num_threads: int = NUM_THREADS,
+                        rows: int = TILE_ROWS,
+                        cols: int = TILE_COLS) -> Dict[int, List[Tuple[int, int]]]:
+    """Elements each thread *receives* from ``ldmatrix`` for a given storage width.
+
+    ``ldmatrix`` permutes byte-granular fragments between threads so that,
+    when the storage width equals the compute width (8-bit storage feeding
+    INT8 tensor cores), every thread ends up holding exactly the elements the
+    tensor-core fragment layout requires — i.e. the compute map of
+    :func:`compute_thread_map` (Figure 12a).
+
+    With 4-bit storage the instruction still moves the same *bytes*, but each
+    byte now packs two elements: thread ``t`` receives the data that threads
+    ``2t`` and ``2t+1`` need (half of each, since its registers hold the same
+    number of bytes), which is the storage/compute mismatch of Figure 12b.
+    """
+    if element_bits not in (4, 8):
+        raise ValueError("element_bits must be 4 or 8")
+    compute = compute_thread_map(num_threads, rows, cols)
+    if element_bits == 8:
+        return {t: list(elems) for t, elems in compute.items()}
+    mapping: Dict[int, List[Tuple[int, int]]] = {}
+    for t in range(num_threads):
+        first = compute[(2 * t) % num_threads]
+        second = compute[(2 * t + 1) % num_threads]
+        half = len(first) // 2
+        mapping[t] = list(first[:half]) + list(second[:half])
+    return mapping
+
+
+def compute_aware_reorder(weight_tile: np.ndarray,
+                          num_threads: int = NUM_THREADS) -> np.ndarray:
+    """Reorder a ``[TILE_ROWS, TILE_COLS]`` tile into per-thread contiguous storage.
+
+    The output is a ``[num_threads, elements_per_thread]`` array: row ``t``
+    holds, contiguously and in consumption order, every element thread ``t``
+    needs for computation (Figure 12c).  Because the storage order now *is*
+    the compute order, a single 128-bit load per thread per fragment suffices
+    and no per-segment pointer arithmetic is required.
+    """
+    weight_tile = np.asarray(weight_tile)
+    if weight_tile.shape != (TILE_ROWS, TILE_COLS):
+        raise ValueError(f"expected a {TILE_ROWS}x{TILE_COLS} tile")
+    mapping = compute_thread_map(num_threads)
+    per_thread = [np.array([weight_tile[r, c] for (r, c) in mapping[t]])
+                  for t in range(num_threads)]
+    return np.stack(per_thread, axis=0)
+
+
+def inverse_reorder(reordered: np.ndarray,
+                    num_threads: int = NUM_THREADS) -> np.ndarray:
+    """Invert :func:`compute_aware_reorder`, recovering the original tile."""
+    mapping = compute_thread_map(num_threads)
+    tile = np.empty((TILE_ROWS, TILE_COLS), dtype=reordered.dtype)
+    for t in range(num_threads):
+        for idx, (r, c) in enumerate(mapping[t]):
+            tile[r, c] = reordered[t, idx]
+    return tile
+
+
+def pointer_arithmetic_ops(layout: str, rows: int = TILE_ROWS,
+                           cols: int = TILE_COLS) -> int:
+    """Address computations a warp performs per tile under each layout.
+
+    * ``"naive"`` — one address calculation per 4-element segment per thread
+      (the strided access of Figure 12a done manually);
+    * ``"ldmatrix"`` — one per 128-bit fragment load (only valid when storage
+      and compute widths match);
+    * ``"reordered"`` — one per 128-bit load, same as ``ldmatrix``, but valid
+      for W4A8 as well.
+    """
+    segments = (rows * cols) // _SEGMENT
+    fragments = (rows * cols) // 16  # 16 INT8 elements per 128-bit load
+    table = {"naive": segments, "ldmatrix": fragments, "reordered": fragments}
+    try:
+        return table[layout]
+    except KeyError:
+        raise ValueError(f"unknown layout {layout!r}") from None

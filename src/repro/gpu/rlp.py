@@ -1,0 +1,139 @@
+"""Register-level-parallelism dequantization simulation (Figures 13/14).
+
+The level-2 dequantization of progressive group quantization computes
+``(q_u4 - zero) * scale`` for every weight.  NVIDIA GPUs expose ``vadd4`` —
+four packed INT8 additions in one INT32 ALU instruction — but no packed INT8
+multiply, so the multiply must be *simulated* by multiplying the whole 32-bit
+register by a scale padded into the low byte.  That trick only produces the
+right answer if every intermediate byte stays inside the signed 8-bit range:
+
+* **subtraction before multiplication** (Figure 14a) computes
+  ``(q - zero) * scale`` whose product can reach ±240 and overflow the byte,
+  corrupting the packed result;
+* **subtraction after multiplication** (Figure 14b) computes
+  ``q * scale - zero * scale``; the protective range of progressive
+  quantization guarantees ``q * scale`` never leaves INT8, so register-level
+  parallelism applies to both the multiply and the ``vadd4`` subtraction.
+
+The functions below emulate the packed arithmetic byte-by-byte so tests can
+demonstrate the overflow and the fix, and count the ALU instructions each
+order needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "simulate_vadd4",
+    "simulate_rlp_dequant",
+    "dequantize_subtract_before_multiply",
+    "dequantize_subtract_after_multiply",
+]
+
+
+def _wrap_int8(values: np.ndarray) -> np.ndarray:
+    """Wrap arbitrary integers into signed 8-bit two's-complement bytes."""
+    return ((np.asarray(values, dtype=np.int64) + 128) % 256 - 128).astype(np.int64)
+
+
+def simulate_vadd4(packed_a: np.ndarray, packed_b: np.ndarray) -> np.ndarray:
+    """Packed 4-way INT8 addition (one ``vadd4`` instruction).
+
+    ``packed_a`` / ``packed_b`` are arrays whose last dimension is 4 (the four
+    bytes of an INT32 register).  Each byte lane is added independently with
+    8-bit wrap-around — exactly what the hardware instruction does.
+    """
+    a = np.asarray(packed_a, dtype=np.int64)
+    b = np.asarray(packed_b, dtype=np.int64)
+    if a.shape[-1] != 4 or b.shape[-1] != 4:
+        raise ValueError("packed operands must have 4 byte lanes")
+    return _wrap_int8(a + b)
+
+
+@dataclass
+class RLPDequantResult:
+    """Outcome of a packed dequantization simulation."""
+
+    values: np.ndarray
+    overflowed: bool
+    alu_instructions: int
+
+
+def dequantize_subtract_before_multiply(q_u4: np.ndarray, zero: int,
+                                        scale: int) -> RLPDequantResult:
+    """Packed ``(q - zero) * scale`` (Figure 14a).
+
+    The subtraction uses one ``vadd4`` and leaves *signed* byte lanes.  The
+    packed multiplication is simulated by multiplying the whole 32-bit
+    register by the scale, which is only valid when every lane, viewed as an
+    unsigned byte, times the scale stays below 256 — otherwise the carry
+    bleeds into the neighbouring lane and corrupts it.  Negative lanes are
+    stored as 0x80..0xFF, so they overflow for any scale ≥ 2; that is exactly
+    why the subtraction-before-multiplication order cannot use register-level
+    parallelism and would need four scalar multiplies instead.  ``overflowed``
+    is also set when the mathematically correct result leaves the INT8 range.
+    """
+    q = np.asarray(q_u4, dtype=np.int64)
+    if q.shape[-1] != 4:
+        raise ValueError("expected packed groups of 4 UINT4 values")
+    diff = simulate_vadd4(q, np.full_like(q, -zero))
+    diff_unsigned = diff % 256
+    product = diff * scale
+    lane_carry = np.any(diff_unsigned * scale > 255)
+    out_of_range = np.any(product > 127) or np.any(product < -128)
+    overflow = bool(lane_carry or out_of_range)
+    return RLPDequantResult(values=_wrap_int8(product), overflowed=overflow,
+                            alu_instructions=2)
+
+
+def dequantize_subtract_after_multiply(q_u4: np.ndarray, zero: int,
+                                       scale: int) -> RLPDequantResult:
+    """Packed ``q * scale - (zero * scale)`` (Figure 14b).
+
+    The multiply operates on *unsigned* byte lanes, so it is exact as long as
+    ``q * scale`` stays within ``[0, 255]`` — which progressive quantization's
+    protective range guarantees (``q ≤ 15``, ``scale ≤ 16``).  The following
+    ``vadd4`` subtraction wraps modulo 256, and because the true result
+    ``(q - zero) * scale`` is guaranteed to lie in ``[-128, 127]``, the wrap
+    recovers it exactly: two ALU instructions for four weights.
+    ``overflowed`` reports whether the byte-range guarantee held.
+    """
+    q = np.asarray(q_u4, dtype=np.int64)
+    if q.shape[-1] != 4:
+        raise ValueError("expected packed groups of 4 UINT4 values")
+    product = q * scale
+    overflow = bool(np.any(product > 255) or np.any(product < 0))
+    zero_scaled = zero * scale
+    result = simulate_vadd4(_wrap_int8(product), np.full_like(q, -zero_scaled))
+    return RLPDequantResult(values=result, overflowed=overflow, alu_instructions=2)
+
+
+def simulate_rlp_dequant(q_u4: np.ndarray, zeros: np.ndarray, scales: np.ndarray,
+                         order: str = "after") -> tuple[np.ndarray, bool, int]:
+    """Dequantize a ``[groups, 4]`` array of UINT4 codes with packed arithmetic.
+
+    Returns ``(int8 values, any_overflow, total ALU instructions)``.  The
+    reference (correct) dequantization is ``(q - zero) * scale``; the
+    "after" order reproduces it exactly whenever no overflow occurs.
+    """
+    q = np.asarray(q_u4, dtype=np.int64)
+    zeros = np.asarray(zeros, dtype=np.int64).reshape(-1)
+    scales = np.asarray(scales, dtype=np.int64).reshape(-1)
+    if q.ndim != 2 or q.shape[1] != 4:
+        raise ValueError("q_u4 must be [groups, 4]")
+    if zeros.size != q.shape[0] or scales.size != q.shape[0]:
+        raise ValueError("zeros/scales must have one entry per group")
+    fn = (dequantize_subtract_after_multiply if order == "after"
+          else dequantize_subtract_before_multiply)
+    outputs = np.empty_like(q)
+    overflow = False
+    instructions = 0
+    for i in range(q.shape[0]):
+        res = fn(q[i:i + 1], int(zeros[i]), int(scales[i]))
+        outputs[i] = res.values
+        overflow |= res.overflowed
+        instructions += res.alu_instructions
+    return outputs.astype(np.int64), overflow, instructions

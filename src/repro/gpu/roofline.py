@@ -1,0 +1,95 @@
+"""Roofline analysis (Figure 3).
+
+For an ``m x n x k`` GEMM in LLM decoding, ``m`` is the number of sequences
+and ``n, k`` are channel dimensions, so the computation intensity in
+MACs/element is approximately ``m`` and the memory traffic is dominated by the
+weights.  The attainable throughput of a precision configuration is
+
+``min(peak tensor-core TOPS, intensity_ops_per_byte * DRAM bandwidth)``.
+
+The paper's Figure 3 draws these curves for W4A16 (FP16 tensor cores, 4-bit
+weights), W8A8 and W4A8 (INT8 tensor cores, 8- / 4-bit weights) and for
+attention with FP16/INT8/INT4 KV caches, and reads off the W4A16/W8A8
+crossover at ``m ≈ 78``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.specs import GPUSpec
+
+__all__ = [
+    "gemm_roofline_tops",
+    "attention_roofline_tops",
+    "roofline_crossover_batch",
+]
+
+
+def _weight_bytes_per_element(weight_bits: float) -> float:
+    return weight_bits / 8.0
+
+
+def gemm_roofline_tops(
+    spec: GPUSpec,
+    batch: float,
+    weight_bits: int,
+    act_bits: int,
+    use_peak_bandwidth: bool = True,
+) -> float:
+    """Attainable GEMM throughput (TOPS) at decode batch size ``batch``.
+
+    The compute dtype is FP16 tensor cores when ``act_bits == 16`` and INT8
+    tensor cores otherwise (INT4 tensor cores would require W4A4).  Memory
+    traffic per MAC is dominated by weight bytes / ``batch`` — each weight
+    element is reused ``batch`` times.
+    """
+    if act_bits == 16:
+        peak = spec.tensor_core_tops("fp16")
+    elif act_bits == 8:
+        peak = spec.tensor_core_tops("int8")
+    elif act_bits == 4:
+        peak = spec.tensor_core_tops("int4")
+    else:
+        raise ValueError(f"unsupported activation precision: {act_bits}")
+    bandwidth = spec.memory_bandwidth_gbps if use_peak_bandwidth \
+        else spec.effective_bandwidth_gbps
+    # ops/byte: 2 ops (1 MAC) per weight element amortised over `batch` rows.
+    ops_per_byte = 2.0 * batch / _weight_bytes_per_element(weight_bits)
+    memory_bound_tops = ops_per_byte * bandwidth / 1e3  # GB/s * ops/B = GOPS
+    return float(min(peak, memory_bound_tops))
+
+
+def attention_roofline_tops(spec: GPUSpec, kv_bits: int,
+                            use_peak_bandwidth: bool = True) -> float:
+    """Attainable decode-attention throughput for a KV precision.
+
+    Decode attention is a batched GEMV with a computation intensity of
+    1 MAC/element regardless of batch size, so the attainable throughput is
+    purely memory bound and scales inversely with KV-cache bytes per element —
+    KV4 doubles it over KV8 (Section 3.1).
+    """
+    bandwidth = spec.memory_bandwidth_gbps if use_peak_bandwidth \
+        else spec.effective_bandwidth_gbps
+    ops_per_byte = 2.0 / (kv_bits / 8.0)
+    return float(ops_per_byte * bandwidth / 1e3)
+
+
+def roofline_crossover_batch(spec: GPUSpec, weight_bits_a: int, act_bits_a: int,
+                             weight_bits_b: int, act_bits_b: int,
+                             max_batch: int = 512) -> float:
+    """Batch size where configuration B overtakes configuration A.
+
+    For the paper's W4A16 vs W8A8 comparison on A100 this lands near 78
+    (W4A16 wins below, W8A8 above).  Returns ``inf`` if B never overtakes A in
+    ``[1, max_batch]``.
+    """
+    batches = np.arange(1, max_batch + 1, dtype=np.float64)
+    a = np.array([gemm_roofline_tops(spec, m, weight_bits_a, act_bits_a)
+                  for m in batches])
+    b = np.array([gemm_roofline_tops(spec, m, weight_bits_b, act_bits_b)
+                  for m in batches])
+    better = np.nonzero(b > a)[0]
+    if better.size == 0:
+        return float("inf")
+    return float(batches[better[0]])

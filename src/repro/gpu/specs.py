@@ -1,0 +1,115 @@
+"""Device models for the GPUs evaluated in the paper (A100-80G, L40S-48G).
+
+Peak numbers follow the vendor datasheets and the constants quoted in the
+paper (footnote 1: A100 has 312/624/1248 TOPS FP16/INT8/INT4 tensor-core
+throughput and 2 TB/s of DRAM bandwidth; Section 3.2: FP32 CUDA-core peak is
+~2% of INT4 tensor-core peak; Section 6.3: "L40S has stronger CUDA cores").
+``efficiency`` factors translate peak numbers into the sustained fractions a
+tuned kernel reaches, so absolute latencies land in a realistic range — the
+experiments only rely on ratios, which the efficiencies mostly cancel out of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "A100", "L40S", "get_gpu", "GPU_REGISTRY"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Throughput/bandwidth model of one GPU.
+
+    All compute rates are in tera-operations per second (1 MAC = 2 ops),
+    bandwidth in GB/s and memory in GiB.
+    """
+
+    name: str
+    fp16_tensor_tops: float
+    int8_tensor_tops: float
+    int4_tensor_tops: float
+    fp32_cuda_tflops: float
+    fp16_cuda_tflops: float
+    int32_alu_tops: float
+    memory_bandwidth_gbps: float
+    memory_gib: float
+    price_kusd: float
+    compute_efficiency: float = 0.85
+    bandwidth_efficiency: float = 0.65
+
+    def tensor_core_tops(self, dtype: str) -> float:
+        """Peak tensor-core throughput for a compute dtype."""
+        table = {
+            "fp16": self.fp16_tensor_tops,
+            "int8": self.int8_tensor_tops,
+            "int4": self.int4_tensor_tops,
+        }
+        try:
+            return table[dtype]
+        except KeyError:
+            raise ValueError(f"unknown tensor-core dtype {dtype!r}") from None
+
+    def cuda_core_tops(self, dtype: str) -> float:
+        """Peak CUDA-core throughput for a compute dtype."""
+        table = {
+            "fp32": self.fp32_cuda_tflops,
+            "fp16": self.fp16_cuda_tflops,
+            "int32": self.int32_alu_tops,
+        }
+        try:
+            return table[dtype]
+        except KeyError:
+            raise ValueError(f"unknown CUDA-core dtype {dtype!r}") from None
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        return self.memory_bandwidth_gbps * self.bandwidth_efficiency
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gib * (1 << 30)
+
+    def cuda_core_roofline_turning_point(self, dtype: str = "fp32") -> float:
+        """Ops/byte at which CUDA-core work becomes compute bound (Section 5.3)."""
+        return (self.cuda_core_tops(dtype) * 1e12) / (self.memory_bandwidth_gbps * 1e9)
+
+
+#: NVIDIA A100-SXM4-80GB.
+A100 = GPUSpec(
+    name="A100",
+    fp16_tensor_tops=312.0,
+    int8_tensor_tops=624.0,
+    int4_tensor_tops=1248.0,
+    fp32_cuda_tflops=19.5,
+    fp16_cuda_tflops=78.0,
+    int32_alu_tops=19.5,
+    memory_bandwidth_gbps=2039.0,
+    memory_gib=80.0,
+    price_kusd=25.0,
+)
+
+#: NVIDIA L40S-48GB (Ada).  Weaker tensor cores and HBM than A100 but
+#: comparatively strong CUDA cores, which is why per-group dequantization is
+#: affordable there (Section 6.3).
+L40S = GPUSpec(
+    name="L40S",
+    fp16_tensor_tops=362.0,
+    int8_tensor_tops=733.0,
+    int4_tensor_tops=1466.0,
+    fp32_cuda_tflops=91.6,
+    fp16_cuda_tflops=91.6,
+    int32_alu_tops=91.6,
+    memory_bandwidth_gbps=864.0,
+    memory_gib=48.0,
+    price_kusd=8.0,
+)
+
+GPU_REGISTRY = {"A100": A100, "L40S": L40S, "a100": A100, "l40s": L40S}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by name (case-insensitive)."""
+    try:
+        return GPU_REGISTRY[name] if name in GPU_REGISTRY else GPU_REGISTRY[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown GPU {name!r}; known: A100, L40S") from None

@@ -1,0 +1,65 @@
+"""From-scratch NumPy LLM substrate.
+
+A Llama-family causal transformer (RMSNorm, RoPE, MHA/GQA attention, SwiGLU
+FFN) implemented with vectorised NumPy.  It serves two purposes:
+
+* accuracy experiments — the QoQ algorithm and every baseline quantizer are
+  applied to these models and evaluated with the synthetic corpus/tasks in
+  :mod:`repro.data`;
+* architecture metadata — layer/head/hidden geometry feeds the GPU cost model
+  and the serving simulator (:mod:`repro.gpu`, :mod:`repro.serving`).
+
+Model weights are synthetic but reproduce the distributional structure the
+paper's techniques target (activation outlier channels, post-RoPE Key
+outliers); see :mod:`repro.model.weights`.
+"""
+
+from repro.model.config import (
+    ModelConfig,
+    MODEL_REGISTRY,
+    get_config,
+    register_config,
+)
+from repro.model.layers import (
+    Linear,
+    rms_norm,
+    silu,
+    softmax,
+    swiglu,
+)
+from repro.model.rope import RotaryEmbedding, apply_rope
+from repro.model.attention import AttentionConfig, KVCache, multi_head_attention
+from repro.model.transformer import (
+    BlockWeights,
+    CalibrationRecorder,
+    ForwardConfig,
+    TransformerModel,
+)
+from repro.model.weights import generate_block_weights, generate_model
+from repro.model.quantized import W4A8Linear, W8A8Linear, FakeQuantLinear
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_REGISTRY",
+    "get_config",
+    "register_config",
+    "Linear",
+    "rms_norm",
+    "silu",
+    "softmax",
+    "swiglu",
+    "RotaryEmbedding",
+    "apply_rope",
+    "AttentionConfig",
+    "KVCache",
+    "multi_head_attention",
+    "BlockWeights",
+    "CalibrationRecorder",
+    "ForwardConfig",
+    "TransformerModel",
+    "generate_block_weights",
+    "generate_model",
+    "W4A8Linear",
+    "W8A8Linear",
+    "FakeQuantLinear",
+]

@@ -1,0 +1,125 @@
+"""Multi-head / grouped-query attention with an optional quantized KV cache.
+
+Implements Equation (1) of the paper: queries attend over the concatenation of
+cached keys/values and the new tokens' keys/values, with ``h_kv = floor(h/r)``
+mapping query heads onto KV heads for GQA.  The KV cache can be fake-quantized
+on write (per-head dynamic INT4/INT8) to model QServe's KV4/KV8 storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.model.layers import softmax
+from repro.quant.kv_quant import KVQuantConfig, kv_fake_quantize
+
+__all__ = ["AttentionConfig", "KVCache", "multi_head_attention"]
+
+
+@dataclass(frozen=True)
+class AttentionConfig:
+    """Static attention geometry for one layer."""
+
+    num_heads: int
+    num_kv_heads: int
+    head_dim: int
+
+    @property
+    def gqa_ratio(self) -> int:
+        return self.num_heads // self.num_kv_heads
+
+
+@dataclass
+class KVCache:
+    """Per-layer KV cache holding ``[tokens, kv_heads, head_dim]`` tensors.
+
+    Values are stored *after* the (optional) fake quantization so that every
+    later read observes exactly what a 4-bit cache would have retained —
+    matching the dynamic, per-head quantization QServe performs when a token's
+    KV vectors are appended to a cache page.
+    """
+
+    config: AttentionConfig
+    quant: KVQuantConfig = field(default_factory=lambda: KVQuantConfig(bits=16))
+    keys: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[0]
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append new tokens' keys/values (quantizing them if configured)."""
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if self.quant.enabled:
+            k = kv_fake_quantize(k, self.quant)
+            v = kv_fake_quantize(v, self.quant)
+        if self.keys is None:
+            self.keys, self.values = k, v
+        else:
+            self.keys = np.concatenate([self.keys, k], axis=0)
+            self.values = np.concatenate([self.values, v], axis=0)
+
+    def contents(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.keys is None:
+            raise RuntimeError("KV cache is empty")
+        return self.keys, self.values
+
+
+def _expand_kv(kv: np.ndarray, ratio: int) -> np.ndarray:
+    """Repeat each KV head ``ratio`` times to align with query heads."""
+    if ratio == 1:
+        return kv
+    return np.repeat(kv, ratio, axis=1)
+
+
+def multi_head_attention(
+    q: np.ndarray,
+    k_new: np.ndarray,
+    v_new: np.ndarray,
+    config: AttentionConfig,
+    cache: Optional[KVCache] = None,
+    causal: bool = True,
+) -> np.ndarray:
+    """Compute attention output for ``q`` of shape ``[tokens, heads, head_dim]``.
+
+    ``k_new`` / ``v_new`` are the *current* tokens' keys/values with shape
+    ``[tokens, kv_heads, head_dim]``.  If ``cache`` is given, the new KV pairs
+    are appended (after optional quantization) and attention runs over the
+    full history; otherwise only the new tokens are attended (with a causal
+    mask when ``causal``).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    n_new = q.shape[0]
+
+    if cache is not None:
+        prior = len(cache)
+        cache.append(k_new, v_new)
+        keys, values = cache.contents()
+    else:
+        prior = 0
+        keys, values = np.asarray(k_new, np.float64), np.asarray(v_new, np.float64)
+
+    ratio = config.gqa_ratio
+    keys_full = _expand_kv(keys, ratio)        # [total, heads, head_dim]
+    values_full = _expand_kv(values, ratio)
+
+    # scores[h, i, j] = q[i, h] . k[j, h] / sqrt(D)
+    scale = 1.0 / np.sqrt(config.head_dim)
+    scores = np.einsum("ihd,jhd->hij", q, keys_full) * scale
+
+    if causal:
+        total = keys_full.shape[0]
+        # Query token i (absolute position prior + i) may attend to absolute
+        # positions <= prior + i.
+        q_pos = prior + np.arange(n_new)[:, None]
+        k_pos = np.arange(total)[None, :]
+        mask = k_pos > q_pos
+        scores = np.where(mask[None, :, :], -np.inf, scores)
+
+    probs = softmax(scores, axis=-1)
+    out = np.einsum("hij,jhd->ihd", probs, values_full)
+    return out

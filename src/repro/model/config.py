@@ -1,0 +1,214 @@
+"""Model architecture configurations.
+
+``ModelConfig`` carries the geometry of a Llama-family transformer.  The
+registry contains:
+
+* the eight models evaluated in the paper (Table 4 / Figure 15) with their
+  published architecture hyper-parameters — these are used by the GPU cost
+  model and the serving simulator, which only need geometry, never weights;
+* ``tiny`` / ``small`` presets that are small enough to run full forward
+  passes on CPU for the accuracy experiments (Table 2 / 3 / 5, Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["ModelConfig", "MODEL_REGISTRY", "get_config", "register_config"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Geometry of a causal Llama-style transformer.
+
+    Attributes mirror the HuggingFace config fields of the corresponding
+    models.  ``num_kv_heads < num_heads`` selects grouped-query attention.
+    """
+
+    name: str
+    hidden_size: int
+    intermediate_size: int
+    num_layers: int
+    num_heads: int
+    num_kv_heads: int
+    vocab_size: int
+    max_seq_len: int = 4096
+    norm_eps: float = 1e-5
+    rope_theta: float = 10000.0
+    tie_embeddings: bool = False
+    # Mixture-of-experts models (Mixtral) route each token to ``top_k`` of
+    # ``num_experts`` FFN experts; dense models use (1, 1).
+    num_experts: int = 1
+    experts_per_token: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError("num_heads must be divisible by num_kv_heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def gqa_ratio(self) -> int:
+        """Number of query heads sharing one KV head (``r`` in the paper)."""
+        return self.num_heads // self.num_kv_heads
+
+    @property
+    def kv_dim(self) -> int:
+        return self.num_kv_heads * self.head_dim
+
+    # ------------------------------------------------------------------
+    # Parameter / memory accounting (used by the serving simulator).
+    # ------------------------------------------------------------------
+    def attention_params(self) -> int:
+        """Parameters of one attention block (QKV + output projections)."""
+        q = self.hidden_size * self.hidden_size
+        kv = 2 * self.hidden_size * self.kv_dim
+        o = self.hidden_size * self.hidden_size
+        return q + kv + o
+
+    def ffn_params(self) -> int:
+        """Parameters of one (Swi)GLU FFN: gate, up and down projections."""
+        dense = 3 * self.hidden_size * self.intermediate_size
+        return dense * self.num_experts
+
+    def num_params(self, include_embeddings: bool = True) -> int:
+        """Total parameter count."""
+        per_layer = self.attention_params() + self.ffn_params()
+        params = per_layer * self.num_layers
+        if include_embeddings:
+            emb = self.vocab_size * self.hidden_size
+            params += emb if self.tie_embeddings else 2 * emb
+        return params
+
+    def weight_bytes(self, weight_bits: float) -> int:
+        """Weight memory footprint at ``weight_bits`` bits per parameter.
+
+        Embeddings and the LM head are kept in 16 bits by every system
+        compared in the paper, so only transformer-block parameters are
+        scaled by ``weight_bits``.
+        """
+        block_params = (self.attention_params() + self.ffn_params()) * self.num_layers
+        emb_params = self.num_params() - block_params
+        return int(block_params * weight_bits / 8 + emb_params * 2)
+
+    def kv_bytes_per_token(self, kv_bits: float) -> float:
+        """KV-cache bytes required per token across all layers (K and V)."""
+        elems = 2 * self.num_layers * self.kv_dim
+        payload = elems * kv_bits / 8.0
+        if kv_bits < 16:
+            # Per-head dynamic quantization stores one FP16 scale and one FP16
+            # zero point per head per token for both K and V.
+            payload += 2 * self.num_layers * self.num_kv_heads * 2 * 2
+        return payload
+
+
+MODEL_REGISTRY: Dict[str, ModelConfig] = {}
+
+
+def register_config(config: ModelConfig) -> ModelConfig:
+    """Add ``config`` to the global registry (overwrites by name)."""
+    MODEL_REGISTRY[config.name] = config
+    return config
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a registered configuration by name."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+# ----------------------------------------------------------------------
+# Paper models (geometry only — used by the cost model / serving simulator).
+# ----------------------------------------------------------------------
+register_config(ModelConfig(
+    name="llama-3-8b", hidden_size=4096, intermediate_size=14336, num_layers=32,
+    num_heads=32, num_kv_heads=8, vocab_size=128256, max_seq_len=8192,
+    rope_theta=500000.0,
+))
+register_config(ModelConfig(
+    name="llama-2-7b", hidden_size=4096, intermediate_size=11008, num_layers=32,
+    num_heads=32, num_kv_heads=32, vocab_size=32000,
+))
+register_config(ModelConfig(
+    name="llama-2-13b", hidden_size=5120, intermediate_size=13824, num_layers=40,
+    num_heads=40, num_kv_heads=40, vocab_size=32000,
+))
+register_config(ModelConfig(
+    name="llama-30b", hidden_size=6656, intermediate_size=17920, num_layers=60,
+    num_heads=52, num_kv_heads=52, vocab_size=32000, max_seq_len=2048,
+))
+register_config(ModelConfig(
+    name="llama-2-70b", hidden_size=8192, intermediate_size=28672, num_layers=80,
+    num_heads=64, num_kv_heads=8, vocab_size=32000,
+))
+register_config(ModelConfig(
+    name="mistral-7b", hidden_size=4096, intermediate_size=14336, num_layers=32,
+    num_heads=32, num_kv_heads=8, vocab_size=32000, max_seq_len=8192,
+))
+register_config(ModelConfig(
+    name="mixtral-8x7b", hidden_size=4096, intermediate_size=14336, num_layers=32,
+    num_heads=32, num_kv_heads=8, vocab_size=32000, max_seq_len=8192,
+    num_experts=8, experts_per_token=2,
+))
+register_config(ModelConfig(
+    name="yi-34b", hidden_size=7168, intermediate_size=20480, num_layers=60,
+    num_heads=56, num_kv_heads=8, vocab_size=64000,
+))
+register_config(ModelConfig(
+    name="qwen1.5-72b", hidden_size=8192, intermediate_size=24576, num_layers=80,
+    num_heads=64, num_kv_heads=64, vocab_size=152064,
+))
+
+# ----------------------------------------------------------------------
+# CPU-scale presets for accuracy experiments.
+# ----------------------------------------------------------------------
+register_config(ModelConfig(
+    name="tiny-llama", hidden_size=64, intermediate_size=192, num_layers=2,
+    num_heads=4, num_kv_heads=2, vocab_size=256, max_seq_len=512,
+))
+register_config(ModelConfig(
+    name="small-llama", hidden_size=128, intermediate_size=384, num_layers=4,
+    num_heads=8, num_kv_heads=4, vocab_size=512, max_seq_len=1024,
+))
+register_config(ModelConfig(
+    name="medium-llama", hidden_size=256, intermediate_size=768, num_layers=6,
+    num_heads=8, num_kv_heads=4, vocab_size=1024, max_seq_len=2048,
+))
+
+
+def scaled_down(name: str, base: str, factor: int, num_layers: int,
+                vocab_size: int = 1024) -> ModelConfig:
+    """Create and register a CPU-sized replica of a paper model.
+
+    The replica keeps the GQA ratio and the FFN/hidden aspect ratio of the
+    original architecture while dividing the widths by ``factor`` — useful
+    when an experiment wants per-model structure (e.g. GQA vs MHA) without
+    paying for full-size forward passes.
+    """
+    src = get_config(base)
+    hidden = max(src.num_heads // factor, src.gqa_ratio) * src.head_dim // factor
+    heads = max(src.num_heads // factor, src.gqa_ratio)
+    kv_heads = max(src.num_kv_heads // factor, 1)
+    heads = max(heads - heads % kv_heads, kv_heads)
+    hidden = heads * max(src.head_dim // factor, 8)
+    inter = int(round(hidden * src.intermediate_size / src.hidden_size / 8) * 8) or 8
+    cfg = replace(
+        src,
+        name=name,
+        hidden_size=hidden,
+        intermediate_size=inter,
+        num_layers=num_layers,
+        num_heads=heads,
+        num_kv_heads=kv_heads,
+        vocab_size=vocab_size,
+        max_seq_len=2048,
+    )
+    return register_config(cfg)

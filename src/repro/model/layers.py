@@ -1,0 +1,77 @@
+"""Basic neural-network layers used by the NumPy transformer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["rms_norm", "silu", "softmax", "swiglu", "Linear"]
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square layer normalisation (the Llama ``RMSNorm``)."""
+    x = np.asarray(x, dtype=np.float64)
+    variance = np.mean(x ** 2, axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * np.asarray(weight, dtype=np.float64)
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation, computed stably for large negative inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    return x * (0.5 * (1.0 + np.tanh(0.5 * x)))  # sigmoid(x) = 0.5*(1+tanh(x/2))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def swiglu(gate: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """SwiGLU gating: ``silu(gate) * up`` (the Llama FFN nonlinearity)."""
+    return silu(gate) * np.asarray(up, dtype=np.float64)
+
+
+@dataclass
+class Linear:
+    """A bias-free linear layer ``y = x @ W^T``.
+
+    ``weight`` has shape ``[out_features, in_features]``.  The class exists so
+    that the quantization pipelines can swap a dense layer for one of the
+    integer-arithmetic implementations in :mod:`repro.model.quantized` while
+    the transformer code stays unchanged (they share the ``__call__`` /
+    ``weight`` interface).
+    """
+
+    weight: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError(f"Linear weight must be 2-D, got {self.weight.shape}")
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.name or 'Linear'}: input features {x.shape[-1]} != "
+                f"weight in_features {self.in_features}"
+            )
+        return x @ self.weight.T
+
+    def replace_weight(self, weight: np.ndarray) -> "Linear":
+        """Return a new layer with the same name but different weights."""
+        return Linear(weight=np.asarray(weight, dtype=np.float64), name=self.name)

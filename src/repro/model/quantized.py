@@ -1,0 +1,234 @@
+"""Quantized linear layers.
+
+Three drop-in replacements for :class:`repro.model.layers.Linear`:
+
+* :class:`FakeQuantLinear` — generic simulated quantization used by the
+  baselines (W4A16, W4A4, …): the weight is stored already
+  quantize-dequantized, activations are fake-quantized on the fly.
+* :class:`W8A8Linear` — integer execution of per-channel weight / per-token
+  activation INT8 GEMM (the SmoothQuant / TensorRT-LLM W8A8 path): INT8 codes,
+  INT32 accumulation, FP scaling in the epilogue.
+* :class:`W4A8Linear` — the QServe path: progressive-group-quantized weights
+  are dequantized *to INT8* in the "main loop" (never to floating point), the
+  GEMM accumulates in INT32 and all floating-point scaling happens in the
+  epilogue, mirroring Figure 5d and Equation (12).
+
+All three support the two input transforms the QoQ pipeline may fuse in front
+of a layer: a per-channel smoothing scale (divide the activation by ``λ``)
+and/or a rotation matrix (multiply the activation by ``Q``).  In the real
+system both are folded into the preceding kernel; here they are applied
+explicitly so that the arithmetic, and hence the accuracy impact, is
+identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.dtypes import FP16, INT4, INT8
+from repro.quant.progressive import (
+    ProgressiveQuantizedWeight,
+    progressive_dequantize_level1,
+    progressive_quantize,
+)
+from repro.quant.quantizer import Granularity, fake_quantize
+
+__all__ = ["ActQuantSpec", "FakeQuantLinear", "W8A8Linear", "W4A8Linear"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class ActQuantSpec:
+    """Activation quantization applied at a linear layer's input.
+
+    ``bits=16`` disables activation quantization (weight-only schemes).
+    ``group_size`` selects per-group activation quantization within each token
+    (used by Atom/QuaRot W4A4 g128); ``None`` means per-token.
+    """
+
+    bits: int = 16
+    symmetric: bool = True
+    group_size: Optional[int] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.bits < 16
+
+
+def _fake_quant_activation(x: np.ndarray, spec: ActQuantSpec) -> np.ndarray:
+    if not spec.enabled:
+        return x
+    fmt = INT8 if spec.bits == 8 else INT4
+    granularity = Granularity.PER_GROUP if spec.group_size else Granularity.PER_TOKEN
+    flat = x.reshape(-1, x.shape[-1])
+    q = fake_quantize(flat, fmt, granularity=granularity, symmetric=spec.symmetric,
+                      group_size=spec.group_size)
+    return q.reshape(x.shape)
+
+
+def _quantize_activation_int8(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-token symmetric INT8 quantization returning (codes, scales)."""
+    flat = x.reshape(-1, x.shape[-1])
+    amax = np.max(np.abs(flat), axis=1, keepdims=True)
+    scales = np.maximum(amax, _EPS) / INT8.symmetric_qmax
+    scales = scales.astype(FP16).astype(np.float64)
+    codes = np.clip(np.round(flat / scales), -INT8.symmetric_qmax, INT8.symmetric_qmax)
+    return codes.astype(np.int8), scales
+
+
+class _TransformedLinear:
+    """Shared input-transform / shape plumbing for quantized linears.
+
+    The three optional transforms — smoothing scale, rotation and channel
+    permutation — are applied to the activation in that order; the stored
+    weight must have been prepared with the matching transforms
+    (``W·diag(λ)`` on columns, then ``W @ Q``, then column permutation) so the
+    product is mathematically unchanged while the quantization error drops.
+    """
+
+    def __init__(self, name: str, in_features: int, out_features: int,
+                 input_scale: Optional[np.ndarray] = None,
+                 rotation: Optional[np.ndarray] = None,
+                 permutation: Optional[np.ndarray] = None) -> None:
+        self.name = name
+        self.in_features = in_features
+        self.out_features = out_features
+        self.input_scale = (None if input_scale is None
+                            else np.asarray(input_scale, dtype=np.float64).reshape(-1))
+        self.rotation = None if rotation is None else np.asarray(rotation, np.float64)
+        self.permutation = (None if permutation is None
+                            else np.asarray(permutation, dtype=np.int64).reshape(-1))
+        if self.input_scale is not None and self.input_scale.size != in_features:
+            raise ValueError("input_scale must have in_features elements")
+        if self.rotation is not None and self.rotation.shape != (in_features, in_features):
+            raise ValueError("rotation must be [in_features, in_features]")
+        if self.permutation is not None:
+            if (self.permutation.size != in_features
+                    or not np.array_equal(np.sort(self.permutation),
+                                          np.arange(in_features))):
+                raise ValueError("permutation must be a permutation of the input channels")
+
+    def _transform_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: input features {x.shape[-1]} != {self.in_features}")
+        if self.input_scale is not None:
+            x = x / self.input_scale
+        if self.rotation is not None:
+            x = x @ self.rotation
+        if self.permutation is not None:
+            x = x[..., self.permutation]
+        return x
+
+
+class FakeQuantLinear(_TransformedLinear):
+    """Simulated-quantization linear: ``y = act_quant(T(x)) @ W_q^T``.
+
+    ``weight`` is stored already fake-quantized (and already expressed in the
+    transformed input basis if a smoothing scale / rotation is attached).
+    """
+
+    def __init__(self, weight: np.ndarray, name: str = "",
+                 act_spec: ActQuantSpec = ActQuantSpec(),
+                 input_scale: Optional[np.ndarray] = None,
+                 rotation: Optional[np.ndarray] = None,
+                 permutation: Optional[np.ndarray] = None) -> None:
+        weight = np.asarray(weight, dtype=np.float64)
+        super().__init__(name, weight.shape[1], weight.shape[0],
+                         input_scale=input_scale, rotation=rotation,
+                         permutation=permutation)
+        self.weight = weight
+        self.act_spec = act_spec
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        t = self._transform_input(x)
+        t = _fake_quant_activation(t, self.act_spec)
+        return t @ self.weight.T
+
+
+class W8A8Linear(_TransformedLinear):
+    """Per-channel W8 / per-token A8 integer GEMM (TensorRT-LLM W8A8 path)."""
+
+    def __init__(self, weight: np.ndarray, name: str = "",
+                 input_scale: Optional[np.ndarray] = None,
+                 rotation: Optional[np.ndarray] = None,
+                 permutation: Optional[np.ndarray] = None) -> None:
+        weight = np.asarray(weight, dtype=np.float64)
+        super().__init__(name, weight.shape[1], weight.shape[0],
+                         input_scale=input_scale, rotation=rotation,
+                         permutation=permutation)
+        amax = np.max(np.abs(weight), axis=1, keepdims=True)
+        self.weight_scales = (np.maximum(amax, _EPS) / INT8.symmetric_qmax)
+        self.weight_scales = self.weight_scales.astype(FP16).astype(np.float64)
+        self.qweight = np.clip(
+            np.round(weight / self.weight_scales),
+            -INT8.symmetric_qmax, INT8.symmetric_qmax).astype(np.int8)
+
+    @property
+    def weight(self) -> np.ndarray:
+        """Dequantized weight (for inspection / error measurement)."""
+        return self.qweight.astype(np.float64) * self.weight_scales
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        t = self._transform_input(x)
+        lead_shape = t.shape[:-1]
+        codes, act_scales = _quantize_activation_int8(t)
+        acc = codes.astype(np.int32) @ self.qweight.astype(np.int32).T
+        out = acc.astype(np.float64) * act_scales * self.weight_scales.reshape(1, -1)
+        return out.reshape(*lead_shape, self.out_features)
+
+
+class W4A8Linear(_TransformedLinear):
+    """QServe W4A8 GEMM: progressive-group weights, INT8 tensor-core math.
+
+    The call path mirrors the kernel:
+
+    1. per-token symmetric INT8 activation quantization (fused into the
+       preceding norm/activation kernel in the real system);
+    2. main loop: level-2 dequantization of the UINT4 weights to the INT8
+       intermediate (integer multiply + subtract only — the protective range
+       guarantees no overflow);
+    3. INT8 x INT8 → INT32 matrix multiply;
+    4. epilogue: outer-product scaling by ``s_x ⊗ s_w`` (Equation 12).
+    """
+
+    def __init__(self, weight: Optional[np.ndarray] = None, name: str = "",
+                 group_size: Optional[int] = 128,
+                 input_scale: Optional[np.ndarray] = None,
+                 rotation: Optional[np.ndarray] = None,
+                 permutation: Optional[np.ndarray] = None,
+                 pqw: Optional[ProgressiveQuantizedWeight] = None) -> None:
+        if pqw is None:
+            if weight is None:
+                raise ValueError("either weight or pqw must be provided")
+            pqw = progressive_quantize(np.asarray(weight, np.float64), group_size=group_size)
+        super().__init__(name, pqw.in_channels, pqw.out_channels,
+                         input_scale=input_scale, rotation=rotation,
+                         permutation=permutation)
+        self.pqw = pqw
+        # The INT8 intermediate is precomputed once here; the cost of doing it
+        # per-main-loop-iteration is what the GPU cost model charges for.
+        self._qweight_int8 = progressive_dequantize_level1(pqw)
+        self._weight_scales = pqw.scales_l1.astype(np.float64).reshape(1, -1)
+
+    @property
+    def weight(self) -> np.ndarray:
+        """Fully dequantized weight."""
+        return self._qweight_int8.astype(np.float64) * self._weight_scales.T
+
+    @property
+    def group_size(self) -> Optional[int]:
+        return self.pqw.group_size
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        t = self._transform_input(x)
+        lead_shape = t.shape[:-1]
+        codes, act_scales = _quantize_activation_int8(t)
+        acc = codes.astype(np.int32) @ self._qweight_int8.astype(np.int32).T
+        out = acc.astype(np.float64) * act_scales * self._weight_scales
+        return out.reshape(*lead_shape, self.out_features)

@@ -1,0 +1,70 @@
+"""Rotary positional embeddings (RoPE).
+
+The implementation pairs channel ``i`` with channel ``i + D/2`` within each
+head (the "rotate-half" formulation used by Llama), which is exactly the
+pairing SmoothAttention must respect when constraining its per-channel scales
+(Section 4.2, Equation 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RotaryEmbedding", "apply_rope"]
+
+
+@dataclass
+class RotaryEmbedding:
+    """Precomputed cos/sin tables for rotary embeddings.
+
+    Attributes
+    ----------
+    head_dim:
+        Per-head dimension ``D`` (must be even).
+    max_seq_len:
+        Longest position for which tables are precomputed.
+    theta:
+        RoPE base frequency (10 000 for Llama-2, 500 000 for Llama-3).
+    """
+
+    head_dim: int
+    max_seq_len: int
+    theta: float = 10000.0
+
+    def __post_init__(self) -> None:
+        if self.head_dim % 2 != 0:
+            raise ValueError("head_dim must be even for RoPE")
+        half = self.head_dim // 2
+        inv_freq = 1.0 / (self.theta ** (np.arange(half, dtype=np.float64) / half))
+        positions = np.arange(self.max_seq_len, dtype=np.float64)
+        freqs = np.outer(positions, inv_freq)          # [seq, half]
+        self.cos = np.cos(freqs)
+        self.sin = np.sin(freqs)
+
+    def tables(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return the cos/sin tables for the given absolute positions."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.max(initial=0) >= self.max_seq_len:
+            raise ValueError(
+                f"position {positions.max()} exceeds max_seq_len {self.max_seq_len}"
+            )
+        return self.cos[positions], self.sin[positions]
+
+
+def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Apply rotary embedding to ``x`` of shape ``[tokens, heads, head_dim]``.
+
+    ``cos`` / ``sin`` have shape ``[tokens, head_dim // 2]`` and broadcast over
+    heads.  Channel ``i`` is rotated together with channel ``i + D/2``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    half = x.shape[-1] // 2
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    c = cos[:, None, :]
+    s = sin[:, None, :]
+    rotated_1 = x1 * c - x2 * s
+    rotated_2 = x2 * c + x1 * s
+    return np.concatenate([rotated_1, rotated_2], axis=-1)

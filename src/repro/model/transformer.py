@@ -1,0 +1,343 @@
+"""The NumPy causal transformer used by every accuracy experiment.
+
+``TransformerModel`` executes a Llama-style forward pass.  Three hooks make it
+the substrate for quantization research:
+
+* **pluggable linears** — every projection is an object with the
+  :class:`repro.model.layers.Linear` call interface, so quantization pipelines
+  swap projections for fake-quant or integer implementations
+  (:mod:`repro.model.quantized`) without touching the forward pass;
+* **KV-cache quantization** — the forward pass threads a
+  :class:`repro.quant.kv_quant.KVQuantConfig` into each layer's
+  :class:`repro.model.attention.KVCache`;
+* **calibration recording** — a :class:`CalibrationRecorder` captures the
+  per-linear input statistics and post-RoPE Key/Query samples that the QoQ
+  calibration passes (rotation, smoothing, reordering, clipping,
+  SmoothAttention) need.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.model.attention import AttentionConfig, KVCache, multi_head_attention
+from repro.model.config import ModelConfig
+from repro.model.layers import Linear, rms_norm, softmax, swiglu
+from repro.model.rope import RotaryEmbedding, apply_rope
+from repro.quant.kv_quant import KVQuantConfig
+
+__all__ = ["BlockWeights", "CalibrationRecorder", "ForwardConfig", "TransformerModel"]
+
+#: Linear layers that consume the *block input* (post-norm activations);
+#: rotation (Section 4.3.1) applies to these.
+INPUT_MODULE_SUFFIXES = ("q_proj", "k_proj", "v_proj", "gate_proj", "up_proj")
+
+#: Linear layers that produce the *block output*; smoothing (Section 4.3.2)
+#: applies to these.
+OUTPUT_MODULE_SUFFIXES = ("o_proj", "down_proj")
+
+
+@dataclass
+class BlockWeights:
+    """Weights of one transformer block."""
+
+    attn_norm: np.ndarray
+    q_proj: Linear
+    k_proj: Linear
+    v_proj: Linear
+    o_proj: Linear
+    ffn_norm: np.ndarray
+    gate_proj: Linear
+    up_proj: Linear
+    down_proj: Linear
+
+    def linears(self) -> Dict[str, Linear]:
+        """Name → layer mapping (names are the suffixes used throughout QoQ)."""
+        return {
+            "q_proj": self.q_proj,
+            "k_proj": self.k_proj,
+            "v_proj": self.v_proj,
+            "o_proj": self.o_proj,
+            "gate_proj": self.gate_proj,
+            "up_proj": self.up_proj,
+            "down_proj": self.down_proj,
+        }
+
+    def set_linear(self, name: str, layer: Linear) -> None:
+        if not hasattr(self, name):
+            raise KeyError(f"unknown linear {name!r}")
+        setattr(self, name, layer)
+
+
+@dataclass
+class CalibrationRecorder:
+    """Accumulates the statistics the QoQ calibration passes need.
+
+    For every linear (keyed ``layers.{i}.{name}``) it tracks the per-channel
+    absolute maximum of the inputs and keeps up to ``max_samples`` raw input
+    rows (needed by the clipping search and GPTQ).  It also stores post-RoPE
+    Key/Query samples per layer for SmoothAttention.
+    """
+
+    max_samples: int = 256
+    absmax: Dict[str, np.ndarray] = field(default_factory=dict)
+    samples: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    sample_counts: Dict[str, int] = field(default_factory=dict)
+    keys_post_rope: Dict[int, List[np.ndarray]] = field(default_factory=dict)
+    queries_post_rope: Dict[int, List[np.ndarray]] = field(default_factory=dict)
+    values: Dict[int, List[np.ndarray]] = field(default_factory=dict)
+
+    def record_input(self, name: str, x: np.ndarray) -> None:
+        flat = np.asarray(x, dtype=np.float64).reshape(-1, x.shape[-1])
+        amax = np.max(np.abs(flat), axis=0)
+        if name in self.absmax:
+            self.absmax[name] = np.maximum(self.absmax[name], amax)
+        else:
+            self.absmax[name] = amax
+        kept = self.sample_counts.get(name, 0)
+        if kept < self.max_samples:
+            take = min(self.max_samples - kept, flat.shape[0])
+            self.samples.setdefault(name, []).append(flat[:take].copy())
+            self.sample_counts[name] = kept + take
+
+    def record_attention(self, layer: int, q: np.ndarray, k: np.ndarray,
+                         v: np.ndarray) -> None:
+        self.queries_post_rope.setdefault(layer, []).append(np.asarray(q, np.float64))
+        self.keys_post_rope.setdefault(layer, []).append(np.asarray(k, np.float64))
+        self.values.setdefault(layer, []).append(np.asarray(v, np.float64))
+
+    def input_samples(self, name: str) -> np.ndarray:
+        chunks = self.samples.get(name)
+        if not chunks:
+            raise KeyError(f"no calibration samples recorded for {name!r}")
+        return np.concatenate(chunks, axis=0)
+
+    def stacked_keys(self, layer: int) -> np.ndarray:
+        return np.concatenate(self.keys_post_rope[layer], axis=0)
+
+    def stacked_queries(self, layer: int) -> np.ndarray:
+        return np.concatenate(self.queries_post_rope[layer], axis=0)
+
+    def stacked_values(self, layer: int) -> np.ndarray:
+        return np.concatenate(self.values[layer], axis=0)
+
+
+@dataclass
+class ForwardConfig:
+    """Runtime options of a forward pass."""
+
+    kv_quant: KVQuantConfig = field(default_factory=lambda: KVQuantConfig(bits=16))
+    use_cache: bool = False
+
+
+class TransformerModel:
+    """A causal Llama-style transformer over NumPy arrays."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        embedding: np.ndarray,
+        blocks: List[BlockWeights],
+        final_norm: np.ndarray,
+        lm_head: Linear,
+        activation_outlier_channels: Optional[np.ndarray] = None,
+    ) -> None:
+        if len(blocks) != config.num_layers:
+            raise ValueError(
+                f"expected {config.num_layers} blocks, got {len(blocks)}")
+        self.config = config
+        self.embedding = np.asarray(embedding, dtype=np.float64)
+        self.blocks = blocks
+        self.final_norm = np.asarray(final_norm, dtype=np.float64)
+        self.lm_head = lm_head
+        self.activation_outlier_channels = activation_outlier_channels
+        self.rope = RotaryEmbedding(
+            head_dim=config.head_dim,
+            max_seq_len=config.max_seq_len,
+            theta=config.rope_theta,
+        )
+        self.attn_config = AttentionConfig(
+            num_heads=config.num_heads,
+            num_kv_heads=config.num_kv_heads,
+            head_dim=config.head_dim,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def clone(self) -> "TransformerModel":
+        """Deep-copy the model (quantization pipelines mutate the copy)."""
+        return copy.deepcopy(self)
+
+    def named_linears(self) -> Dict[str, Linear]:
+        """All transformer-block projections keyed ``layers.{i}.{suffix}``."""
+        out: Dict[str, Linear] = {}
+        for i, block in enumerate(self.blocks):
+            for suffix, layer in block.linears().items():
+                out[f"layers.{i}.{suffix}"] = layer
+        return out
+
+    def set_linear(self, full_name: str, layer: Linear) -> None:
+        """Replace a projection addressed by its ``layers.{i}.{suffix}`` name."""
+        parts = full_name.split(".")
+        if len(parts) != 3 or parts[0] != "layers":
+            raise KeyError(f"invalid linear name {full_name!r}")
+        self.blocks[int(parts[1])].set_linear(parts[2], layer)
+
+    def new_caches(self, kv_quant: KVQuantConfig) -> List[KVCache]:
+        return [KVCache(config=self.attn_config, quant=kv_quant)
+                for _ in range(self.config.num_layers)]
+
+    # ------------------------------------------------------------------
+    # Forward pass
+    # ------------------------------------------------------------------
+    def _block_forward(
+        self,
+        layer_idx: int,
+        x: np.ndarray,
+        positions: np.ndarray,
+        cache: Optional[KVCache],
+        recorder: Optional[CalibrationRecorder],
+        kv_quant: Optional[KVQuantConfig] = None,
+    ) -> np.ndarray:
+        block = self.blocks[layer_idx]
+        cfg = self.config
+        n = x.shape[0]
+        prefix = f"layers.{layer_idx}"
+
+        # --- attention ---------------------------------------------------
+        h = rms_norm(x, block.attn_norm, cfg.norm_eps)
+        if recorder is not None:
+            for name in ("q_proj", "k_proj", "v_proj"):
+                recorder.record_input(f"{prefix}.{name}", h)
+
+        q = block.q_proj(h).reshape(n, cfg.num_heads, cfg.head_dim)
+        k = block.k_proj(h).reshape(n, cfg.num_kv_heads, cfg.head_dim)
+        v = block.v_proj(h).reshape(n, cfg.num_kv_heads, cfg.head_dim)
+
+        cos, sin = self.rope.tables(positions)
+        q = apply_rope(q, cos, sin)
+        k = apply_rope(k, cos, sin)
+        if recorder is not None:
+            recorder.record_attention(layer_idx, q, k, v)
+
+        if cache is None and kv_quant is not None and kv_quant.enabled:
+            # Without a cache (teacher-forced evaluation) the quantization that
+            # would normally happen on cache append is applied here so KV4/KV8
+            # affects the attention computation identically.
+            from repro.quant.kv_quant import kv_fake_quantize
+            k = kv_fake_quantize(k, kv_quant)
+            v = kv_fake_quantize(v, kv_quant)
+
+        attn = multi_head_attention(q, k, v, self.attn_config, cache=cache)
+        attn_flat = attn.reshape(n, cfg.hidden_size)
+        if recorder is not None:
+            recorder.record_input(f"{prefix}.o_proj", attn_flat)
+        x = x + block.o_proj(attn_flat)
+
+        # --- FFN ----------------------------------------------------------
+        h2 = rms_norm(x, block.ffn_norm, cfg.norm_eps)
+        if recorder is not None:
+            recorder.record_input(f"{prefix}.gate_proj", h2)
+            recorder.record_input(f"{prefix}.up_proj", h2)
+        act = swiglu(block.gate_proj(h2), block.up_proj(h2))
+        if recorder is not None:
+            recorder.record_input(f"{prefix}.down_proj", act)
+        x = x + block.down_proj(act)
+        return x
+
+    def forward(
+        self,
+        tokens: np.ndarray,
+        forward_config: Optional[ForwardConfig] = None,
+        caches: Optional[List[KVCache]] = None,
+        start_position: int = 0,
+        recorder: Optional[CalibrationRecorder] = None,
+        return_hidden: bool = False,
+    ) -> np.ndarray:
+        """Run the model over a 1-D array of token ids.
+
+        Returns logits of shape ``[len(tokens), vocab_size]`` (or the final
+        hidden states when ``return_hidden``).  When ``caches`` is provided the
+        tokens are treated as a continuation starting at ``start_position``.
+        """
+        fwd = forward_config or ForwardConfig()
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1:
+            raise ValueError("tokens must be a 1-D array of token ids")
+        if tokens.size == 0:
+            raise ValueError("tokens must be non-empty")
+        if tokens.min() < 0 or tokens.max() >= self.config.vocab_size:
+            raise ValueError("token id out of range")
+
+        if caches is None and fwd.use_cache:
+            caches = self.new_caches(fwd.kv_quant)
+
+        positions = start_position + np.arange(tokens.size)
+        x = self.embedding[tokens]
+
+        for i in range(self.config.num_layers):
+            cache = caches[i] if caches is not None else None
+            x = self._block_forward(i, x, positions, cache, recorder,
+                                    kv_quant=fwd.kv_quant)
+
+        x = rms_norm(x, self.final_norm, self.config.norm_eps)
+        if return_hidden:
+            return x
+        return self.lm_head(x)
+
+    # ------------------------------------------------------------------
+    # Convenience APIs
+    # ------------------------------------------------------------------
+    def next_token_logits(self, tokens: np.ndarray,
+                          forward_config: Optional[ForwardConfig] = None) -> np.ndarray:
+        """Logits for the token following ``tokens``."""
+        return self.forward(tokens, forward_config)[-1]
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        forward_config: Optional[ForwardConfig] = None,
+        greedy: bool = True,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Autoregressive generation with a (optionally quantized) KV cache."""
+        fwd = forward_config or ForwardConfig()
+        caches = self.new_caches(fwd.kv_quant)
+        prompt = np.asarray(prompt, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+
+        logits = self.forward(prompt, fwd, caches=caches, start_position=0)
+        generated: List[int] = []
+        next_logits = logits[-1]
+        position = prompt.size
+        for _ in range(max_new_tokens):
+            if greedy:
+                token = int(np.argmax(next_logits))
+            else:
+                probs = softmax(next_logits)
+                token = int(rng.choice(self.config.vocab_size, p=probs))
+            generated.append(token)
+            step_logits = self.forward(
+                np.array([token]), fwd, caches=caches, start_position=position)
+            next_logits = step_logits[-1]
+            position += 1
+        return np.asarray(generated, dtype=np.int64)
+
+    def run_calibration(
+        self,
+        token_batches: List[np.ndarray],
+        kv_quant: Optional[KVQuantConfig] = None,
+        max_samples: int = 256,
+    ) -> CalibrationRecorder:
+        """Run forward passes over calibration batches, recording statistics."""
+        recorder = CalibrationRecorder(max_samples=max_samples)
+        fwd = ForwardConfig(kv_quant=kv_quant or KVQuantConfig(bits=16))
+        for batch in token_batches:
+            self.forward(np.asarray(batch, dtype=np.int64), fwd, recorder=recorder)
+        return recorder

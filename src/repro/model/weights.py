@@ -1,0 +1,315 @@
+"""Synthetic model weights with the structure LLM quantization targets.
+
+Real checkpoints cannot be shipped offline, so :func:`generate_model` builds a
+transformer whose weights (a) implement a *real predictive circuit* for the
+synthetic bigram language of :mod:`repro.data.corpus`, and (b) reproduce the
+empirical properties the paper's techniques exploit:
+
+1. **Predictive circuit** — the attention blocks implement a "copy current
+   token" pathway: query/key projections are head-wise projections of the
+   hidden state so attention concentrates on the current position, value /
+   output projections route (a scaled copy of) the hidden state back into the
+   residual stream, and the LM head decodes the bigram distribution from the
+   final hidden state.  The model therefore achieves a perplexity well below
+   the uniform baseline, and *any* perturbation introduced by quantizing
+   weights, activations or the KV cache degrades it — exactly the signal the
+   paper's accuracy tables measure.
+2. **Activation outlier channels** — a fixed set of hidden channels carries
+   ~8x larger activations (planted through the embedding and the FFN down
+   projection), the SmoothQuant/AWQ observation that motivates rotation,
+   smoothing and activation-aware reordering (Section 4.3).
+3. **Key outliers** — each KV head's Key projection has a few planted outlier
+   channels (~6x), reproducing Figure 7; SmoothAttention exists to fix exactly
+   this.
+4. **Heavy-tailed weights** — the random components have per-row scale jitter
+   and sparse large entries so that clipping (Section 4.3.4) and per-group
+   quantization matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.layers import Linear
+
+__all__ = ["OutlierProfile", "generate_block_weights", "generate_model", "fit_lm_head"]
+
+
+@dataclass(frozen=True)
+class OutlierProfile:
+    """Controls the planted structure of synthetic weights.
+
+    Attributes
+    ----------
+    activation_outlier_fraction:
+        Fraction of hidden channels that behave as persistent activation
+        outlier channels.
+    activation_outlier_scale:
+        Magnitude multiplier of those channels (the paper reports ~10x).
+    key_outlier_channels_per_head:
+        Number of planted outlier channels in each Key head (Figure 7).
+    key_outlier_scale:
+        Magnitude multiplier for the Key outlier channels.
+    weight_scale_jitter:
+        Log-normal sigma of per-output-channel scales of the random weight
+        components.
+    heavy_tail_fraction:
+        Fraction of individual weights replaced by heavy-tailed draws, which
+        makes clipping (Section 4.3.4) matter.
+    attention_gain:
+        Scale of the attention block's contribution to the residual stream.
+    ffn_gain:
+        Scale of the FFN block's contribution to the residual stream.
+    score_sharpness:
+        Multiplier on the query/key projections controlling how peaked the
+        self-attention distribution is.
+    """
+
+    activation_outlier_fraction: float = 0.03
+    activation_outlier_scale: float = 8.0
+    key_outlier_channels_per_head: int = 2
+    key_outlier_scale: float = 6.0
+    weight_scale_jitter: float = 0.3
+    heavy_tail_fraction: float = 0.005
+    attention_gain: float = 0.5
+    ffn_gain: float = 0.15
+    score_sharpness: float = 1.25
+
+
+def _randomize(rng: np.random.Generator, weight: np.ndarray,
+               profile: OutlierProfile, noise_scale: float) -> np.ndarray:
+    """Add per-row scale jitter, Gaussian noise and a heavy tail to ``weight``."""
+    out_features, in_features = weight.shape
+    noise = rng.normal(0.0, noise_scale / np.sqrt(in_features),
+                       size=weight.shape)
+    row_scale = np.exp(rng.normal(0.0, profile.weight_scale_jitter,
+                                  size=(out_features, 1)))
+    weight = (weight + noise) * row_scale
+    n_tail = int(profile.heavy_tail_fraction * weight.size)
+    if n_tail > 0:
+        idx = rng.choice(weight.size, size=n_tail, replace=False)
+        flat = weight.reshape(-1)
+        flat[idx] *= rng.uniform(3.0, 6.0, size=n_tail)
+    return weight
+
+
+def _semi_orthogonal(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """A matrix with (approximately) orthonormal rows."""
+    a = rng.normal(0.0, 1.0, size=(rows, cols))
+    # Orthonormalise the rows via QR on the transpose.
+    q, _ = np.linalg.qr(a.T)
+    return q[:, :rows].T
+
+
+def _pick_outlier_channels(rng: np.random.Generator, hidden: int,
+                           fraction: float) -> np.ndarray:
+    n = max(1, int(round(hidden * fraction)))
+    return np.sort(rng.choice(hidden, size=n, replace=False))
+
+
+def generate_block_weights(
+    rng: np.random.Generator,
+    config: ModelConfig,
+    layer_idx: int,
+    profile: OutlierProfile,
+    activation_outliers: np.ndarray,
+):
+    """Generate the weights of a single transformer block.
+
+    Returns a :class:`repro.model.transformer.BlockWeights` (imported lazily to
+    avoid a circular import).
+    """
+    from repro.model.transformer import BlockWeights
+
+    h, kv = config.hidden_size, config.kv_dim
+    inter = config.intermediate_size
+    head_dim = config.head_dim
+    ratio = config.gqa_ratio
+    prefix = f"layers.{layer_idx}"
+
+    # Per-KV-head projection bases shared by Q and K so that attention scores
+    # approximate hidden-state similarity and peak at the current position.
+    qk_bases = [_semi_orthogonal(rng, head_dim, h) for _ in range(config.num_kv_heads)]
+    v_bases = [_semi_orthogonal(rng, head_dim, h) for _ in range(config.num_kv_heads)]
+
+    wq = np.zeros((h, h))
+    for head in range(config.num_heads):
+        base = qk_bases[head // ratio]
+        wq[head * head_dim:(head + 1) * head_dim, :] = base * profile.score_sharpness
+    wk = np.zeros((kv, h))
+    wv = np.zeros((kv, h))
+    for kv_head in range(config.num_kv_heads):
+        wk[kv_head * head_dim:(kv_head + 1) * head_dim, :] = (
+            qk_bases[kv_head] * profile.score_sharpness)
+        wv[kv_head * head_dim:(kv_head + 1) * head_dim, :] = v_bases[kv_head]
+
+    # Plant per-head Key outlier channels (Figure 7).
+    for kv_head in range(config.num_kv_heads):
+        chans = rng.choice(head_dim, size=profile.key_outlier_channels_per_head,
+                           replace=False)
+        wk[kv_head * head_dim + chans, :] *= profile.key_outlier_scale
+
+    # The output projection inverts the concatenated value projection so the
+    # attention block contributes ``attention_gain * hidden_state`` when it
+    # attends to the current token.
+    value_map = np.zeros((h, h))
+    for head in range(config.num_heads):
+        base = v_bases[head // ratio]
+        value_map[head * head_dim:(head + 1) * head_dim, :] = base
+    wo = profile.attention_gain * np.linalg.pinv(value_map)
+
+    wq = _randomize(rng, wq, profile, noise_scale=0.1)
+    wk = _randomize(rng, wk, profile, noise_scale=0.1)
+    wv = _randomize(rng, wv, profile, noise_scale=0.1)
+    wo = _randomize(rng, wo, profile, noise_scale=0.1)
+
+    # FFN: random projections whose output is scaled to perturb (not dominate)
+    # the residual stream.  Columns of gate/up corresponding to activation
+    # outlier channels are boosted so those channels matter (the AWQ salience
+    # structure), and rows of the down projection write back into the outlier
+    # channels so the outliers persist through depth.
+    w_gate = rng.normal(0.0, 1.0 / np.sqrt(h), size=(inter, h))
+    w_up = rng.normal(0.0, 1.0 / np.sqrt(h), size=(inter, h))
+    w_gate[:, activation_outliers] *= 2.0
+    w_up[:, activation_outliers] *= 2.0
+    w_down = rng.normal(0.0, profile.ffn_gain / np.sqrt(inter), size=(h, inter))
+    w_down[activation_outliers, :] *= profile.activation_outlier_scale / 2.0
+    w_gate = _randomize(rng, w_gate, profile, noise_scale=0.05)
+    w_up = _randomize(rng, w_up, profile, noise_scale=0.05)
+    w_down = _randomize(rng, w_down, profile, noise_scale=0.01)
+
+    return BlockWeights(
+        attn_norm=np.abs(rng.normal(1.0, 0.05, size=h)),
+        q_proj=Linear(wq, name=f"{prefix}.attn.q_proj"),
+        k_proj=Linear(wk, name=f"{prefix}.attn.k_proj"),
+        v_proj=Linear(wv, name=f"{prefix}.attn.v_proj"),
+        o_proj=Linear(wo, name=f"{prefix}.attn.o_proj"),
+        ffn_norm=np.abs(rng.normal(1.0, 0.05, size=h)),
+        gate_proj=Linear(w_gate, name=f"{prefix}.ffn.gate_proj"),
+        up_proj=Linear(w_up, name=f"{prefix}.ffn.up_proj"),
+        down_proj=Linear(w_down, name=f"{prefix}.ffn.down_proj"),
+    )
+
+
+def fit_lm_head(
+    model,
+    train_tokens: np.ndarray,
+    bigram_matrix: np.ndarray,
+    num_sequences: int = 12,
+    seq_len: int = 64,
+    logit_scale: float = 6.0,
+    ridge: float = 1e-3,
+    seed: int = 0,
+) -> None:
+    """Calibrate the LM head so the model decodes the corpus' bigram language.
+
+    The model is run (without the LM head) over sequences from
+    ``train_tokens``; a ridge regression then maps each final hidden state to
+    the (scaled, centred) log next-token distribution of its input token.
+    This is a linear probe fitted on the *unquantized* model — analogous to
+    how real checkpoints were trained in full precision — so that every
+    quantized variant is measured against the same fixed readout and any
+    perturbation of the hidden states shows up as a perplexity increase.
+    """
+    train_tokens = np.asarray(train_tokens, dtype=np.int64)
+    bigram_matrix = np.asarray(bigram_matrix, dtype=np.float64)
+    vocab = model.config.vocab_size
+    if bigram_matrix.shape != (vocab, vocab):
+        raise ValueError("bigram_matrix must be [vocab_size, vocab_size]")
+
+    log_bigram = np.log(bigram_matrix + 1e-8)
+    log_bigram = log_bigram - log_bigram.mean(axis=1, keepdims=True)
+    log_bigram = log_bigram / (np.abs(log_bigram).max() + 1e-12) * logit_scale
+
+    rng = np.random.default_rng(seed)
+    hiddens: List[np.ndarray] = []
+    targets: List[np.ndarray] = []
+    max_start = max(1, train_tokens.size - seq_len)
+    for _ in range(num_sequences):
+        start = int(rng.integers(0, max_start))
+        seq = train_tokens[start:start + seq_len]
+        hidden = model.forward(seq, return_hidden=True)
+        hiddens.append(hidden)
+        targets.append(log_bigram[seq])
+    x = np.concatenate(hiddens, axis=0)
+    y = np.concatenate(targets, axis=0)
+
+    # Ridge regression: W = (X^T X + λI)^{-1} X^T Y, LM head weight is W^T.
+    gram = x.T @ x + ridge * np.eye(x.shape[1])
+    lm_weight = np.linalg.solve(gram, x.T @ y).T
+    model.lm_head = Linear(weight=lm_weight, name="lm_head")
+
+
+def generate_model(
+    config: ModelConfig,
+    seed: int = 0,
+    profile: Optional[OutlierProfile] = None,
+    bigram_matrix: Optional[np.ndarray] = None,
+    token_classes: Optional[np.ndarray] = None,
+    train_tokens: Optional[np.ndarray] = None,
+    class_strength: float = 1.5,
+):
+    """Build a :class:`repro.model.transformer.TransformerModel`.
+
+    Parameters
+    ----------
+    bigram_matrix / token_classes / train_tokens:
+        Typically ``SyntheticCorpus.transition_matrix``, ``.token_classes`` and
+        ``.train_tokens``.  When given, token embeddings are organised around
+        per-class directions (so the low-rank structure of the language is
+        representable in ``hidden_size`` dimensions) and the LM head is
+        calibrated with :func:`fit_lm_head`, giving the model genuine
+        predictive power on the corpus.  When omitted the embeddings and LM
+        head are random, which is sufficient for unit tests that only exercise
+        shapes and arithmetic.
+    class_strength:
+        Relative magnitude of the shared class direction versus the
+        token-specific component of each embedding row.
+    """
+    from repro.model.transformer import TransformerModel
+
+    profile = profile or OutlierProfile()
+    rng = np.random.default_rng(seed)
+    h = config.hidden_size
+
+    activation_outliers = _pick_outlier_channels(
+        rng, h, profile.activation_outlier_fraction)
+
+    embedding = rng.normal(0.0, 1.0 / np.sqrt(h), size=(config.vocab_size, h))
+    if token_classes is not None:
+        token_classes = np.asarray(token_classes, dtype=np.int64)
+        if token_classes.size != config.vocab_size:
+            raise ValueError("token_classes must have vocab_size entries")
+        num_classes = int(token_classes.max()) + 1
+        class_dirs = rng.normal(0.0, 1.0 / np.sqrt(h), size=(num_classes, h))
+        embedding += class_strength * class_dirs[token_classes]
+    embedding[:, activation_outliers] *= profile.activation_outlier_scale
+
+    blocks = [
+        generate_block_weights(rng, config, i, profile, activation_outliers)
+        for i in range(config.num_layers)
+    ]
+    final_norm = np.abs(rng.normal(1.0, 0.05, size=h))
+    lm_head = Linear(
+        weight=rng.normal(0.0, 1.0 / np.sqrt(h), size=(config.vocab_size, h)),
+        name="lm_head",
+    )
+
+    model = TransformerModel(
+        config=config,
+        embedding=embedding,
+        blocks=blocks,
+        final_norm=final_norm,
+        lm_head=lm_head,
+        activation_outlier_channels=activation_outliers,
+    )
+
+    if bigram_matrix is not None:
+        if train_tokens is None:
+            raise ValueError("train_tokens are required to calibrate the LM head")
+        fit_lm_head(model, train_tokens, bigram_matrix, seed=seed)
+    return model

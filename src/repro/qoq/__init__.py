@@ -1,0 +1,37 @@
+"""The QoQ quantization algorithm (Section 4 of the paper).
+
+Submodules implement the individual techniques; :mod:`repro.qoq.pipeline`
+composes them into the end-to-end W4A8KV4 quantizer:
+
+* :mod:`repro.qoq.smooth_attention` — SmoothAttention (Section 4.2);
+* :mod:`repro.qoq.rotation` — block-input Hadamard rotation (Section 4.3.1);
+* :mod:`repro.qoq.smoothing` — block-output smoothing (Section 4.3.2);
+* :mod:`repro.qoq.reorder` — activation-aware channel reordering (4.3.3);
+* :mod:`repro.qoq.clipping` — block/layer-MSE weight clipping (4.3.4);
+* :mod:`repro.qoq.pipeline` — ``QoQQuantizer`` orchestrating calibration and
+  producing the quantized model.
+"""
+
+from repro.qoq.smooth_attention import (
+    compute_smooth_attention_scales,
+    apply_smooth_attention,
+)
+from repro.qoq.rotation import hadamard_matrix, random_orthogonal_matrix
+from repro.qoq.smoothing import compute_smoothing_scales
+from repro.qoq.reorder import compute_reorder_permutation
+from repro.qoq.clipping import search_clip_ratio
+from repro.qoq.pipeline import QoQConfig, QoQQuantizer, QoQResult, quantize_model_qoq
+
+__all__ = [
+    "compute_smooth_attention_scales",
+    "apply_smooth_attention",
+    "hadamard_matrix",
+    "random_orthogonal_matrix",
+    "compute_smoothing_scales",
+    "compute_reorder_permutation",
+    "search_clip_ratio",
+    "QoQConfig",
+    "QoQQuantizer",
+    "QoQResult",
+    "quantize_model_qoq",
+]

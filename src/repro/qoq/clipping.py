@@ -1,0 +1,86 @@
+"""Weight clipping via output-error grid search (Section 4.3.4).
+
+Clipping shrinks the quantization range to ``α · [min, max]``: salient but
+rare weight outliers get saturated while the bulk of the distribution gains
+resolution.  QoQ grid-searches ``α`` to minimise the *layer output* error
+``‖X W^T − X Q(W; α)^T‖`` (and, for the query/key projections, the block
+output error — approximated here by the error of the attention scores, which
+is the part of the block output those projections influence).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.quant.dtypes import IntFormat, UINT4
+from repro.quant.quantizer import Granularity, fake_quantize
+
+__all__ = ["search_clip_ratio", "clip_candidates"]
+
+
+def clip_candidates(num_steps: int = 7, min_ratio: float = 0.70) -> np.ndarray:
+    """The grid of clip ratios searched (1.0 down to ``min_ratio``)."""
+    return np.linspace(1.0, min_ratio, num_steps)
+
+
+def _default_quantizer(weight: np.ndarray, clip_ratio: float,
+                       fmt: IntFormat, group_size: Optional[int],
+                       symmetric: bool) -> np.ndarray:
+    granularity = Granularity.PER_GROUP if group_size else Granularity.PER_CHANNEL
+    return fake_quantize(weight, fmt, granularity=granularity, symmetric=symmetric,
+                         group_size=group_size, clip_ratio=clip_ratio)
+
+
+def search_clip_ratio(
+    weight: np.ndarray,
+    calib_inputs: np.ndarray,
+    fmt: IntFormat = UINT4,
+    group_size: Optional[int] = 128,
+    symmetric: bool = False,
+    candidates: Optional[Sequence[float]] = None,
+    objective: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+    quantizer: Optional[Callable[[np.ndarray, float], np.ndarray]] = None,
+) -> tuple[float, float]:
+    """Grid-search the clip ratio minimising the layer output error.
+
+    Parameters
+    ----------
+    weight:
+        ``[out, in]`` floating point weight.
+    calib_inputs:
+        ``[samples, in]`` calibration activations for this layer.
+    objective:
+        ``objective(ref_output, quant_output) -> float``; defaults to mean
+        squared error.  The QoQ pipeline passes an attention-score objective
+        for ``q_proj`` / ``k_proj``.
+    quantizer:
+        ``quantizer(weight, clip_ratio) -> fake-quantized weight``; defaults to
+        asymmetric per-group quantization in ``fmt``.  The pipeline passes the
+        progressive quantizer here so the search optimises the exact format
+        that will be deployed.
+
+    Returns
+    -------
+    ``(best_ratio, best_error)``.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    calib_inputs = np.asarray(calib_inputs, dtype=np.float64)
+    if calib_inputs.ndim != 2 or calib_inputs.shape[1] != weight.shape[1]:
+        raise ValueError("calib_inputs must be [samples, in_features]")
+    if candidates is None:
+        candidates = clip_candidates()
+    if objective is None:
+        objective = lambda ref, got: float(np.mean((ref - got) ** 2))
+    if quantizer is None:
+        quantizer = lambda w, r: _default_quantizer(w, r, fmt, group_size, symmetric)
+
+    ref_output = calib_inputs @ weight.T
+    best_ratio, best_err = 1.0, np.inf
+    for ratio in candidates:
+        w_q = quantizer(weight, float(ratio))
+        err = objective(ref_output, calib_inputs @ w_q.T)
+        if err < best_err:
+            best_ratio, best_err = float(ratio), float(err)
+    return best_ratio, best_err

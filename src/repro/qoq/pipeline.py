@@ -1,0 +1,343 @@
+"""End-to-end QoQ quantization pipeline.
+
+``QoQQuantizer`` composes the techniques of Section 4 into the W4A8KV4
+recipe:
+
+1. calibrate the FP model (activation statistics, post-RoPE Keys);
+2. **SmoothAttention** — fold per-channel Key smoothing into the Q/K
+   projections;
+3. per linear layer:
+   a. **block-input rotation** (Hadamard) for input modules,
+   b. **block-output smoothing** for output modules,
+   c. **activation-aware channel reordering** (group quantization only),
+   d. **weight clipping** by output-MSE grid search (block-output objective
+      for the query/key projections),
+   e. **progressive group quantization** and replacement of the layer with an
+      integer-arithmetic :class:`~repro.model.quantized.W4A8Linear`
+      (or :class:`~repro.model.quantized.W8A8Linear` for 8-bit stages);
+4. return the quantized model together with the
+   :class:`~repro.model.transformer.ForwardConfig` that enables per-head
+   dynamic KV4 quantization at inference time.
+
+Every step can be disabled through :class:`QoQConfig`, which is how the
+Figure 16 ablation is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.model.layers import Linear
+from repro.model.quantized import ActQuantSpec, FakeQuantLinear, W4A8Linear, W8A8Linear
+from repro.model.transformer import (
+    ForwardConfig,
+    INPUT_MODULE_SUFFIXES,
+    OUTPUT_MODULE_SUFFIXES,
+    TransformerModel,
+)
+from repro.qoq.clipping import clip_candidates, search_clip_ratio
+from repro.qoq.reorder import compute_reorder_permutation
+from repro.qoq.rotation import rotation_matrix_for
+from repro.qoq.smooth_attention import apply_smooth_attention, compute_smooth_attention_scales
+from repro.qoq.smoothing import compute_smoothing_scales
+from repro.quant.kv_quant import KVQuantConfig
+from repro.quant.progressive import (
+    legacy_two_level_dequantize,
+    legacy_two_level_quantize,
+    progressive_quantize,
+)
+
+__all__ = ["QoQConfig", "QoQResult", "QoQQuantizer", "quantize_model_qoq"]
+
+
+@dataclass(frozen=True)
+class QoQConfig:
+    """Configuration of the QoQ pipeline.
+
+    The defaults correspond to the paper's "QoQ W4A8KV4 g128" setting (adjust
+    ``group_size`` to the model width when quantizing the CPU-scale presets).
+    """
+
+    weight_bits: int = 4
+    act_bits: int = 8
+    kv_bits: int = 4
+    group_size: Optional[int] = 128
+    enable_rotation: bool = True
+    enable_smoothing: bool = True
+    enable_smooth_attention: bool = True
+    enable_reorder: bool = True
+    enable_clipping: bool = True
+    #: Use progressive (two-level integer) group quantization; disabling falls
+    #: back to the legacy FP16-group-scale scheme (Figure 6, bottom), used only
+    #: for comparison.
+    enable_progressive: bool = True
+    protective_range: bool = True
+    smooth_attention_alpha: float = 0.5
+    smoothing_alpha: float = 0.1
+    clip_min_ratio: float = 0.75
+    clip_grid_points: int = 5
+    rotation_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight_bits not in (4, 8, 16):
+            raise ValueError("weight_bits must be 4, 8 or 16")
+        if self.act_bits not in (8, 16):
+            raise ValueError("QoQ activations are 8-bit (or 16 for debugging)")
+        if self.kv_bits not in (4, 8, 16):
+            raise ValueError("kv_bits must be 4, 8 or 16")
+
+    @property
+    def precision_name(self) -> str:
+        tag = f"W{self.weight_bits}A{self.act_bits}KV{self.kv_bits}"
+        if self.group_size:
+            tag += f" g{self.group_size}"
+        return tag
+
+
+@dataclass
+class QoQResult:
+    """Quantized model plus the calibration artefacts the pipeline produced."""
+
+    model: TransformerModel
+    forward_config: ForwardConfig
+    config: QoQConfig
+    clip_ratios: Dict[str, float] = field(default_factory=dict)
+    smoothing_scales: Dict[str, np.ndarray] = field(default_factory=dict)
+    reorder_permutations: Dict[str, np.ndarray] = field(default_factory=dict)
+    smooth_attention_scales: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def weight_memory_bytes(self) -> int:
+        """Total quantized-weight footprint of the transformer blocks."""
+        total = 0
+        for layer in self.model.named_linears().values():
+            if isinstance(layer, W4A8Linear):
+                total += layer.pqw.memory_bytes()
+            elif isinstance(layer, W8A8Linear):
+                total += layer.qweight.size + layer.weight_scales.size * 2
+            else:
+                weight = layer.weight
+                total += weight.size * 2
+        return total
+
+
+def _is_input_module(name: str) -> bool:
+    return name.endswith(INPUT_MODULE_SUFFIXES)
+
+
+def _is_output_module(name: str) -> bool:
+    return name.endswith(OUTPUT_MODULE_SUFFIXES)
+
+
+class QoQQuantizer:
+    """Calibrates and quantizes a :class:`TransformerModel` with QoQ."""
+
+    def __init__(self, config: Optional[QoQConfig] = None) -> None:
+        self.config = config or QoQConfig()
+
+    # ------------------------------------------------------------------
+    def _effective_group_size(self, in_features: int) -> Optional[int]:
+        """Clamp the configured group size to the layer width."""
+        g = self.config.group_size
+        if g is None:
+            return None
+        if in_features % g == 0:
+            return g
+        # Fall back to the largest divisor of in_features that is <= g.
+        for candidate in range(min(g, in_features), 0, -1):
+            if in_features % candidate == 0:
+                return candidate
+        return None
+
+    def _quantize_weight_fn(self, group_size: Optional[int]):
+        """Return ``f(weight, clip_ratio) -> dequantized weight`` for clip search."""
+        cfg = self.config
+
+        def quantize(weight: np.ndarray, clip_ratio: float) -> np.ndarray:
+            clipped = _clip_weight(weight, clip_ratio, group_size)
+            if cfg.weight_bits == 8:
+                layer = W8A8Linear(clipped)
+                return layer.weight
+            if cfg.enable_progressive:
+                pqw = progressive_quantize(clipped, group_size=group_size,
+                                           protective_range=cfg.protective_range)
+                from repro.quant.progressive import progressive_dequantize
+                return progressive_dequantize(pqw)
+            tlw = legacy_two_level_quantize(clipped, group_size=group_size or clipped.shape[1])
+            return legacy_two_level_dequantize(tlw)
+
+        return quantize
+
+    # ------------------------------------------------------------------
+    def quantize(self, model: TransformerModel,
+                 calibration_batches: List[np.ndarray]) -> QoQResult:
+        cfg = self.config
+        work = model.clone()
+        result = QoQResult(
+            model=work,
+            forward_config=ForwardConfig(
+                kv_quant=KVQuantConfig(bits=cfg.kv_bits, per_head=True)),
+            config=cfg,
+        )
+
+        # Step 1: calibration on the FP model.
+        recorder = work.run_calibration(calibration_batches)
+
+        # Step 2: SmoothAttention — fold Key smoothing into Q/K projections.
+        if cfg.enable_smooth_attention and cfg.kv_bits < 16:
+            for layer_idx, block in enumerate(work.blocks):
+                keys = recorder.stacked_keys(layer_idx)
+                scales = compute_smooth_attention_scales(
+                    keys, alpha=cfg.smooth_attention_alpha)
+                new_q, new_k = apply_smooth_attention(
+                    block.q_proj.weight, block.k_proj.weight, scales,
+                    gqa_ratio=work.config.gqa_ratio)
+                block.q_proj = block.q_proj.replace_weight(new_q)
+                block.k_proj = block.k_proj.replace_weight(new_k)
+                result.smooth_attention_scales[layer_idx] = scales
+
+        # Step 3: per-linear transforms + weight quantization.
+        candidates = np.linspace(1.0, cfg.clip_min_ratio, cfg.clip_grid_points)
+        for layer_idx, block in enumerate(work.blocks):
+            block_linears = block.linears()
+            for suffix, layer in block_linears.items():
+                full_name = f"layers.{layer_idx}.{suffix}"
+                weight = np.asarray(layer.weight, dtype=np.float64)
+                samples = recorder.input_samples(full_name)
+
+                rotation = None
+                input_scale = None
+                permutation = None
+
+                if cfg.enable_rotation and _is_input_module(suffix):
+                    rotation = rotation_matrix_for(weight.shape[1],
+                                                   seed=cfg.rotation_seed)
+                    weight = weight @ rotation
+                    samples = samples @ rotation
+
+                if cfg.enable_smoothing and _is_output_module(suffix):
+                    act_absmax = np.max(np.abs(samples), axis=0)
+                    input_scale = compute_smoothing_scales(
+                        act_absmax, weight, alpha=cfg.smoothing_alpha)
+                    weight = weight * input_scale[None, :]
+                    samples = samples / input_scale[None, :]
+                    result.smoothing_scales[full_name] = input_scale
+
+                group_size = self._effective_group_size(weight.shape[1])
+                if cfg.enable_reorder and group_size is not None:
+                    act_absmax = np.max(np.abs(samples), axis=0)
+                    permutation = compute_reorder_permutation(act_absmax)
+                    weight = weight[:, permutation]
+                    samples = samples[:, permutation]
+                    result.reorder_permutations[full_name] = permutation
+
+                clip_ratio = 1.0
+                if cfg.enable_clipping and cfg.weight_bits < 16:
+                    objective = None
+                    if suffix in ("q_proj", "k_proj"):
+                        # Block-output objective: error of the attention scores
+                        # produced with the partner projection held fixed.
+                        partner = block_linears["k_proj" if suffix == "q_proj"
+                                                else "q_proj"]
+                        partner_out = recorder.input_samples(full_name) @ partner.weight.T
+                        objective = _score_objective(partner_out,
+                                                     work.config.head_dim)
+                    clip_ratio, _ = search_clip_ratio(
+                        weight, samples,
+                        candidates=candidates,
+                        objective=objective,
+                        quantizer=self._quantize_weight_fn(group_size),
+                    )
+                result.clip_ratios[full_name] = clip_ratio
+
+                new_layer = self._build_layer(
+                    full_name, weight, clip_ratio, group_size,
+                    rotation=rotation, input_scale=input_scale,
+                    permutation=permutation)
+                work.set_linear(full_name, new_layer)
+
+        return result
+
+    # ------------------------------------------------------------------
+    def _build_layer(self, name: str, weight: np.ndarray, clip_ratio: float,
+                     group_size: Optional[int],
+                     rotation: Optional[np.ndarray],
+                     input_scale: Optional[np.ndarray],
+                     permutation: Optional[np.ndarray]):
+        cfg = self.config
+        clipped = _clip_weight(weight, clip_ratio, group_size)
+        act_spec = ActQuantSpec(bits=cfg.act_bits)
+
+        if cfg.weight_bits == 16:
+            return FakeQuantLinear(weight, name=name, act_spec=act_spec,
+                                   input_scale=input_scale, rotation=rotation,
+                                   permutation=permutation)
+        if cfg.weight_bits == 8:
+            return W8A8Linear(clipped, name=name, input_scale=input_scale,
+                              rotation=rotation, permutation=permutation)
+        if cfg.enable_progressive:
+            pqw = progressive_quantize(clipped, group_size=group_size,
+                                       protective_range=cfg.protective_range)
+            return W4A8Linear(pqw=pqw, name=name, input_scale=input_scale,
+                              rotation=rotation, permutation=permutation)
+        tlw = legacy_two_level_quantize(clipped,
+                                        group_size=group_size or clipped.shape[1])
+        return FakeQuantLinear(legacy_two_level_dequantize(tlw), name=name,
+                               act_spec=act_spec, input_scale=input_scale,
+                               rotation=rotation, permutation=permutation)
+
+
+def _clip_weight(weight: np.ndarray, clip_ratio: float,
+                 group_size: Optional[int]) -> np.ndarray:
+    """Clamp each quantization group's range to ``clip_ratio * [min, max]``."""
+    if clip_ratio >= 1.0:
+        return weight
+    weight = np.asarray(weight, dtype=np.float64)
+    out_ch, in_ch = weight.shape
+    if group_size and in_ch % group_size == 0:
+        grouped = weight.reshape(out_ch, in_ch // group_size, group_size)
+        lo = grouped.min(axis=2, keepdims=True) * clip_ratio
+        hi = grouped.max(axis=2, keepdims=True) * clip_ratio
+        return np.clip(grouped, lo, hi).reshape(out_ch, in_ch)
+    lo = weight.min(axis=1, keepdims=True) * clip_ratio
+    hi = weight.max(axis=1, keepdims=True) * clip_ratio
+    return np.clip(weight, lo, hi)
+
+
+def _score_objective(partner_out: np.ndarray, head_dim: int):
+    """Objective on attention scores (block-output MSE proxy for q/k projections).
+
+    ``partner_out`` holds the partner projection's outputs on the calibration
+    samples.  The error of a candidate quantization is measured on the
+    per-head dot products ``q_h · k_h`` between every pair of calibration
+    tokens, which is the part of the block output the query/key projections
+    control.  Head counts may differ (GQA); the KV heads are expanded to match.
+    """
+    partner_out = np.asarray(partner_out, dtype=np.float64)
+    n_samples = partner_out.shape[0]
+    partner_heads = partner_out.shape[1] // head_dim
+    partner = partner_out.reshape(n_samples, partner_heads, head_dim)
+
+    def objective(ref: np.ndarray, got: np.ndarray) -> float:
+        diff = (ref - got).reshape(n_samples, -1, head_dim)
+        ref_heads = diff.shape[1]
+        if ref_heads != partner_heads:
+            ratio = max(ref_heads, partner_heads) // min(ref_heads, partner_heads)
+            if ref_heads < partner_heads:
+                diff = np.repeat(diff, ratio, axis=1)
+            else:
+                expanded = np.repeat(partner, ratio, axis=1)
+                return float(np.mean(
+                    np.einsum("nhd,mhd->nmh", diff, expanded) ** 2))
+        return float(np.mean(np.einsum("nhd,mhd->nmh", diff, partner) ** 2))
+
+    return objective
+
+
+def quantize_model_qoq(model: TransformerModel,
+                       calibration_batches: List[np.ndarray],
+                       config: Optional[QoQConfig] = None) -> QoQResult:
+    """Convenience wrapper: quantize ``model`` with the QoQ pipeline."""
+    return QoQQuantizer(config).quantize(model, calibration_batches)

@@ -1,0 +1,29 @@
+"""Activation-aware channel reordering (Section 4.3.3, Figure 10).
+
+Per-group weight quantization shares one scale per ``g`` consecutive input
+channels.  If a group mixes salient channels (large activations) with
+non-salient ones, the shared scale is forced to cover the salient channels'
+weights, wasting resolution on the rest.  Instead of the mixed-precision
+approach of Atom, QoQ reorders input channels by activation salience so that
+channels of similar salience share a group.  Weights are reordered offline;
+the activation uses the same permutation at runtime (free in the real kernel
+because it is folded into the preceding layer's output channels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compute_reorder_permutation"]
+
+
+def compute_reorder_permutation(act_absmax: np.ndarray) -> np.ndarray:
+    """Permutation sorting input channels by descending activation salience.
+
+    ``act_absmax`` is the per-channel ``max(|X|)`` statistic recorded during
+    calibration.  Ties are broken by channel index so the permutation is
+    deterministic.
+    """
+    act_absmax = np.asarray(act_absmax, dtype=np.float64).reshape(-1)
+    # np.argsort is stable with kind="stable"; sort by negative salience.
+    return np.argsort(-act_absmax, kind="stable")

@@ -1,0 +1,53 @@
+"""Block-input rotation (Section 4.3.1).
+
+Multiplying the block-input activations by an orthogonal matrix ``Q`` makes
+every channel a linear combination of all channels, flattening the outlier
+channels; because the transformation is unitary the linear layer output is
+unchanged when the weight is rotated with the same matrix (``y = (xQ)(WQ)^T =
+x W^T``).  QoQ (like QuaRot / QuIP#) uses a scaled Hadamard matrix, which is
+both orthogonal and maximally incoherent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hadamard_matrix", "random_orthogonal_matrix", "rotation_matrix_for"]
+
+
+def hadamard_matrix(n: int, normalize: bool = True) -> np.ndarray:
+    """The ``n x n`` Sylvester Hadamard matrix (``n`` must be a power of two).
+
+    With ``normalize=True`` the matrix is scaled by ``1/sqrt(n)`` so it is
+    orthonormal.
+    """
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ValueError(f"Hadamard size must be a power of two, got {n}")
+    h = np.array([[1.0]])
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    if normalize:
+        h = h / np.sqrt(n)
+    return h
+
+
+def random_orthogonal_matrix(n: int, seed: int = 0) -> np.ndarray:
+    """A Haar-random orthogonal matrix (QR of a Gaussian matrix)."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    q, r = np.linalg.qr(a)
+    # Fix the signs so the distribution is Haar.
+    q *= np.sign(np.diag(r))
+    return q
+
+
+def rotation_matrix_for(n: int, seed: int = 0) -> np.ndarray:
+    """Rotation used by the QoQ pipeline for an ``n``-channel activation.
+
+    Uses the scaled Hadamard matrix when ``n`` is a power of two (the paper's
+    choice) and falls back to a Haar-random orthogonal matrix otherwise (e.g.
+    FFN intermediate sizes that are not powers of two).
+    """
+    if n >= 1 and (n & (n - 1)) == 0:
+        return hadamard_matrix(n)
+    return random_orthogonal_matrix(n, seed=seed)

@@ -1,0 +1,89 @@
+"""SmoothAttention (Section 4.2).
+
+Post-RoPE Key tensors have fixed outlier channels per head (~10x the typical
+magnitude); 4-bit KV quantization cannot represent them without destroying the
+rest of the channels.  SmoothAttention scales Key channel ``i`` down by
+``λ_i = max(|K_i|)^α`` and scales the matching Query channel up by the same
+factor, leaving the attention scores ``Q K^T`` unchanged (Equation 7/8).
+
+Because RoPE mixes channel ``i`` with channel ``i + D/2``, the scale must be
+shared between the two paired channels (Equation 9) so that the scaling
+commutes with the rotary embedding and can be folded into the Q/K projection
+weights offline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["compute_smooth_attention_scales", "apply_smooth_attention"]
+
+_EPS = 1e-5
+
+
+def compute_smooth_attention_scales(
+    keys: np.ndarray,
+    alpha: float = 0.5,
+    rope_paired: bool = True,
+) -> np.ndarray:
+    """Per-channel SmoothAttention scales from sampled post-RoPE Keys.
+
+    Parameters
+    ----------
+    keys:
+        Sampled Key activations of shape ``[tokens, kv_heads, head_dim]``
+        (post-RoPE, pre-quantization).
+    alpha:
+        Migration strength; the paper uses 0.5.
+    rope_paired:
+        Enforce ``λ_i == λ_{i + D/2}`` within each head (Equation 9) so the
+        scaling commutes with RoPE.  Disabling this is only useful for the
+        ablation tests.
+
+    Returns
+    -------
+    ``[kv_heads, head_dim]`` array of strictly positive scales ``λ``.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != 3:
+        raise ValueError(f"expected [tokens, kv_heads, head_dim], got {keys.shape}")
+    head_dim = keys.shape[2]
+    absmax = np.max(np.abs(keys), axis=0)          # [kv_heads, head_dim]
+    if rope_paired:
+        if head_dim % 2 != 0:
+            raise ValueError("head_dim must be even when rope_paired=True")
+        half = head_dim // 2
+        paired = np.maximum(absmax[:, :half], absmax[:, half:])
+        absmax = np.concatenate([paired, paired], axis=1)
+    scales = np.maximum(absmax, _EPS) ** alpha
+    return np.maximum(scales, _EPS)
+
+
+def apply_smooth_attention(
+    q_weight: np.ndarray,
+    k_weight: np.ndarray,
+    scales: np.ndarray,
+    gqa_ratio: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold SmoothAttention scales into the Q/K projection weights.
+
+    ``q_weight`` is ``[num_heads * head_dim, hidden]`` and ``k_weight`` is
+    ``[kv_heads * head_dim, hidden]``; ``scales`` is ``[kv_heads, head_dim]``.
+    Query rows are multiplied by ``λ`` (each query head uses the scales of its
+    KV head under GQA) and Key rows are divided by ``λ``, so ``Q K^T`` is
+    unchanged while the Keys that get cached — and quantized — are smooth.
+    """
+    scales = np.asarray(scales, dtype=np.float64)
+    kv_heads, head_dim = scales.shape
+    flat_k = scales.reshape(-1)
+    if k_weight.shape[0] != kv_heads * head_dim:
+        raise ValueError("k_weight rows do not match scales")
+    if q_weight.shape[0] != kv_heads * head_dim * gqa_ratio:
+        raise ValueError("q_weight rows do not match scales * gqa_ratio")
+    # Each query head h uses the scales of KV head h // gqa_ratio.
+    flat_q = np.repeat(scales, gqa_ratio, axis=0).reshape(-1)
+    new_q = q_weight * flat_q[:, None]
+    new_k = k_weight / flat_k[:, None]
+    return new_q, new_k

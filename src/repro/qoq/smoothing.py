@@ -1,0 +1,46 @@
+"""Block-output smoothing (Section 4.3.2).
+
+SmoothQuant-style per-channel rescaling applied to the *output modules*
+(attention output projection and FFN down projection): the intermediate
+activation is divided by a per-channel factor ``λ`` while the weight columns
+are multiplied by ``λ``, migrating quantization difficulty from activations to
+weights.  The paper finds the best migration strength ``α`` for these modules
+is near zero — i.e. ``λ`` should be driven almost entirely by the weight
+statistics — which is the default here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compute_smoothing_scales"]
+
+_EPS = 1e-5
+
+
+def compute_smoothing_scales(
+    act_absmax: np.ndarray,
+    weight: np.ndarray,
+    alpha: float = 0.1,
+) -> np.ndarray:
+    """Per-input-channel smoothing factors ``λ``.
+
+    ``λ_j = act_absmax_j^α / weight_absmax_j^(1-α)`` (the SmoothQuant rule),
+    where ``weight_absmax_j`` is the largest magnitude in column ``j`` of the
+    layer's weight.  ``α`` close to 0 makes the factor weight-dominated, which
+    is what QoQ uses for output modules.
+
+    The scales are normalised to have geometric mean 1 so that the overall
+    dynamic range of activations/weights is preserved.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    act_absmax = np.maximum(np.asarray(act_absmax, dtype=np.float64).reshape(-1), _EPS)
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.shape[1] != act_absmax.size:
+        raise ValueError("weight columns must match act_absmax length")
+    w_absmax = np.maximum(np.max(np.abs(weight), axis=0), _EPS)
+    scales = act_absmax ** alpha / w_absmax ** (1.0 - alpha)
+    scales = np.maximum(scales, _EPS)
+    scales = scales / np.exp(np.mean(np.log(scales)))
+    return scales

@@ -1,0 +1,92 @@
+"""Quantization primitives used by QoQ and every baseline.
+
+The submodules provide:
+
+* :mod:`repro.quant.dtypes` — integer format descriptors (INT4/INT8/…).
+* :mod:`repro.quant.quantizer` — symmetric / asymmetric quantization at
+  per-tensor, per-channel, per-token and per-group granularity.
+* :mod:`repro.quant.progressive` — the two-level progressive group
+  quantization of QoQ (per-channel INT8 with protective range followed by
+  per-group UINT4).
+* :mod:`repro.quant.kv_quant` — per-head dynamic KV-cache quantization.
+* :mod:`repro.quant.packing` — INT4 packing and the register-level
+  parallelism interleaving used by the QServe kernels.
+"""
+
+from repro.quant.dtypes import (
+    INT4,
+    INT8,
+    UINT4,
+    UINT8,
+    FP16,
+    IntFormat,
+    PROTECTIVE_INT8,
+)
+from repro.quant.quantizer import (
+    Granularity,
+    QuantParams,
+    QuantizedTensor,
+    compute_qparams,
+    quantize,
+    dequantize,
+    fake_quantize,
+    quantization_error,
+)
+from repro.quant.progressive import (
+    ProgressiveQuantizedWeight,
+    TwoLevelQuantizedWeight,
+    progressive_quantize,
+    progressive_dequantize_level1,
+    progressive_dequantize,
+    legacy_two_level_quantize,
+    legacy_two_level_dequantize,
+)
+from repro.quant.kv_quant import (
+    KVQuantConfig,
+    QuantizedKV,
+    quantize_kv_per_head,
+    dequantize_kv,
+    kv_fake_quantize,
+)
+from repro.quant.packing import (
+    pack_int4,
+    unpack_int4,
+    interleave_for_rlp,
+    deinterleave_from_rlp,
+    rlp_unpack_uint4x8,
+)
+
+__all__ = [
+    "INT4",
+    "INT8",
+    "UINT4",
+    "UINT8",
+    "FP16",
+    "IntFormat",
+    "PROTECTIVE_INT8",
+    "Granularity",
+    "QuantParams",
+    "QuantizedTensor",
+    "compute_qparams",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "quantization_error",
+    "ProgressiveQuantizedWeight",
+    "TwoLevelQuantizedWeight",
+    "progressive_quantize",
+    "progressive_dequantize_level1",
+    "progressive_dequantize",
+    "legacy_two_level_quantize",
+    "legacy_two_level_dequantize",
+    "KVQuantConfig",
+    "QuantizedKV",
+    "quantize_kv_per_head",
+    "dequantize_kv",
+    "kv_fake_quantize",
+    "pack_int4",
+    "unpack_int4",
+    "interleave_for_rlp",
+    "deinterleave_from_rlp",
+    "rlp_unpack_uint4x8",
+]

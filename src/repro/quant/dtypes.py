@@ -1,0 +1,121 @@
+"""Integer format descriptors.
+
+The paper manipulates four integer formats: signed INT8 weights/activations,
+unsigned UINT4 second-level weights and zero points, unsigned UINT8
+second-level scales, and signed INT4 (only used by the W4A4 baselines).
+``IntFormat`` captures the representable range and the NumPy storage dtype of
+each format so that the rest of the code never hard-codes magic constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "IntFormat",
+    "INT4",
+    "UINT4",
+    "INT8",
+    "UINT8",
+    "PROTECTIVE_INT8",
+    "FP16",
+]
+
+
+@dataclass(frozen=True)
+class IntFormat:
+    """Descriptor of an integer quantization format.
+
+    Attributes
+    ----------
+    bits:
+        Number of bits in the format.
+    signed:
+        Whether the format is two's-complement signed.
+    qmin, qmax:
+        Smallest / largest representable value.  For *symmetric* signed
+        formats the codomain is usually restricted to ``[-qmax, qmax]``;
+        ``symmetric_qmax`` exposes that bound.
+    storage_dtype:
+        NumPy dtype used to hold values of this format.  Sub-byte formats are
+        stored one value per byte unless explicitly packed by
+        :mod:`repro.quant.packing`.
+    """
+
+    name: str
+    bits: int
+    signed: bool
+    qmin: int
+    qmax: int
+    storage_dtype: np.dtype
+
+    @property
+    def levels(self) -> int:
+        """Number of representable levels."""
+        return self.qmax - self.qmin + 1
+
+    @property
+    def symmetric_qmax(self) -> int:
+        """Largest magnitude used for symmetric quantization."""
+        return self.qmax if not self.signed else min(self.qmax, -self.qmin - 1)
+
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        """Clip ``values`` into the representable range (keeps dtype)."""
+        return np.clip(values, self.qmin, self.qmax)
+
+    def contains(self, values: np.ndarray) -> bool:
+        """Return ``True`` iff every element is representable in this format."""
+        v = np.asarray(values)
+        if v.size == 0:
+            return True
+        return bool((v.min() >= self.qmin) and (v.max() <= self.qmax))
+
+    def astype(self, values: np.ndarray) -> np.ndarray:
+        """Cast ``values`` to the storage dtype after range validation."""
+        v = np.asarray(values)
+        if not self.contains(v):
+            raise ValueError(
+                f"values outside {self.name} range [{self.qmin}, {self.qmax}]: "
+                f"observed [{v.min()}, {v.max()}]"
+            )
+        return v.astype(self.storage_dtype)
+
+
+def _fmt(name: str, bits: int, signed: bool, dtype: type) -> IntFormat:
+    if signed:
+        qmin, qmax = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        qmin, qmax = 0, (1 << bits) - 1
+    return IntFormat(name=name, bits=bits, signed=signed, qmin=qmin, qmax=qmax,
+                     storage_dtype=np.dtype(dtype))
+
+
+#: Signed 4-bit integers, [-8, 7].  Used by the W4A4 baselines (Atom, QuaRot).
+INT4 = _fmt("int4", 4, True, np.int8)
+
+#: Unsigned 4-bit integers, [0, 15].  QoQ second-level weights and zero points.
+UINT4 = _fmt("uint4", 4, False, np.uint8)
+
+#: Signed 8-bit integers, [-128, 127].  Activations and first-level weights.
+INT8 = _fmt("int8", 8, True, np.int8)
+
+#: Unsigned 8-bit integers, [0, 255].  QoQ second-level scales.
+UINT8 = _fmt("uint8", 8, False, np.uint8)
+
+#: The *protective* INT8 range of progressive group quantization (Section 4.1):
+#: restricting level-1 symmetric quantization to [-119, 119] guarantees that
+#: level-2 dequantization never produces a value outside [-128, 127].
+PROTECTIVE_INT8 = IntFormat(
+    name="int8_protective",
+    bits=8,
+    signed=True,
+    qmin=-119,
+    qmax=119,
+    storage_dtype=np.dtype(np.int8),
+)
+
+#: Half precision, used for first-level scales and all floating-point
+#: activations crossing kernel boundaries in QServe.
+FP16 = np.dtype(np.float16)

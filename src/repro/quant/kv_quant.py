@@ -1,0 +1,139 @@
+"""Per-head dynamic KV-cache quantization (Section 5.1, "KV Cache Management").
+
+QServe stores 4-bit (or 8-bit) KV caches with **per-head, dynamic, asymmetric**
+quantization: every ``[head, token]`` slice of the Key/Value cache gets its own
+FP16 scale and zero point, computed on the fly as tokens are appended, and
+those parameters live next to the quantized features inside each KV-cache
+page.  This module implements the arithmetic; the paging/bookkeeping lives in
+:mod:`repro.serving.kv_cache_manager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.dtypes import FP16, IntFormat, UINT4, UINT8
+
+__all__ = [
+    "KVQuantConfig",
+    "QuantizedKV",
+    "quantize_kv_per_head",
+    "dequantize_kv",
+    "kv_fake_quantize",
+]
+
+_EPS = 1e-12
+
+
+def _format_for_bits(bits: int) -> IntFormat:
+    if bits == 4:
+        return UINT4
+    if bits == 8:
+        return UINT8
+    raise ValueError(f"unsupported KV cache precision: {bits} bits")
+
+
+@dataclass(frozen=True)
+class KVQuantConfig:
+    """Configuration of the KV-cache quantizer.
+
+    Attributes
+    ----------
+    bits:
+        4 for KV4 (QServe), 8 for KV8 (TensorRT-LLM baseline), 16 to disable.
+    per_head:
+        Dynamic per-head quantization (QServe) versus static per-tensor
+        quantization (TensorRT-LLM's KV8).
+    """
+
+    bits: int = 4
+    per_head: bool = True
+
+    @property
+    def enabled(self) -> bool:
+        return self.bits < 16
+
+    @property
+    def bytes_per_element(self) -> float:
+        return self.bits / 8.0
+
+
+@dataclass
+class QuantizedKV:
+    """Quantized key or value tensor with per-head dynamic parameters.
+
+    ``codes`` has shape ``[tokens, heads, head_dim]`` (unsigned integer codes),
+    ``scales`` and ``zeros`` have shape ``[tokens, heads, 1]`` and are stored in
+    FP16, mirroring the in-page layout described in the paper.
+    """
+
+    codes: np.ndarray
+    scales: np.ndarray
+    zeros: np.ndarray
+    bits: int
+
+    @property
+    def num_tokens(self) -> int:
+        return self.codes.shape[0]
+
+    def memory_bytes(self) -> int:
+        """Footprint with packed sub-byte codes plus FP16 scale/zero pairs."""
+        code_bytes = int(np.ceil(self.codes.size * self.bits / 8))
+        param_bytes = (self.scales.size + self.zeros.size) * 2
+        return code_bytes + param_bytes
+
+
+def quantize_kv_per_head(kv: np.ndarray, bits: int = 4) -> QuantizedKV:
+    """Asymmetric per-head quantization of a ``[tokens, heads, head_dim]`` tensor."""
+    kv = np.asarray(kv, dtype=np.float64)
+    if kv.ndim != 3:
+        raise ValueError(f"expected [tokens, heads, head_dim], got shape {kv.shape}")
+    fmt = _format_for_bits(bits)
+
+    # Anchor the range at zero so the zero point is always representable in
+    # the unsigned code space (standard asymmetric quantization practice).
+    vmax = np.maximum(kv.max(axis=2, keepdims=True), 0.0)
+    vmin = np.minimum(kv.min(axis=2, keepdims=True), 0.0)
+    scales = np.maximum(vmax - vmin, _EPS) / (fmt.qmax - fmt.qmin)
+    scales = scales.astype(FP16).astype(np.float64)
+    zeros = np.clip(np.round(-vmin / scales), fmt.qmin, fmt.qmax)
+    codes = np.clip(np.round(kv / scales + zeros), fmt.qmin, fmt.qmax)
+
+    return QuantizedKV(
+        codes=codes.astype(fmt.storage_dtype),
+        scales=scales.astype(FP16),
+        zeros=zeros.astype(FP16),
+        bits=bits,
+    )
+
+
+def dequantize_kv(qkv: QuantizedKV) -> np.ndarray:
+    """Dequantize a :class:`QuantizedKV` back to floating point."""
+    codes = qkv.codes.astype(np.float64)
+    scales = qkv.scales.astype(np.float64)
+    zeros = qkv.zeros.astype(np.float64)
+    return (codes - zeros) * scales
+
+
+def kv_fake_quantize(kv: np.ndarray, config: KVQuantConfig) -> np.ndarray:
+    """Quantize-then-dequantize a KV tensor according to ``config``.
+
+    ``kv`` is ``[tokens, heads, head_dim]``; a 16-bit config returns the input
+    unchanged.  Static per-tensor mode reproduces the TensorRT-LLM KV8
+    baseline (one symmetric scale for the whole tensor).
+    """
+    if not config.enabled:
+        return np.asarray(kv, dtype=np.float64)
+    kv = np.asarray(kv, dtype=np.float64)
+    if config.per_head:
+        return dequantize_kv(quantize_kv_per_head(kv, bits=config.bits))
+    # Static per-tensor symmetric quantization (TRT-LLM style KV8).
+    fmt = _format_for_bits(config.bits)
+    qmax_sym = (fmt.qmax - fmt.qmin) // 2
+    amax = np.max(np.abs(kv))
+    scale = max(amax, _EPS) / qmax_sym
+    codes = np.clip(np.round(kv / scale), -qmax_sym, qmax_sym)
+    return codes * scale

@@ -1,0 +1,110 @@
+"""INT4 packing and register-level-parallelism interleaving (Figure 13).
+
+QServe stores two UINT4 weights per byte.  To unpack them with only three
+logical operations per eight weights, the kernel relies on an offline
+interleaving: every 32 consecutive weights ``w0..w31`` are stored as
+``w0, w16, w1, w17, ..., w15, w31`` so that, after packing pairs into bytes,
+
+* ``packed & 0x0F`` (per byte) recovers ``w0..w15`` and
+* ``(packed >> 4) & 0x0F`` recovers ``w16..w31``,
+
+each already laid out contiguously for the tensor-core fragment.  The
+functions below implement the interleaving, the packing, and the unpacking
+exactly as byte-level operations so that tests can verify the three-operation
+claim and the round trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_int4",
+    "unpack_int4",
+    "interleave_for_rlp",
+    "deinterleave_from_rlp",
+    "rlp_unpack_uint4x8",
+    "RLP_BLOCK",
+]
+
+#: Number of UINT4 values grouped into one register-level-parallelism block.
+RLP_BLOCK = 32
+
+
+def pack_int4(codes: np.ndarray) -> np.ndarray:
+    """Pack an even-length array of UINT4 codes into bytes, two per byte.
+
+    Element ``2i`` goes to the low nibble and ``2i+1`` to the high nibble of
+    output byte ``i``, matching the little-endian layout the CUDA kernel
+    expects.  Works on the last axis of any shape with an even final
+    dimension.
+    """
+    codes = np.asarray(codes)
+    if codes.shape[-1] % 2 != 0:
+        raise ValueError("last dimension must be even to pack two nibbles per byte")
+    if codes.min() < 0 or codes.max() > 15:
+        raise ValueError("codes must be UINT4 values in [0, 15]")
+    c = codes.astype(np.uint8)
+    low = c[..., 0::2]
+    high = c[..., 1::2]
+    return (low | (high << 4)).astype(np.uint8)
+
+
+def unpack_int4(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_int4`."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    low = packed & 0x0F
+    high = (packed >> 4) & 0x0F
+    out = np.empty(packed.shape[:-1] + (packed.shape[-1] * 2,), dtype=np.uint8)
+    out[..., 0::2] = low
+    out[..., 1::2] = high
+    return out
+
+
+def interleave_for_rlp(codes: np.ndarray) -> np.ndarray:
+    """Reorder each 32-wide block ``w0..w31`` into ``w0,w16,w1,w17,...``.
+
+    Operates on the last axis, whose length must be a multiple of
+    :data:`RLP_BLOCK`.  This is the offline reordering of Figure 13 that makes
+    the low nibbles of a packed register hold ``w0..w15`` and the high nibbles
+    hold ``w16..w31``.
+    """
+    codes = np.asarray(codes)
+    n = codes.shape[-1]
+    if n % RLP_BLOCK != 0:
+        raise ValueError(f"last dimension ({n}) must be a multiple of {RLP_BLOCK}")
+    blocks = codes.reshape(codes.shape[:-1] + (n // RLP_BLOCK, 2, RLP_BLOCK // 2))
+    # blocks[..., 0, :] = w0..w15, blocks[..., 1, :] = w16..w31.
+    interleaved = np.stack([blocks[..., 0, :], blocks[..., 1, :]], axis=-1)
+    return interleaved.reshape(codes.shape)
+
+
+def deinterleave_from_rlp(codes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`interleave_for_rlp`."""
+    codes = np.asarray(codes)
+    n = codes.shape[-1]
+    if n % RLP_BLOCK != 0:
+        raise ValueError(f"last dimension ({n}) must be a multiple of {RLP_BLOCK}")
+    pairs = codes.reshape(codes.shape[:-1] + (n // RLP_BLOCK, RLP_BLOCK // 2, 2))
+    low = pairs[..., 0]
+    high = pairs[..., 1]
+    return np.concatenate([low, high], axis=-1).reshape(codes.shape)
+
+
+def rlp_unpack_uint4x8(packed_words: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Unpack interleaved UINT4 weights from 32-bit register words.
+
+    ``packed_words`` is a ``uint32`` array in which each word holds eight
+    interleaved UINT4 weights (produced by :func:`interleave_for_rlp` followed
+    by :func:`pack_int4` and a little-endian view as ``uint32``).  Returns
+    ``(low, high, n_ops)`` where ``low``/``high`` are ``uint32`` words whose
+    four bytes contain ``w0..w3`` / ``w16..w19`` style UINT8 values, and
+    ``n_ops`` counts the logical ALU operations used — three per word, as
+    stated in Figure 13 (one AND for the low nibbles, one shift and one AND
+    for the high nibbles).
+    """
+    words = np.asarray(packed_words, dtype=np.uint32)
+    low = words & np.uint32(0x0F0F0F0F)            # op 1
+    shifted = words >> np.uint32(4)                # op 2
+    high = shifted & np.uint32(0x0F0F0F0F)         # op 3
+    return low, high, 3 * words.size

@@ -1,0 +1,278 @@
+"""Progressive group quantization — the core of the QoQ algorithm (Section 4.1).
+
+Weights ``W`` with shape ``[out_channels, in_channels]`` are quantized in two
+levels:
+
+1. **Level 1** — per-(output-)channel *symmetric* INT8 quantization with the
+   *protective range* ``[-119, 119]`` and FP16 scales ``s0``:
+
+   ``W ≈ Q0_s8 * s0``.
+
+2. **Level 2** — per-group *asymmetric* UINT4 quantization of the INT8
+   intermediate with UINT8 scales ``s1`` and UINT4 zero points ``z``:
+
+   ``Q0_s8 ≈ (Q_u4 - z) * s1``.
+
+Because level-2 scales and zero points are themselves small integers, the
+INT4→INT8 dequantization in the GEMM main loop is a pure integer multiply and
+subtract, which is what enables the register-level-parallelism kernel of
+Section 5.2.  The protective range guarantees that ``(Q_u4 - z) * s1`` can
+never leave ``[-128, 127]`` (the overflow example in Figure 6 / Figure 14a is
+exactly what goes wrong without it).
+
+The module also implements the *legacy* two-level scheme of VSQuant /
+DoubleQuant (quantize straight to 4 bits with FP16 group scales, then quantize
+the scales) which the paper compares against at the bottom of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.dtypes import FP16, INT8, PROTECTIVE_INT8, UINT4, UINT8
+
+__all__ = [
+    "ProgressiveQuantizedWeight",
+    "TwoLevelQuantizedWeight",
+    "progressive_quantize",
+    "progressive_dequantize_level1",
+    "progressive_dequantize",
+    "legacy_two_level_quantize",
+    "legacy_two_level_dequantize",
+]
+
+_EPS = 1e-12
+
+
+@dataclass
+class ProgressiveQuantizedWeight:
+    """QoQ W4A8 weight representation.
+
+    Attributes
+    ----------
+    qweight:
+        ``uint8`` array of shape ``[out, in]`` holding UINT4 codes (one code
+        per byte; use :mod:`repro.quant.packing` for the packed layout).
+    zeros:
+        UINT4 zero points.  Shape ``[out, in // group_size]`` for per-group
+        quantization or ``[out, 1]`` for per-channel quantization.
+    scales_l2:
+        UINT8 level-2 scales with the same shape as ``zeros``.  All ones for
+        per-channel quantization (level 2 degenerates).
+    scales_l1:
+        FP16 level-1 per-channel scales of shape ``[out, 1]``.
+    group_size:
+        Group size ``g`` (None for per-channel quantization).
+    """
+
+    qweight: np.ndarray
+    zeros: np.ndarray
+    scales_l2: np.ndarray
+    scales_l1: np.ndarray
+    group_size: Optional[int]
+
+    @property
+    def out_channels(self) -> int:
+        return self.qweight.shape[0]
+
+    @property
+    def in_channels(self) -> int:
+        return self.qweight.shape[1]
+
+    @property
+    def is_per_channel(self) -> bool:
+        return self.group_size is None
+
+    def memory_bytes(self) -> int:
+        """Storage footprint assuming INT4 weights are packed two per byte."""
+        weight_bytes = self.qweight.size // 2 + (self.qweight.size % 2)
+        zero_bytes = self.zeros.size // 2 + (self.zeros.size % 2)
+        scale_l2_bytes = self.scales_l2.size
+        scale_l1_bytes = self.scales_l1.size * 2  # fp16
+        return weight_bytes + zero_bytes + scale_l2_bytes + scale_l1_bytes
+
+
+@dataclass
+class TwoLevelQuantizedWeight:
+    """Legacy VSQuant/DoubleQuant-style representation (Figure 6, bottom)."""
+
+    qweight: np.ndarray          # uint8 holding UINT4 codes, [out, in]
+    zeros: np.ndarray            # uint8 holding UINT4 zero points, [out, n_groups]
+    group_scales_q: np.ndarray   # uint8 quantized group scales, [out, n_groups]
+    channel_scales: np.ndarray   # fp16 per-channel scales of the group scales, [out, 1]
+    group_size: int
+
+
+def _level1_int8(weight: np.ndarray, protective: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Per-channel symmetric INT8 quantization (level 1)."""
+    qmax = PROTECTIVE_INT8.qmax if protective else INT8.symmetric_qmax
+    amax = np.max(np.abs(weight), axis=1, keepdims=True)
+    scales = np.maximum(amax, _EPS) / qmax
+    scales = scales.astype(FP16).astype(np.float64)  # fp16 storage, fp32+ math
+    q0 = np.clip(np.round(weight / scales), -qmax, qmax).astype(np.int16)
+    return q0, scales
+
+
+def progressive_quantize(
+    weight: np.ndarray,
+    group_size: Optional[int] = 128,
+    protective_range: bool = True,
+) -> ProgressiveQuantizedWeight:
+    """Quantize ``weight`` with QoQ progressive group quantization.
+
+    Parameters
+    ----------
+    weight:
+        Floating-point weight of shape ``[out_channels, in_channels]``.
+    group_size:
+        Level-2 group size ``g`` (128 in the paper).  ``None`` selects the
+        per-channel W4A8 variant in which level 2 degenerates to a single
+        asymmetric UINT4 quantization per output channel with unit scale
+        folded into the FP16 level-1 scale.
+    protective_range:
+        If True (default) level 1 uses the protective ``[-119, 119]`` range.
+        Disabling it reproduces the overflow discussed in Section 4.1 and is
+        only exposed for the ablation benchmark.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError(f"expected a 2-D weight, got shape {weight.shape}")
+    out_ch, in_ch = weight.shape
+
+    q0, scales_l1 = _level1_int8(weight, protective=protective_range)
+
+    if group_size is None:
+        # Per-channel W4A8: one asymmetric UINT4 quantization per row of the
+        # INT8 intermediate.  Level-2 scales are folded into level-1 scales
+        # (Section 5.2.2: "second-level scaling factors are omitted").
+        qmin = q0.min(axis=1, keepdims=True).astype(np.float64)
+        qmax = q0.max(axis=1, keepdims=True).astype(np.float64)
+        span = np.maximum(qmax - qmin, _EPS)
+        s1 = span / (UINT4.qmax - UINT4.qmin)
+        zeros = np.clip(np.round(-qmin / s1), UINT4.qmin, UINT4.qmax)
+        q4 = np.clip(np.round(q0 / s1 + zeros), UINT4.qmin, UINT4.qmax)
+        # Fold the floating-point level-2 scale into the FP16 level-1 scale.
+        scales_l1 = (scales_l1 * s1).astype(FP16).astype(np.float64)
+        return ProgressiveQuantizedWeight(
+            qweight=q4.astype(UINT4.storage_dtype),
+            zeros=zeros.astype(UINT4.storage_dtype),
+            scales_l2=np.ones_like(zeros, dtype=UINT8.storage_dtype),
+            scales_l1=scales_l1.astype(FP16),
+            group_size=None,
+        )
+
+    if in_ch % group_size != 0:
+        raise ValueError(
+            f"in_channels ({in_ch}) must be divisible by group_size ({group_size})"
+        )
+    n_groups = in_ch // group_size
+    q0_grouped = q0.reshape(out_ch, n_groups, group_size).astype(np.float64)
+
+    # Level 2: asymmetric UINT4 with *integer* scales and zero points.
+    gmin = q0_grouped.min(axis=2)
+    gmax = q0_grouped.max(axis=2)
+    s1 = np.round((gmax - gmin) / (UINT4.qmax - UINT4.qmin))
+    s1 = np.clip(s1, 1, UINT8.qmax)
+    zeros = np.clip(np.round(-gmin / s1), UINT4.qmin, UINT4.qmax)
+    q4 = np.round(q0_grouped / s1[..., None] + zeros[..., None])
+    q4 = np.clip(q4, UINT4.qmin, UINT4.qmax)
+
+    return ProgressiveQuantizedWeight(
+        qweight=q4.reshape(out_ch, in_ch).astype(UINT4.storage_dtype),
+        zeros=zeros.astype(UINT4.storage_dtype),
+        scales_l2=s1.astype(UINT8.storage_dtype),
+        scales_l1=scales_l1.astype(FP16),
+        group_size=group_size,
+    )
+
+
+def progressive_dequantize_level1(pqw: ProgressiveQuantizedWeight) -> np.ndarray:
+    """Dequantize only level 2, recovering the INT8 intermediate tensor.
+
+    This is exactly the operation the QServe GEMM main loop performs on CUDA
+    cores; the result must fit in signed INT8 — a property guaranteed by the
+    protective range and asserted here.
+    """
+    q4 = pqw.qweight.astype(np.int32)
+    if pqw.is_per_channel:
+        zeros = pqw.zeros.astype(np.int32)
+        q0 = q4 - zeros
+    else:
+        out_ch, in_ch = pqw.qweight.shape
+        g = pqw.group_size
+        n_groups = in_ch // g
+        q4g = q4.reshape(out_ch, n_groups, g)
+        s1 = pqw.scales_l2.astype(np.int32)[..., None]
+        z = pqw.zeros.astype(np.int32)[..., None]
+        q0 = ((q4g - z) * s1).reshape(out_ch, in_ch)
+    if q0.min() < INT8.qmin or q0.max() > INT8.qmax:
+        raise OverflowError(
+            "level-1 intermediate escaped the INT8 range "
+            f"[{q0.min()}, {q0.max()}]; protective range violated"
+        )
+    return q0.astype(np.int8)
+
+
+def progressive_dequantize(pqw: ProgressiveQuantizedWeight) -> np.ndarray:
+    """Full dequantization back to floating point (float64 math, fp16 scales)."""
+    if pqw.is_per_channel:
+        q4 = pqw.qweight.astype(np.float64)
+        zeros = pqw.zeros.astype(np.float64)
+        scales = pqw.scales_l1.astype(np.float64)
+        return (q4 - zeros) * scales
+    q0 = progressive_dequantize_level1(pqw).astype(np.float64)
+    return q0 * pqw.scales_l1.astype(np.float64)
+
+
+def legacy_two_level_quantize(weight: np.ndarray, group_size: int = 128) -> TwoLevelQuantizedWeight:
+    """VSQuant / DoubleQuant-style two-level quantization (Figure 6, bottom).
+
+    Weights are quantized directly to UINT4 with per-group *floating point*
+    scales; those scales are then quantized to UINT8 with per-channel FP16
+    scales.  Dequantizing the UINT4 codes with the integer group scales does
+    **not** recover an INT8 tensor, which is why this scheme cannot run its
+    GEMM on INT8 tensor cores (Section 4.1, "Compared to previous two-level
+    quantization").
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    out_ch, in_ch = weight.shape
+    if in_ch % group_size != 0:
+        raise ValueError("in_channels must be divisible by group_size")
+    n_groups = in_ch // group_size
+    wg = weight.reshape(out_ch, n_groups, group_size)
+
+    gmin = wg.min(axis=2)
+    gmax = wg.max(axis=2)
+    scales_fp = np.maximum(gmax - gmin, _EPS) / (UINT4.qmax - UINT4.qmin)
+    zeros = np.clip(np.round(-gmin / scales_fp), UINT4.qmin, UINT4.qmax)
+    q4 = np.clip(np.round(wg / scales_fp[..., None] + zeros[..., None]),
+                 UINT4.qmin, UINT4.qmax)
+
+    # Second level: per-channel symmetric UINT8 quantization of the scales.
+    smax = np.max(scales_fp, axis=1, keepdims=True)
+    channel_scales = np.maximum(smax, _EPS) / UINT8.qmax
+    channel_scales = channel_scales.astype(FP16).astype(np.float64)
+    scales_q = np.clip(np.round(scales_fp / channel_scales), 1, UINT8.qmax)
+
+    return TwoLevelQuantizedWeight(
+        qweight=q4.reshape(out_ch, in_ch).astype(UINT4.storage_dtype),
+        zeros=zeros.astype(UINT4.storage_dtype),
+        group_scales_q=scales_q.astype(UINT8.storage_dtype),
+        channel_scales=channel_scales.astype(FP16),
+        group_size=group_size,
+    )
+
+
+def legacy_two_level_dequantize(tlw: TwoLevelQuantizedWeight) -> np.ndarray:
+    """Dequantize a legacy two-level weight back to floating point."""
+    out_ch, in_ch = tlw.qweight.shape
+    g = tlw.group_size
+    n_groups = in_ch // g
+    q4 = tlw.qweight.astype(np.float64).reshape(out_ch, n_groups, g)
+    zeros = tlw.zeros.astype(np.float64)[..., None]
+    scales = (tlw.group_scales_q.astype(np.float64)
+              * tlw.channel_scales.astype(np.float64))[..., None]
+    return ((q4 - zeros) * scales).reshape(out_ch, in_ch)

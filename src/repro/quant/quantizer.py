@@ -1,0 +1,243 @@
+"""Generic integer quantization at multiple granularities.
+
+Implements Equation (2)/(3) of the paper for symmetric and asymmetric
+quantization with the four granularities discussed in Section 2.2:
+
+* **per-tensor** — one ``(scale, zero_point)`` for the whole tensor;
+* **per-channel** — one per output channel (row of a ``[out, in]`` weight);
+* **per-token** — one per row of an activation matrix (identical arithmetic
+  to per-channel, named separately for clarity at call sites);
+* **per-group** — one per contiguous group of ``group_size`` columns within
+  each row.
+
+All functions are vectorised NumPy; quantized codes are returned in the
+storage dtype of the target :class:`~repro.quant.dtypes.IntFormat`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.dtypes import IntFormat
+
+__all__ = [
+    "Granularity",
+    "QuantParams",
+    "QuantizedTensor",
+    "compute_qparams",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "quantization_error",
+]
+
+
+class Granularity(str, enum.Enum):
+    """Parameter-sharing granularity of a quantizer."""
+
+    PER_TENSOR = "per_tensor"
+    PER_CHANNEL = "per_channel"
+    PER_TOKEN = "per_token"
+    PER_GROUP = "per_group"
+
+    @property
+    def is_rowwise(self) -> bool:
+        """True for granularities that share parameters along rows."""
+        return self in (Granularity.PER_CHANNEL, Granularity.PER_TOKEN)
+
+
+@dataclass
+class QuantParams:
+    """Scale / zero-point pair plus the metadata needed to (de)quantize.
+
+    ``scale`` and ``zero_point`` are broadcastable against the tensor shape
+    produced by :func:`_reshape_for_groups`:
+
+    * per-tensor: scalars (shape ``()``),
+    * per-channel / per-token: shape ``(rows, 1)``,
+    * per-group: shape ``(rows, n_groups, 1)``.
+    """
+
+    fmt: IntFormat
+    granularity: Granularity
+    symmetric: bool
+    scale: np.ndarray
+    zero_point: np.ndarray
+    group_size: Optional[int] = None
+    original_shape: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.scale = np.asarray(self.scale, dtype=np.float64)
+        self.zero_point = np.asarray(self.zero_point, dtype=np.float64)
+        if np.any(self.scale <= 0):
+            raise ValueError("quantization scales must be strictly positive")
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of (scale, zero) pairs stored — memory accounting helper."""
+        return int(np.prod(self.scale.shape)) if self.scale.shape else 1
+
+
+@dataclass
+class QuantizedTensor:
+    """A quantized tensor together with its quantization parameters."""
+
+    codes: np.ndarray
+    params: QuantParams
+
+    @property
+    def shape(self) -> tuple:
+        return tuple(self.params.original_shape)
+
+    def dequantize(self) -> np.ndarray:
+        return dequantize(self.codes, self.params)
+
+
+_EPS = 1e-12
+
+
+def _reshape_for_groups(x: np.ndarray, granularity: Granularity,
+                        group_size: Optional[int]) -> np.ndarray:
+    """Reshape ``x`` so that the last axis is the reduction axis of a group.
+
+    Returns a view (or reshaped copy) with shape:
+
+    * per-tensor: ``(1, numel)``
+    * per-channel / per-token: ``(rows, cols)``
+    * per-group: ``(rows, n_groups, group_size)``
+    """
+    x = np.asarray(x)
+    if granularity is Granularity.PER_TENSOR:
+        return x.reshape(1, -1)
+    if x.ndim < 2:
+        raise ValueError(f"{granularity.value} quantization requires >=2D input, got {x.ndim}D")
+    rows = int(np.prod(x.shape[:-1]))
+    cols = x.shape[-1]
+    flat = x.reshape(rows, cols)
+    if granularity.is_rowwise:
+        return flat
+    if granularity is Granularity.PER_GROUP:
+        if not group_size or group_size <= 0:
+            raise ValueError("per-group quantization requires a positive group_size")
+        if cols % group_size != 0:
+            raise ValueError(
+                f"last dimension ({cols}) must be divisible by group_size ({group_size})"
+            )
+        return flat.reshape(rows, cols // group_size, group_size)
+    raise ValueError(f"unsupported granularity: {granularity}")
+
+
+def compute_qparams(
+    x: np.ndarray,
+    fmt: IntFormat,
+    granularity: Granularity = Granularity.PER_TENSOR,
+    symmetric: bool = True,
+    group_size: Optional[int] = None,
+    clip_ratio: float = 1.0,
+    qmax_override: Optional[int] = None,
+) -> QuantParams:
+    """Compute scale/zero-point for ``x`` following Equation (2).
+
+    Parameters
+    ----------
+    clip_ratio:
+        Weight-clipping ratio ``alpha`` of Section 4.3.4 — the dynamic range
+        is shrunk to ``alpha * [min, max]`` before computing the scale.
+    qmax_override:
+        Override the positive quantization bound, used to implement the
+        protective range of progressive quantization (e.g. 119 instead of
+        127 for INT8).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grouped = _reshape_for_groups(x, granularity, group_size)
+    reduce_axis = -1
+
+    qmax = float(qmax_override if qmax_override is not None else fmt.qmax)
+    if symmetric:
+        if not fmt.signed:
+            raise ValueError("symmetric quantization requires a signed format")
+        amax = np.max(np.abs(grouped), axis=reduce_axis, keepdims=True) * clip_ratio
+        scale = np.maximum(amax, _EPS) / qmax
+        zero_point = np.zeros_like(scale)
+    else:
+        xmax = np.max(grouped, axis=reduce_axis, keepdims=True) * clip_ratio
+        xmin = np.min(grouped, axis=reduce_axis, keepdims=True) * clip_ratio
+        xmax = np.maximum(xmax, 0.0)
+        xmin = np.minimum(xmin, 0.0)
+        qrange = qmax - float(fmt.qmin)
+        scale = np.maximum(xmax - xmin, _EPS) / qrange
+        zero_point = np.round(fmt.qmin - xmin / scale)
+        zero_point = np.clip(zero_point, fmt.qmin, qmax)
+
+    return QuantParams(
+        fmt=fmt,
+        granularity=granularity,
+        symmetric=symmetric,
+        scale=scale,
+        zero_point=zero_point,
+        group_size=group_size,
+        original_shape=tuple(x.shape),
+    )
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize ``x`` to integer codes using ``params`` (Equation 2)."""
+    x = np.asarray(x, dtype=np.float64)
+    grouped = _reshape_for_groups(x, params.granularity, params.group_size)
+    codes = np.round(grouped / params.scale + params.zero_point)
+    codes = np.clip(codes, params.fmt.qmin, params.fmt.qmax)
+    return codes.reshape(x.shape).astype(params.fmt.storage_dtype)
+
+
+def dequantize(codes: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Dequantize integer ``codes`` back to floating point (Equation 3)."""
+    original_shape = params.original_shape or codes.shape
+    grouped = _reshape_for_groups(
+        np.asarray(codes, dtype=np.float64), params.granularity, params.group_size
+    )
+    values = (grouped - params.zero_point) * params.scale
+    return values.reshape(original_shape)
+
+
+def fake_quantize(
+    x: np.ndarray,
+    fmt: IntFormat,
+    granularity: Granularity = Granularity.PER_TENSOR,
+    symmetric: bool = True,
+    group_size: Optional[int] = None,
+    clip_ratio: float = 1.0,
+    qmax_override: Optional[int] = None,
+) -> np.ndarray:
+    """Quantize-then-dequantize ``x`` (a.k.a. simulated or fake quantization).
+
+    This is the workhorse for accuracy experiments: the returned tensor lives
+    in floating point but only takes values representable under the requested
+    integer format/granularity.
+    """
+    params = compute_qparams(
+        x, fmt, granularity=granularity, symmetric=symmetric,
+        group_size=group_size, clip_ratio=clip_ratio, qmax_override=qmax_override,
+    )
+    return dequantize(quantize(x, params), params)
+
+
+def quantization_error(x: np.ndarray, x_hat: np.ndarray, ord: str = "mse") -> float:
+    """Error between a tensor and its quantized reconstruction.
+
+    ``ord`` is ``"mse"`` (mean squared error), ``"mae"`` or ``"fro"``
+    (Frobenius norm of the difference).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    x_hat = np.asarray(x_hat, dtype=np.float64)
+    diff = x - x_hat
+    if ord == "mse":
+        return float(np.mean(diff ** 2))
+    if ord == "mae":
+        return float(np.mean(np.abs(diff)))
+    if ord == "fro":
+        return float(np.linalg.norm(diff))
+    raise ValueError(f"unknown error order: {ord!r}")

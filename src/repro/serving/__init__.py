@@ -1,0 +1,41 @@
+"""QServe serving-system simulator.
+
+The efficiency results of the paper (Table 4, Figures 15/17) measure the
+*maximum achievable generation throughput* of a serving system under a fixed
+device-memory budget, with 1024-token prompts and 512-token outputs.  This
+package reproduces that measurement as a discrete simulation:
+
+* :mod:`repro.serving.precision` — serving-system presets (TensorRT-LLM FP16 /
+  W8A8 / W4A16, Atom, QuaRot, QServe per-channel & per-group) mapping onto the
+  GPU cost model's GEMM/attention kernels;
+* :mod:`repro.serving.request` — request and workload definitions;
+* :mod:`repro.serving.kv_cache_manager` — paged KV cache with per-head scale
+  storage;
+* :mod:`repro.serving.scheduler` — in-flight (continuous) batching scheduler;
+* :mod:`repro.serving.engine` — per-iteration latency from the GPU cost model
+  plus the full serving loop;
+* :mod:`repro.serving.throughput` — memory-budgeted maximum-batch search and
+  throughput measurement.
+"""
+
+from repro.serving.precision import SystemConfig, SYSTEM_PRESETS, get_system
+from repro.serving.request import Request, RequestState, Workload, make_uniform_workload
+from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.engine import ServingEngine, StepBreakdown
+from repro.serving.throughput import (
+    ThroughputResult,
+    max_achievable_batch,
+    measure_throughput,
+    max_achievable_throughput,
+)
+
+__all__ = [
+    "SystemConfig", "SYSTEM_PRESETS", "get_system",
+    "Request", "RequestState", "Workload", "make_uniform_workload",
+    "PagedKVCacheManager", "PageAllocationError",
+    "ContinuousBatchingScheduler",
+    "ServingEngine", "StepBreakdown",
+    "ThroughputResult", "max_achievable_batch", "measure_throughput",
+    "max_achievable_throughput",
+]

@@ -1,0 +1,208 @@
+"""Serving engine: per-iteration latency model + full serving loop.
+
+``ServingEngine`` binds a model geometry, a GPU and a serving-system preset.
+It answers two kinds of questions:
+
+* *kernel-level*: how long does one decode iteration (or one prefill) take at
+  a given batch size and context length?  These latencies come from the GPU
+  cost model (:mod:`repro.gpu.gemm`, :mod:`repro.gpu.attention_kernel`) and
+  drive Figures 2a, 17 and the throughput tables.
+* *system-level*: given a workload and a memory budget, run the continuous
+  batching loop (prefill newly admitted requests, decode the running batch,
+  retire finished requests) on a simulated clock and report the generation
+  throughput — the quantity Table 4 calls "maximum achievable throughput".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpu.attention_kernel import KV_KERNELS, attention_decode_latency
+from repro.gpu.gemm import GEMM_PRECISIONS, gemm_latency
+from repro.gpu.specs import GPUSpec
+from repro.model.config import ModelConfig
+from repro.serving.kv_cache_manager import PagedKVCacheManager
+from repro.serving.precision import SystemConfig
+from repro.serving.request import Workload
+from repro.serving.scheduler import ContinuousBatchingScheduler
+
+__all__ = ["StepBreakdown", "ServingResult", "ServingEngine"]
+
+#: Fixed per-iteration overhead for kernels not modelled explicitly
+#: (normalisation, rotary embedding, sampling, python/runtime launch gaps).
+_STEP_OVERHEAD_S = 100e-6
+
+
+@dataclass
+class StepBreakdown:
+    """Latency decomposition of one model iteration (seconds)."""
+
+    gemm: float
+    attention: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        return self.gemm + self.attention + self.other
+
+    def fraction(self, part: str) -> float:
+        value = getattr(self, part)
+        return 0.0 if self.total == 0 else value / self.total
+
+
+@dataclass
+class ServingResult:
+    """Outcome of a full serving-loop simulation."""
+
+    total_time_s: float
+    generated_tokens: int
+    prompt_tokens: int
+    peak_batch: int
+    num_iterations: int
+
+    @property
+    def generation_throughput(self) -> float:
+        """Generated tokens per second — the paper's headline metric."""
+        return 0.0 if self.total_time_s == 0 else self.generated_tokens / self.total_time_s
+
+
+class ServingEngine:
+    """Cost-model-driven serving simulator for one (model, GPU, system) triple."""
+
+    def __init__(self, model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
+                 max_seq_len: int = 2048) -> None:
+        self.model = model
+        self.gpu = gpu
+        self.system = system
+        self.max_seq_len = max_seq_len
+        self.gemm_precision = GEMM_PRECISIONS[system.gemm_precision]
+        self.attention_kernel = KV_KERNELS[system.attention_kernel]
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def weight_bytes(self) -> float:
+        return float(self.model.weight_bytes(self.system.weight_bits))
+
+    def kv_capacity_bytes(self) -> float:
+        """Device memory left over for the KV cache."""
+        weights = self.weight_bytes()
+        workspace = weights * self.system.activation_workspace_factor + 1.0 * (1 << 30)
+        return max(0.0, self.gpu.memory_bytes - weights - workspace)
+
+    def new_kv_manager(self) -> PagedKVCacheManager:
+        return PagedKVCacheManager(
+            model=self.model, system=self.system,
+            capacity_bytes=self.kv_capacity_bytes(),
+            max_seq_len=self.max_seq_len)
+
+    # ------------------------------------------------------------------
+    # Kernel-level latency
+    # ------------------------------------------------------------------
+    def _block_gemm_latency(self, tokens: int) -> float:
+        """Sum of one transformer block's GEMM latencies for ``tokens`` rows."""
+        h = self.model.hidden_size
+        kv = self.model.kv_dim
+        inter = self.model.intermediate_size
+        p = self.gemm_precision
+        shapes = [
+            (tokens, h + 2 * kv, h),        # fused QKV projection
+            (tokens, h, h),                 # output projection
+            (tokens, 2 * inter, h),         # fused gate + up projection
+            (tokens, h, inter),             # down projection
+        ]
+        total = 0.0
+        for m, n, k in shapes:
+            total += gemm_latency(self.gpu, m, n, k, p).total
+        if self.model.num_experts > 1:
+            # MoE: each token is routed to `experts_per_token` experts; GEMM
+            # work scales accordingly but weight traffic covers all experts'
+            # parameters once per iteration (they all must be resident).
+            moe_factor = self.model.experts_per_token
+            ffn = (gemm_latency(self.gpu, tokens, 2 * inter, h, p).total
+                   + gemm_latency(self.gpu, tokens, h, inter, p).total)
+            total += ffn * (moe_factor - 1)
+        return total
+
+    def decode_step(self, batch: int, context_len: int) -> StepBreakdown:
+        """Latency of one decoding iteration for ``batch`` sequences."""
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        gemm = self._block_gemm_latency(batch) * self.model.num_layers
+        attn = attention_decode_latency(
+            self.gpu, self.attention_kernel, batch, max(1, context_len),
+            self.model.num_heads, self.model.num_kv_heads, self.model.head_dim,
+        ).total * self.model.num_layers
+        # LM head (kept in FP16 by every system).
+        lm = gemm_latency(self.gpu, batch, self.model.vocab_size,
+                          self.model.hidden_size, GEMM_PRECISIONS["fp16"]).total
+        eff = self.system.runtime_efficiency
+        return StepBreakdown(gemm=(gemm + lm) / eff, attention=attn / eff,
+                             other=_STEP_OVERHEAD_S / eff)
+
+    def prefill(self, batch: int, prompt_len: int) -> StepBreakdown:
+        """Latency of prefilling ``batch`` prompts of ``prompt_len`` tokens."""
+        tokens = batch * prompt_len
+        gemm = self._block_gemm_latency(tokens) * self.model.num_layers
+        # Prefill attention is a compute-bound FP16 matmul of cost
+        # 2 * b * S^2 * H * D MACs per layer (QK^T and SV), on tensor cores.
+        macs = 2.0 * batch * prompt_len * prompt_len * self.model.num_heads * self.model.head_dim
+        attn = (2.0 * macs / (self.gpu.tensor_core_tops("fp16") * 1e12
+                              * self.gpu.compute_efficiency)) * self.model.num_layers
+        eff = self.system.runtime_efficiency
+        return StepBreakdown(gemm=gemm / eff, attention=attn / eff,
+                             other=_STEP_OVERHEAD_S / eff)
+
+    # ------------------------------------------------------------------
+    # System-level serving loop
+    # ------------------------------------------------------------------
+    def serve(self, workload: Workload, max_num_seqs: Optional[int] = None) -> ServingResult:
+        """Run the continuous-batching loop over ``workload`` on a simulated clock."""
+        kv_manager = self.new_kv_manager()
+        scheduler = ContinuousBatchingScheduler(
+            kv_manager=kv_manager,
+            max_num_seqs=max_num_seqs or 10**9)
+        scheduler.submit(list(workload.requests))
+
+        now = 0.0
+        iterations = 0
+        peak_batch = 0
+        generated = 0
+        guard = 0
+        max_iterations = 10_000_000
+
+        while not scheduler.all_done:
+            guard += 1
+            if guard > max_iterations:
+                raise RuntimeError("serving loop failed to terminate")
+            admitted = scheduler.admit(now)
+            if admitted:
+                prompt_len = max(r.prompt_len for r in admitted)
+                now += self.prefill(len(admitted), prompt_len).total
+                scheduler.complete_prefill(now)
+                iterations += 1
+                continue
+            decoding = scheduler.decoding_requests()
+            if not decoding:
+                # Nothing runnable: jump to the next arrival.
+                future = [r.arrival_time for r in scheduler.waiting]
+                if not future:
+                    break
+                now = max(now, min(future))
+                continue
+            batch = len(decoding)
+            peak_batch = max(peak_batch, batch)
+            context = int(sum(r.context_len for r in decoding) / batch)
+            now += self.decode_step(batch, context).total
+            scheduler.record_decode_step(now)
+            generated += batch
+            iterations += 1
+
+        return ServingResult(
+            total_time_s=now,
+            generated_tokens=generated,
+            prompt_tokens=workload.total_prompt_tokens,
+            peak_batch=peak_batch,
+            num_iterations=iterations,
+        )

@@ -1,0 +1,133 @@
+"""Paged KV cache management (Section 5.1, "KV Cache Management").
+
+QServe follows vLLM / TensorRT-LLM and stores the KV cache in fixed-size pages
+to avoid fragmentation; unlike those systems it performs *per-head dynamic*
+quantization, storing FP16 scales and zero points for each head immediately
+after the quantized features inside each page.  The manager below implements
+the bookkeeping: page-granular allocation per request, byte accounting that
+includes the in-page quantization parameters, and the non-paged fallback used
+to model systems without paged-attention support (QuaRot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.model.config import ModelConfig
+from repro.serving.precision import SystemConfig
+
+__all__ = ["PageAllocationError", "PagedKVCacheManager"]
+
+
+class PageAllocationError(RuntimeError):
+    """Raised when a request cannot be granted the pages it needs."""
+
+
+@dataclass
+class PagedKVCacheManager:
+    """Page-granular KV cache allocator for one model on one device.
+
+    Parameters
+    ----------
+    model:
+        Model geometry (layers, KV heads, head dim).
+    system:
+        Serving-system preset; supplies KV precision, per-head parameter
+        overhead and whether paging is supported at all.
+    capacity_bytes:
+        Device memory available for KV cache (what is left after weights and
+        activation workspace).
+    page_size:
+        Tokens per page (16 in vLLM/TensorRT-LLM-style systems).
+    max_seq_len:
+        Worst-case sequence length; non-paged systems must reserve this much
+        per request up front.
+    """
+
+    model: ModelConfig
+    system: SystemConfig
+    capacity_bytes: float
+    page_size: int = 16
+    max_seq_len: int = 2048
+    _allocated: Dict[int, int] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Byte accounting
+    # ------------------------------------------------------------------
+    def bytes_per_token(self) -> float:
+        """KV bytes per token across all layers, including dynamic parameters."""
+        payload = 2 * self.model.num_layers * self.model.kv_dim * self.system.kv_bits / 8.0
+        params = self.model.num_layers * self.model.num_kv_heads * self.system.kv_param_overhead
+        return payload + params
+
+    def bytes_per_page(self) -> float:
+        return self.bytes_per_token() * self.page_size
+
+    @property
+    def total_pages(self) -> int:
+        return int(self.capacity_bytes // self.bytes_per_page())
+
+    @property
+    def used_pages(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def free_pages(self) -> int:
+        return self.total_pages - self.used_pages
+
+    def pages_for_tokens(self, num_tokens: int) -> int:
+        """Pages needed to hold ``num_tokens`` tokens of KV state."""
+        if not self.system.paged_kv:
+            # Non-paged systems reserve the whole maximum sequence up front.
+            num_tokens = self.max_seq_len
+        return -(-num_tokens // self.page_size)  # ceil division
+
+    # ------------------------------------------------------------------
+    # Allocation API
+    # ------------------------------------------------------------------
+    def can_allocate(self, request_id: int, num_tokens: int) -> bool:
+        needed = self.pages_for_tokens(num_tokens) - self._allocated.get(request_id, 0)
+        return needed <= self.free_pages
+
+    def allocate(self, request_id: int, num_tokens: int) -> int:
+        """Grow the allocation of ``request_id`` to cover ``num_tokens`` tokens.
+
+        Returns the number of newly allocated pages.  Raises
+        :class:`PageAllocationError` when the cache is full.
+        """
+        target = self.pages_for_tokens(num_tokens)
+        current = self._allocated.get(request_id, 0)
+        needed = target - current
+        if needed <= 0:
+            return 0
+        if needed > self.free_pages:
+            raise PageAllocationError(
+                f"request {request_id} needs {needed} pages, only "
+                f"{self.free_pages} free")
+        self._allocated[request_id] = target
+        return needed
+
+    def free(self, request_id: int) -> int:
+        """Release all pages of a finished request; returns pages freed."""
+        return self._allocated.pop(request_id, 0)
+
+    def allocated_tokens_capacity(self, request_id: int) -> int:
+        return self._allocated.get(request_id, 0) * self.page_size
+
+    def utilization(self) -> float:
+        total = self.total_pages
+        return 0.0 if total == 0 else self.used_pages / total
+
+    def max_concurrent_requests(self, tokens_per_request: int) -> int:
+        """How many requests of a given final length fit simultaneously."""
+        pages_each = self.pages_for_tokens(tokens_per_request)
+        if pages_each == 0:
+            return 0
+        return self.total_pages // pages_each

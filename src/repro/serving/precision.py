@@ -1,0 +1,104 @@
+"""Serving-system presets.
+
+Each :class:`SystemConfig` binds a weight/activation/KV precision to the GPU
+cost model's GEMM dataflow and attention kernel, plus the system-level
+properties that affect achievable batch size (paged attention support,
+activation workspace overhead).  The presets mirror the systems compared in
+Table 4 / Figure 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["SystemConfig", "SYSTEM_PRESETS", "get_system"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One serving system / precision configuration.
+
+    Attributes
+    ----------
+    gemm_precision:
+        Key into :data:`repro.gpu.gemm.GEMM_PRECISIONS` used for all linear
+        layers of the transformer blocks.
+    attention_kernel:
+        Key into :data:`repro.gpu.attention_kernel.KV_KERNELS` used for the
+        decoding-stage attention.
+    weight_bits / kv_bits:
+        Storage precision used for memory accounting.
+    paged_kv:
+        Whether the system supports paged KV caches.  Systems without it
+        (QuaRot) must reserve contiguous KV memory for the full maximum
+        sequence length up front, which shrinks the achievable batch.
+    activation_workspace_factor:
+        Fraction of weight memory reserved for activations / workspace.
+    kv_param_overhead:
+        Extra bytes per token per KV head for dynamically stored scales and
+        zero points (QServe's per-head dynamic quantization).
+    runtime_efficiency:
+        Fraction of the cost-model latency the system's runtime actually
+        achieves.  TensorRT-LLM and QServe are tuned production runtimes
+        (1.0); the Atom and QuaRot research prototypes are substantially less
+        efficient — the paper attributes part of their Figure 2b gap to "the
+        inefficient runtime in these two systems".  The factors are calibrated
+        against Figure 2b (Atom 817 and QuaRot 986 tok/s vs 2104 for
+        TRT-W8A8 on Llama-2-7B/A100).
+    """
+
+    name: str
+    gemm_precision: str
+    attention_kernel: str
+    weight_bits: float
+    kv_bits: float
+    paged_kv: bool = True
+    activation_workspace_factor: float = 0.10
+    kv_param_overhead: float = 0.0
+    runtime_efficiency: float = 1.0
+
+    @property
+    def is_qserve(self) -> bool:
+        return self.name.startswith("qserve")
+
+
+#: Per-head FP16 scale + zero point for K and V (4 x 2 bytes per token per head).
+_DYNAMIC_KV_PARAM_BYTES = 8.0
+
+SYSTEM_PRESETS: Dict[str, SystemConfig] = {
+    "trt-fp16": SystemConfig(
+        name="trt-fp16", gemm_precision="fp16", attention_kernel="kv16",
+        weight_bits=16, kv_bits=16),
+    "trt-w8a8": SystemConfig(
+        name="trt-w8a8", gemm_precision="w8a8", attention_kernel="kv8-trt",
+        weight_bits=8, kv_bits=8),
+    "trt-w4a16": SystemConfig(
+        name="trt-w4a16", gemm_precision="w4a16", attention_kernel="kv16",
+        weight_bits=4, kv_bits=16),
+    "atom-w4a4": SystemConfig(
+        name="atom-w4a4", gemm_precision="w4a4-atom", attention_kernel="kv4-naive",
+        weight_bits=4.5, kv_bits=4,  # mixed-precision salient channels
+        kv_param_overhead=_DYNAMIC_KV_PARAM_BYTES, runtime_efficiency=0.40),
+    "quarot-w4a4": SystemConfig(
+        name="quarot-w4a4", gemm_precision="w4a4-quarot", attention_kernel="kv4-naive",
+        weight_bits=4, kv_bits=4, paged_kv=False,
+        kv_param_overhead=_DYNAMIC_KV_PARAM_BYTES, runtime_efficiency=0.45),
+    "qserve-w4a8kv4-chn": SystemConfig(
+        name="qserve-w4a8kv4-chn", gemm_precision="w4a8-qserve-chn",
+        attention_kernel="kv4-qserve", weight_bits=4, kv_bits=4,
+        kv_param_overhead=_DYNAMIC_KV_PARAM_BYTES),
+    "qserve-w4a8kv4-grp": SystemConfig(
+        name="qserve-w4a8kv4-grp", gemm_precision="w4a8-qserve-grp",
+        attention_kernel="kv4-qserve", weight_bits=4.25,  # group scales/zeros
+        kv_bits=4, kv_param_overhead=_DYNAMIC_KV_PARAM_BYTES),
+}
+
+
+def get_system(name: str) -> SystemConfig:
+    """Look up a serving-system preset by name."""
+    try:
+        return SYSTEM_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(SYSTEM_PRESETS))
+        raise KeyError(f"unknown system {name!r}; known: {known}") from None

@@ -1,0 +1,94 @@
+"""Requests and workloads for the serving simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["RequestState", "Request", "Workload", "make_uniform_workload"]
+
+
+class RequestState(str, enum.Enum):
+    """Lifecycle of a request inside the serving engine."""
+
+    WAITING = "waiting"
+    PREFILLING = "prefilling"
+    DECODING = "decoding"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One generation request.
+
+    The throughput benchmark of the paper uses 1024 prompt tokens and 512
+    output tokens per request; :func:`make_uniform_workload` builds exactly
+    that.
+    """
+
+    request_id: int
+    prompt_len: int
+    output_len: int
+    arrival_time: float = 0.0
+    state: RequestState = RequestState.WAITING
+    generated: int = 0
+    prefill_done_time: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.prompt_len <= 0 or self.output_len <= 0:
+            raise ValueError("prompt_len and output_len must be positive")
+
+    @property
+    def context_len(self) -> int:
+        """Tokens currently occupying KV cache (prompt + generated)."""
+        return self.prompt_len + self.generated
+
+    @property
+    def finished(self) -> bool:
+        return self.generated >= self.output_len
+
+
+@dataclass
+class Workload:
+    """A batch of requests plus summary helpers."""
+
+    requests: List[Request] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.output_len for r in self.requests)
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(r.prompt_len for r in self.requests)
+
+
+def make_uniform_workload(num_requests: int, prompt_len: int = 1024,
+                          output_len: int = 512,
+                          arrival_rate: Optional[float] = None,
+                          seed: int = 0) -> Workload:
+    """Build the paper's benchmark workload.
+
+    With ``arrival_rate=None`` every request is available at time zero (the
+    "maximum achievable throughput" setting); otherwise arrivals follow a
+    Poisson process with the given rate (requests/second).
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    arrivals = np.zeros(num_requests)
+    if arrival_rate is not None:
+        rng = np.random.default_rng(seed)
+        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=num_requests))
+    requests = [
+        Request(request_id=i, prompt_len=prompt_len, output_len=output_len,
+                arrival_time=float(arrivals[i]))
+        for i in range(num_requests)
+    ]
+    return Workload(requests=requests)

@@ -1,0 +1,102 @@
+"""In-flight (continuous) batching scheduler.
+
+QServe, vLLM and TensorRT-LLM all admit new requests into the running batch as
+soon as KV-cache pages free up, instead of waiting for the whole batch to
+finish.  The scheduler below implements that policy: FCFS admission subject to
+page availability and a maximum concurrent-sequence cap, immediate reclamation
+of pages on completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.serving.kv_cache_manager import PagedKVCacheManager
+from repro.serving.request import Request, RequestState
+
+__all__ = ["ContinuousBatchingScheduler"]
+
+
+@dataclass
+class ContinuousBatchingScheduler:
+    """FCFS continuous-batching scheduler over a paged KV cache."""
+
+    kv_manager: PagedKVCacheManager
+    max_num_seqs: int = 256
+    waiting: List[Request] = field(default_factory=list)
+    running: List[Request] = field(default_factory=list)
+    finished: List[Request] = field(default_factory=list)
+
+    def submit(self, requests: List[Request]) -> None:
+        """Add requests to the waiting queue (sorted by arrival time)."""
+        self.waiting.extend(requests)
+        self.waiting.sort(key=lambda r: (r.arrival_time, r.request_id))
+
+    # ------------------------------------------------------------------
+    def admit(self, now: float) -> List[Request]:
+        """Admit as many waiting requests as memory allows; returns new admits."""
+        admitted: List[Request] = []
+        still_waiting: List[Request] = []
+        for request in self.waiting:
+            if request.arrival_time > now or len(self.running) + len(admitted) >= self.max_num_seqs:
+                still_waiting.append(request)
+                continue
+            # Reserve pages for the request's *final* length (prompt plus the
+            # full output budget) so a running request can never be starved of
+            # pages mid-generation — the conservative admission policy
+            # TensorRT-LLM uses when preemption is disabled.
+            final_len = request.prompt_len + request.output_len
+            if self.kv_manager.can_allocate(request.request_id, final_len):
+                self.kv_manager.allocate(request.request_id, final_len)
+                request.state = RequestState.PREFILLING
+                admitted.append(request)
+            else:
+                still_waiting.append(request)
+        self.waiting = still_waiting
+        self.running.extend(admitted)
+        return admitted
+
+    def complete_prefill(self, now: float) -> None:
+        """Move freshly prefilled requests into the decoding state."""
+        for request in self.running:
+            if request.state is RequestState.PREFILLING:
+                request.state = RequestState.DECODING
+                request.prefill_done_time = now
+
+    def record_decode_step(self, now: float) -> List[Request]:
+        """Account one generated token per decoding request; retire finished ones."""
+        completed: List[Request] = []
+        survivors: List[Request] = []
+        for request in self.running:
+            if request.state is not RequestState.DECODING:
+                survivors.append(request)
+                continue
+            request.generated += 1
+            if request.finished:
+                request.state = RequestState.FINISHED
+                request.finish_time = now
+                self.kv_manager.free(request.request_id)
+                completed.append(request)
+            else:
+                # Grow the allocation to cover the newly generated token.
+                self.kv_manager.allocate(request.request_id, request.context_len)
+                survivors.append(request)
+        self.running = survivors
+        self.finished.extend(completed)
+        return completed
+
+    # ------------------------------------------------------------------
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    @property
+    def all_done(self) -> bool:
+        return not self.waiting and not self.running
+
+    def decoding_requests(self) -> List[Request]:
+        return [r for r in self.running if r.state is RequestState.DECODING]
+
+    def prefilling_requests(self) -> List[Request]:
+        return [r for r in self.running if r.state is RequestState.PREFILLING]

@@ -1,0 +1,97 @@
+"""Maximum-achievable-throughput measurement (Table 4, Figures 15/17).
+
+The paper's efficiency metric is the generation throughput (tokens/second)
+each system reaches when it is allowed to grow its batch as large as the
+device memory permits, for a workload of 1024-token prompts and 512-token
+outputs.  The functions here (a) find that largest feasible batch from the
+weight/KV memory model and (b) run the serving loop at a given batch size to
+measure throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.specs import GPUSpec
+from repro.model.config import ModelConfig
+from repro.serving.engine import ServingEngine, ServingResult  # noqa: F401  (re-exported for callers)
+from repro.serving.precision import SystemConfig
+from repro.serving.request import make_uniform_workload
+
+__all__ = [
+    "ThroughputResult",
+    "max_achievable_batch",
+    "measure_throughput",
+    "max_achievable_throughput",
+]
+
+#: Hard cap on concurrent sequences, mirroring real serving configurations.
+MAX_SEQS_CAP = 256
+
+
+@dataclass
+class ThroughputResult:
+    """Throughput measurement for one (model, GPU, system) triple."""
+
+    system: str
+    model: str
+    gpu: str
+    batch: int
+    tokens_per_second: float
+    serving: ServingResult
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.model} on {self.gpu} [{self.system}]: "
+                f"{self.tokens_per_second:.0f} tok/s @ batch {self.batch}")
+
+
+def max_achievable_batch(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
+                         prompt_len: int = 1024, output_len: int = 512,
+                         cap: int = MAX_SEQS_CAP) -> int:
+    """Largest number of concurrent requests that fits in device memory.
+
+    A request ultimately occupies ``prompt_len + output_len`` tokens of KV
+    cache; the engine's memory model (weights at the system's storage
+    precision plus activation workspace) determines how many such requests
+    fit.  Returns 0 when even the weights do not fit (the "OOM" entries of
+    Table 4).
+    """
+    engine = ServingEngine(model, gpu, system, max_seq_len=prompt_len + output_len)
+    if engine.kv_capacity_bytes() <= 0:
+        return 0
+    manager = engine.new_kv_manager()
+    batch = manager.max_concurrent_requests(prompt_len + output_len)
+    return int(min(batch, cap))
+
+
+def measure_throughput(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
+                       batch: int, prompt_len: int = 1024, output_len: int = 512,
+                       num_requests: Optional[int] = None) -> ThroughputResult:
+    """Serve a uniform workload at a fixed concurrency and report throughput."""
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    engine = ServingEngine(model, gpu, system, max_seq_len=prompt_len + output_len)
+    workload = make_uniform_workload(num_requests or batch, prompt_len, output_len)
+    result = engine.serve(workload, max_num_seqs=batch)
+    return ThroughputResult(
+        system=system.name, model=model.name, gpu=gpu.name, batch=batch,
+        tokens_per_second=result.generation_throughput, serving=result)
+
+
+def max_achievable_throughput(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
+                              prompt_len: int = 1024, output_len: int = 512) -> ThroughputResult:
+    """Throughput at the largest memory-feasible batch (the Table 4 metric).
+
+    Returns a result with zero throughput and batch 0 when the model does not
+    fit on the device under the system's weight precision (reported as "OOM"
+    in the paper).
+    """
+    batch = max_achievable_batch(model, gpu, system, prompt_len, output_len)
+    if batch == 0:
+        return ThroughputResult(
+            system=system.name, model=model.name, gpu=gpu.name, batch=0,
+            tokens_per_second=0.0,
+            serving=ServingResult(total_time_s=0.0, generated_tokens=0,
+                                  prompt_tokens=0, peak_batch=0, num_iterations=0))
+    return measure_throughput(model, gpu, system, batch, prompt_len, output_len)

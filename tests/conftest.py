@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+The accuracy-related fixtures are session-scoped because building the corpus
+and calibrating the tiny model takes a noticeable fraction of a second; every
+test that needs a model clones it rather than mutating the shared instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CorpusConfig, SyntheticCorpus, sample_calibration_batches
+from repro.experiments.accuracy_common import build_setup
+from repro.model import generate_model, get_config
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return get_config("tiny-llama")
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(tiny_config):
+    return SyntheticCorpus(CorpusConfig(
+        vocab_size=tiny_config.vocab_size, num_train_tokens=4096,
+        num_eval_tokens=1024, num_classes=16, seed=0))
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_config, tiny_corpus):
+    """A tiny model with genuine predictive structure on the tiny corpus."""
+    return generate_model(
+        tiny_config, seed=0,
+        bigram_matrix=tiny_corpus.transition_matrix,
+        token_classes=tiny_corpus.token_classes,
+        train_tokens=tiny_corpus.train_tokens)
+
+
+@pytest.fixture(scope="session")
+def plain_model(tiny_config):
+    """A tiny model without LM-head calibration (pure structural tests)."""
+    return generate_model(tiny_config, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_calibration(tiny_corpus):
+    return sample_calibration_batches(tiny_corpus, num_batches=3, seq_len=32, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_eval_sequences(tiny_corpus):
+    return tiny_corpus.chunks("eval", 96)[:4]
+
+
+@pytest.fixture(scope="session")
+def accuracy_setup():
+    """The shared tiny-scale experiment setup."""
+    return build_setup("tiny", seed=0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

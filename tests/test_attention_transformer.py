@@ -1,0 +1,125 @@
+"""Tests for attention, the KV cache and the full transformer."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    AttentionConfig,
+    KVCache,
+    TransformerModel,
+    get_config,
+    multi_head_attention,
+)
+from repro.model.transformer import ForwardConfig
+from repro.quant.kv_quant import KVQuantConfig
+
+
+def _qkv(tokens=6, heads=4, kv_heads=2, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(tokens, heads, dim))
+    k = rng.normal(size=(tokens, kv_heads, dim))
+    v = rng.normal(size=(tokens, kv_heads, dim))
+    return q, k, v
+
+
+def test_attention_output_shape_gqa():
+    q, k, v = _qkv()
+    cfg = AttentionConfig(num_heads=4, num_kv_heads=2, head_dim=8)
+    out = multi_head_attention(q, k, v, cfg)
+    assert out.shape == (6, 4, 8)
+
+
+def test_causal_mask_first_token_attends_only_itself():
+    q, k, v = _qkv()
+    cfg = AttentionConfig(num_heads=4, num_kv_heads=2, head_dim=8)
+    out = multi_head_attention(q, k, v, cfg, causal=True)
+    # Token 0 can only attend to itself, so its output equals v[0] expanded.
+    expected = np.repeat(v[0][None], 2, axis=1).reshape(1, 4, 8)[0]
+    np.testing.assert_allclose(out[0], expected, atol=1e-9)
+
+
+def test_incremental_cache_matches_full_forward(tiny_model):
+    """Decoding token-by-token with a cache gives the same logits as a single
+    full forward pass — the core KV-cache correctness property."""
+    tokens = np.arange(10) % tiny_model.config.vocab_size
+    full = tiny_model.forward(tokens)
+    caches = tiny_model.new_caches(KVQuantConfig(bits=16))
+    stepwise = []
+    for i, tok in enumerate(tokens):
+        logits = tiny_model.forward(np.array([tok]), caches=caches, start_position=i)
+        stepwise.append(logits[0])
+    np.testing.assert_allclose(np.stack(stepwise), full, atol=1e-8)
+
+
+def test_kv_cache_quantization_changes_results(tiny_model, tiny_eval_sequences):
+    seq = tiny_eval_sequences[0]
+    fp = tiny_model.forward(seq)
+    kv4 = tiny_model.forward(seq, ForwardConfig(kv_quant=KVQuantConfig(bits=4)))
+    kv8 = tiny_model.forward(seq, ForwardConfig(kv_quant=KVQuantConfig(bits=8)))
+    err4 = np.mean((fp - kv4) ** 2)
+    err8 = np.mean((fp - kv8) ** 2)
+    assert err4 > err8 > 0
+
+
+def test_forward_validates_tokens(tiny_model):
+    with pytest.raises(ValueError):
+        tiny_model.forward(np.array([], dtype=np.int64))
+    with pytest.raises(ValueError):
+        tiny_model.forward(np.array([10**6]))
+    with pytest.raises(ValueError):
+        tiny_model.forward(np.zeros((2, 2), dtype=np.int64))
+
+
+def test_generate_produces_requested_tokens(tiny_model):
+    out = tiny_model.generate(np.array([1, 2, 3]), max_new_tokens=5)
+    assert out.shape == (5,)
+    assert out.min() >= 0 and out.max() < tiny_model.config.vocab_size
+
+
+def test_named_linears_and_set_linear(tiny_model):
+    model = tiny_model.clone()
+    linears = model.named_linears()
+    assert len(linears) == 7 * model.config.num_layers
+    name = "layers.0.q_proj"
+    replacement = linears[name].replace_weight(linears[name].weight * 0)
+    model.set_linear(name, replacement)
+    assert np.all(model.blocks[0].q_proj.weight == 0)
+    with pytest.raises(KeyError):
+        model.set_linear("bogus", replacement)
+
+
+def test_calibration_recorder_contents(tiny_model, tiny_calibration):
+    recorder = tiny_model.run_calibration(tiny_calibration)
+    cfg = tiny_model.config
+    assert len(recorder.absmax) == 7 * cfg.num_layers
+    samples = recorder.input_samples("layers.0.q_proj")
+    assert samples.shape[1] == cfg.hidden_size
+    keys = recorder.stacked_keys(0)
+    assert keys.shape[1:] == (cfg.num_kv_heads, cfg.head_dim)
+    values = recorder.stacked_values(0)
+    assert values.shape == keys.shape
+
+
+def test_kv_cache_append_and_len():
+    cfg = AttentionConfig(num_heads=2, num_kv_heads=2, head_dim=4)
+    cache = KVCache(config=cfg, quant=KVQuantConfig(bits=8))
+    assert len(cache) == 0
+    k = np.random.default_rng(0).normal(size=(3, 2, 4))
+    cache.append(k, k)
+    cache.append(k, k)
+    assert len(cache) == 6
+    with pytest.raises(RuntimeError):
+        KVCache(config=cfg).contents()
+
+
+def test_model_config_accounting():
+    cfg = get_config("llama-2-7b")
+    assert abs(cfg.num_params() / 1e9 - 6.7) < 0.5          # ~7B parameters
+    assert cfg.gqa_ratio == 1
+    assert get_config("llama-3-8b").gqa_ratio == 4
+    fp16_bytes = cfg.weight_bytes(16)
+    int4_bytes = cfg.weight_bytes(4)
+    assert int4_bytes < 0.4 * fp16_bytes
+    assert cfg.kv_bytes_per_token(4) < cfg.kv_bytes_per_token(16) / 2 + 1024
+    with pytest.raises(KeyError):
+        get_config("does-not-exist")

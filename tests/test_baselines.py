@@ -1,0 +1,108 @@
+"""Tests for the baseline quantization methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    gptq_quantize_weight,
+    quantize_atom,
+    quantize_awq,
+    quantize_gptq,
+    quantize_quarot,
+    quantize_rtn,
+    quantize_smoothquant,
+    search_awq_scales,
+)
+from repro.data import evaluate_perplexity
+from repro.quant import Granularity, UINT4, fake_quantize, quantization_error
+
+
+@pytest.fixture(scope="module")
+def fp_ppl(tiny_model, tiny_eval_sequences):
+    return evaluate_perplexity(tiny_model, tiny_eval_sequences)
+
+
+def test_rtn_w8a8_nearly_lossless(tiny_model, tiny_eval_sequences, fp_ppl):
+    model, fwd = quantize_rtn(tiny_model, weight_bits=8, act_bits=8, kv_bits=8)
+    ppl = evaluate_perplexity(model, tiny_eval_sequences, fwd)
+    assert abs(ppl - fp_ppl) / fp_ppl < 0.05
+
+
+def test_rtn_w4a4_worse_than_w4a8(tiny_model, tiny_eval_sequences):
+    m48, f48 = quantize_rtn(tiny_model, weight_bits=4, act_bits=8, kv_bits=4,
+                            group_size=32)
+    m44, f44 = quantize_rtn(tiny_model, weight_bits=4, act_bits=4, kv_bits=4,
+                            group_size=32)
+    ppl48 = evaluate_perplexity(m48, tiny_eval_sequences, f48)
+    ppl44 = evaluate_perplexity(m44, tiny_eval_sequences, f44)
+    assert ppl44 > ppl48
+
+
+def test_smoothquant_close_to_fp16(tiny_model, tiny_calibration,
+                                   tiny_eval_sequences, fp_ppl):
+    model, fwd = quantize_smoothquant(tiny_model, tiny_calibration)
+    ppl = evaluate_perplexity(model, tiny_eval_sequences, fwd)
+    assert abs(ppl - fp_ppl) / fp_ppl < 0.05
+
+
+def test_awq_scale_search_not_worse_than_rtn():
+    rng = np.random.default_rng(0)
+    weight = rng.normal(0, 0.1, size=(32, 64))
+    inputs = rng.normal(size=(128, 64))
+    inputs[:, :4] *= 20  # salient channels
+    weight[:, :4] *= 2
+    scales, alpha = search_awq_scales(weight, inputs, group_size=16)
+    w_awq = fake_quantize(weight * scales, UINT4, Granularity.PER_GROUP,
+                          symmetric=False, group_size=16)
+    w_rtn = fake_quantize(weight, UINT4, Granularity.PER_GROUP,
+                          symmetric=False, group_size=16)
+    ref = inputs @ weight.T
+    err_awq = np.mean((ref - (inputs / scales) @ w_awq.T) ** 2)
+    err_rtn = np.mean((ref - inputs @ w_rtn.T) ** 2)
+    assert err_awq <= err_rtn + 1e-12
+    assert 0.0 <= alpha <= 1.0
+
+
+def test_gptq_beats_rtn_on_layer_output_error():
+    rng = np.random.default_rng(1)
+    weight = rng.normal(0, 0.1, size=(24, 64))
+    inputs = rng.normal(size=(256, 64))
+    inputs[:, :6] *= 8
+    w_gptq = gptq_quantize_weight(weight, inputs, group_size=16)
+    w_rtn = fake_quantize(weight, UINT4, Granularity.PER_GROUP,
+                          symmetric=False, group_size=16)
+    ref = inputs @ weight.T
+    err_gptq = np.mean((ref - inputs @ w_gptq.T) ** 2)
+    err_rtn = np.mean((ref - inputs @ w_rtn.T) ** 2)
+    assert err_gptq < err_rtn
+    # The quantized weight must still be close to the original.
+    assert quantization_error(weight, w_gptq) / np.mean(weight ** 2) < 0.2
+
+
+def test_w4a16_baselines_close_to_fp(tiny_model, tiny_calibration,
+                                     tiny_eval_sequences, fp_ppl):
+    for quantizer in (quantize_gptq, quantize_awq):
+        model, fwd = quantizer(tiny_model, tiny_calibration, group_size=32)
+        ppl = evaluate_perplexity(model, tiny_eval_sequences, fwd)
+        assert ppl < fp_ppl * 1.25
+
+
+def test_w4a4_baselines_degrade_more_than_w8a8(tiny_model, tiny_calibration,
+                                               tiny_eval_sequences, fp_ppl):
+    quarot, fwd_q = quantize_quarot(tiny_model, tiny_calibration, group_size=32)
+    atom, fwd_a = quantize_atom(tiny_model, tiny_calibration, group_size=32)
+    sq, fwd_s = quantize_smoothquant(tiny_model, tiny_calibration)
+    ppl_quarot = evaluate_perplexity(quarot, tiny_eval_sequences, fwd_q)
+    ppl_atom = evaluate_perplexity(atom, tiny_eval_sequences, fwd_a)
+    ppl_sq = evaluate_perplexity(sq, tiny_eval_sequences, fwd_s)
+    assert ppl_quarot > ppl_sq
+    assert ppl_atom > ppl_sq
+    assert ppl_quarot < fp_ppl * 2  # degraded but not catastrophically broken
+    assert ppl_atom < fp_ppl * 2
+
+
+def test_rtn_validation(tiny_model):
+    with pytest.raises(ValueError):
+        quantize_rtn(tiny_model, weight_bits=3)
+    with pytest.raises(ValueError):
+        quantize_rtn(tiny_model, act_bits=2)

@@ -1,0 +1,90 @@
+"""Tests for the synthetic corpus, perplexity harness and task suites."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CorpusConfig,
+    SyntheticCorpus,
+    build_long_context_suite,
+    build_zero_shot_suite,
+    evaluate_perplexity,
+    evaluate_task_accuracy,
+    perplexity_from_logits,
+    sample_calibration_batches,
+)
+from repro.data.corpus import bigram_transition_matrix
+
+
+def test_transition_matrix_is_row_stochastic_and_low_rank():
+    matrix, classes = bigram_transition_matrix(64, num_classes=8, seed=0)
+    np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+    assert matrix.min() > 0
+    assert classes.shape == (64,)
+    assert np.linalg.matrix_rank(matrix) <= 8
+
+
+def test_corpus_streams_and_chunks(tiny_corpus):
+    assert tiny_corpus.train_tokens.size == 4096
+    assert tiny_corpus.eval_tokens.size == 1024
+    chunks = tiny_corpus.chunks("eval", 128)
+    assert len(chunks) == 8 and all(c.size == 128 for c in chunks)
+    with pytest.raises(ValueError):
+        tiny_corpus.chunks("eval", 10_000)
+
+
+def test_corpus_is_deterministic():
+    cfg = CorpusConfig(vocab_size=64, num_train_tokens=512, num_eval_tokens=128)
+    a, b = SyntheticCorpus(cfg), SyntheticCorpus(cfg)
+    np.testing.assert_array_equal(a.train_tokens, b.train_tokens)
+
+
+def test_oracle_perplexity_well_below_uniform(tiny_corpus):
+    assert tiny_corpus.oracle_perplexity() < tiny_corpus.config.vocab_size / 4
+
+
+def test_perplexity_from_logits_uniform():
+    vocab = 32
+    logits = np.zeros((10, vocab))
+    targets = np.zeros(10, dtype=int)
+    assert perplexity_from_logits(logits, targets) == pytest.approx(vocab)
+
+
+def test_model_perplexity_beats_uniform_and_tracks_oracle(tiny_model, tiny_corpus,
+                                                          tiny_eval_sequences):
+    ppl = evaluate_perplexity(tiny_model, tiny_eval_sequences)
+    assert ppl < tiny_corpus.config.vocab_size / 3
+    assert ppl > tiny_corpus.oracle_perplexity() * 0.9
+
+
+def test_calibration_batches_shape(tiny_corpus):
+    batches = sample_calibration_batches(tiny_corpus, num_batches=5, seq_len=32)
+    assert len(batches) == 5 and all(b.size == 32 for b in batches)
+    with pytest.raises(ValueError):
+        sample_calibration_batches(tiny_corpus, seq_len=10**6)
+
+
+def test_zero_shot_suite_structure(tiny_corpus):
+    suite = build_zero_shot_suite(tiny_corpus, num_examples_per_task=3, seed=0)
+    assert len(suite) == 5
+    for examples in suite.values():
+        assert len(examples) == 3
+        for ex in examples:
+            assert 0 <= ex.answer < len(ex.choices)
+
+
+def test_long_context_suite_has_needle_at_end(tiny_corpus):
+    suite = build_long_context_suite(tiny_corpus, num_examples_per_task=2,
+                                     context_len=64, seed=0)
+    for examples in suite.values():
+        for ex in examples:
+            needle = ex.choices[ex.answer]
+            np.testing.assert_array_equal(ex.context[-needle.size:], needle)
+
+
+def test_task_accuracy_better_than_chance(tiny_model, tiny_corpus):
+    suite = build_zero_shot_suite(tiny_corpus, num_examples_per_task=8,
+                                  num_choices=4, seed=1)
+    acc = evaluate_task_accuracy(tiny_model, suite)
+    assert acc["Avg."] > 0.3  # chance is 0.25 for 4 choices
+    assert set(acc) == {"PQ", "ARC-e", "ARC-c", "HS", "WG", "Avg."}

@@ -1,0 +1,132 @@
+"""Tests for the experiment harnesses (one per paper table/figure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentReport, format_table
+from repro.experiments import (
+    fig2_motivation,
+    fig3_roofline,
+    fig16_ablation,
+    fig17_same_batch,
+    fig18_dequant_overhead,
+    table1_kv4_attention,
+    table2_perplexity,
+    table4_throughput,
+)
+from repro.experiments.accuracy_common import build_setup
+
+
+def test_report_helpers():
+    report = ExperimentReport("x", "demo", ["a", "b"])
+    report.add_row(1, 2.0)
+    assert report.column("a") == [1]
+    assert report.row_by("a", 1) == [1, 2.0]
+    assert report.row_by("a", 99) is None
+    with pytest.raises(ValueError):
+        report.add_row(1)
+    text = report.to_text()
+    assert "demo" in text and "2.00" in text
+    assert "a" in format_table(["a"], [[1.5]])
+
+
+def test_fig2a_attention_share_grows_with_batch():
+    report = fig2_motivation.run_latency_breakdown(batches=(1, 16, 64))
+    shares = report.column("Attention %")
+    assert shares[0] < shares[-1]
+    assert shares[-1] > 50.0
+
+
+def test_fig2b_w4a4_systems_do_not_beat_trt():
+    report = fig2_motivation.run_system_throughput()
+    values = dict(zip(report.column("System"), report.column("Throughput (tok/s)")))
+    assert values["atom-w4a4"] < values["trt-w8a8"]
+    assert values["quarot-w4a4"] < values["trt-w8a8"]
+
+
+def test_fig3_crossover_and_dominance():
+    report = fig3_roofline.run()
+    assert report.extra["crossover"] == pytest.approx(78, abs=3)
+    w4a8 = report.column("INT4xINT8 (W4A8)")
+    w8a8 = report.column("INT8xINT8 (W8A8)")
+    w4a16 = report.column("INT4xFP16 (W4A16)")
+    assert all(a >= b - 1e-9 and a >= c - 1e-9
+               for a, b, c in zip(w4a8, w8a8, w4a16))
+
+
+def test_table1_report_shape():
+    report = table1_kv4_attention.run(seq_lens=(256, 1024))
+    assert len(report.rows) == 2
+    naive_speedups = report.column("naive speedup")
+    qserve_speedups = report.column("QServe speedup")
+    assert all(s < 1.0 for s in naive_speedups)
+    assert all(s > 1.2 for s in qserve_speedups)
+    breakdown = table1_kv4_attention.run_breakdown()
+    latencies = breakdown.column("Latency (ms)")
+    assert latencies == sorted(latencies, reverse=True)
+
+
+def test_table4_and_table6_speedups():
+    report = table4_throughput.run(models=("llama-3-8b", "llama-2-70b"),
+                                   include_w4a4=False)
+    speedups = report.column("Speedup vs best TRT")
+    assert all(s > 1.0 for s in speedups)
+    t6 = table4_throughput.run_table6(models=("llama-2-7b",))
+    assert t6.rows[0][-1] > 1.0
+
+
+def test_fig15_geomean_speedups_exceed_one():
+    report = table4_throughput.run_fig15_speedups(models=("llama-3-8b", "llama-2-13b"))
+    geo = report.extra["geomean"]
+    assert geo["A100"] > 1.0
+    assert geo["L40S"] > geo["A100"] * 0.9  # L40S advantage is at least comparable
+
+
+def test_fig17_qserve_fastest_at_same_batch():
+    report = fig17_same_batch.run(batches=(8,), normalize=True)
+    row = report.rows[0]
+    header_idx = {h: i for i, h in enumerate(report.headers)}
+    qserve = row[header_idx["qserve-w4a8kv4-chn"]]
+    others = [row[header_idx[s]] for s in ("trt-fp16", "trt-w4a16", "trt-w8a8",
+                                           "atom-w4a4", "quarot-w4a4")]
+    assert qserve >= max(others)
+
+
+def test_fig18_overhead_ordering():
+    report = fig18_dequant_overhead.run(batches=(8, 64))
+    for row in report.rows:
+        _, w8a8, w4a16, atom, qserve = row
+        assert w8a8 == 0.0
+        assert atom >= max(w4a16, qserve)
+        assert qserve <= w4a16 + 1e-9
+    comp = fig18_dequant_overhead.run_mainloop_composition()
+    assert len(comp.rows) == 6
+
+
+@pytest.mark.slow
+def test_accuracy_experiments_tiny_scale(accuracy_setup):
+    """End-to-end smoke test of the accuracy experiments at tiny scale."""
+    report = table2_perplexity.run(setup=accuracy_setup)
+    ppl = dict(zip((f"{r[0]}/{r[1]}" for r in report.rows),
+                   report.column("Perplexity")))
+    fp16 = ppl["FP16/-"]
+    assert abs(ppl["W8A8/SmoothQuant"] - fp16) / fp16 < 0.05
+    # Every 4-bit weight setting degrades relative to FP16 but stays finite.
+    for key, value in ppl.items():
+        assert np.isfinite(value)
+        if key.startswith("W4A4"):
+            assert value > fp16
+
+    ablation = fig16_ablation.run(setup=accuracy_setup)
+    assert len(ablation.rows) == 8
+    throughputs = ablation.column("Throughput (tok/s)")
+    # 4-bit weights and 4-bit KV each increase serving throughput.
+    assert throughputs[1] > throughputs[0]
+    assert throughputs[4] > throughputs[3]
+    kv_mem = ablation.column("KV mem/token (KB)")
+    assert kv_mem[4] < kv_mem[3] / 1.9
+
+
+def test_build_setup_rejects_unknown_scale():
+    with pytest.raises(KeyError):
+        build_setup("huge")

@@ -1,0 +1,128 @@
+"""Tests for the GPU cost model: specs, roofline, GEMM, attention kernels."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    A100,
+    GEMM_PRECISIONS,
+    KV_KERNELS,
+    L40S,
+    attention_decode_latency,
+    attention_roofline_tops,
+    dequant_overhead_fraction,
+    gemm_latency,
+    gemm_roofline_tops,
+    get_gpu,
+    roofline_crossover_batch,
+)
+
+
+def test_gpu_registry_and_constants():
+    assert get_gpu("a100") is A100
+    assert get_gpu("L40S") is L40S
+    with pytest.raises(KeyError):
+        get_gpu("h100")
+    # Paper footnote 1: 312/624/1248 TOPS, ~2 TB/s.
+    assert A100.tensor_core_tops("fp16") == 312
+    assert A100.tensor_core_tops("int4") == 1248
+    assert A100.memory_bandwidth_gbps == pytest.approx(2039)
+    # Section 3.2: FP32 CUDA peak is ~2% of INT4 tensor core peak.
+    assert A100.fp32_cuda_tflops / A100.int4_tensor_tops < 0.025
+    # Section 5.3: A100 FP32 CUDA roofline turning point ~9.8 ops/byte.
+    assert A100.cuda_core_roofline_turning_point("fp32") == pytest.approx(9.6, abs=1.0)
+    # Section 6.3: L40S has relatively stronger CUDA cores than A100.
+    assert (L40S.fp32_cuda_tflops / L40S.int8_tensor_tops
+            > A100.fp32_cuda_tflops / A100.int8_tensor_tops)
+
+
+def test_roofline_crossover_near_78():
+    assert roofline_crossover_batch(A100, 4, 16, 8, 8) == pytest.approx(78, abs=3)
+
+
+def test_w4a8_roofline_dominates_w4a16_and_w8a8():
+    for m in (1, 8, 32, 78, 128, 192):
+        w4a8 = gemm_roofline_tops(A100, m, 4, 8)
+        assert w4a8 >= gemm_roofline_tops(A100, m, 4, 16) - 1e-9
+        assert w4a8 >= gemm_roofline_tops(A100, m, 8, 8) - 1e-9
+
+
+def test_attention_roofline_doubles_per_precision_halving():
+    fp16 = attention_roofline_tops(A100, 16)
+    int8 = attention_roofline_tops(A100, 8)
+    int4 = attention_roofline_tops(A100, 4)
+    assert int8 == pytest.approx(2 * fp16)
+    assert int4 == pytest.approx(2 * int8)
+
+
+def test_gemm_latency_breakdown_and_monotonicity():
+    p = GEMM_PRECISIONS["w8a8"]
+    small = gemm_latency(A100, 8, 4096, 4096, p)
+    large = gemm_latency(A100, 64, 4096, 4096, p)
+    assert large.total >= small.total
+    assert small.cuda_core == 0.0  # W8A8 has no main-loop dequantization
+    with pytest.raises(ValueError):
+        gemm_latency(A100, 0, 4096, 4096, p)
+
+
+def test_w4a8_gemm_faster_than_w8a8_in_memory_bound_region():
+    w8a8 = gemm_latency(A100, 16, 4096, 4096, GEMM_PRECISIONS["w8a8"]).total
+    w4a8 = gemm_latency(A100, 16, 4096, 4096, GEMM_PRECISIONS["w4a8-qserve-grp"]).total
+    assert w8a8 / w4a8 > 1.3  # paper: ~1.5x over cuBLAS W8A8
+
+
+def test_dequant_overhead_ordering_fig18():
+    """W8A8 has zero overhead; Atom's W4A4 has the largest; QServe W4A8 is
+    comparable to (and not larger than) TRT W4A16."""
+    for m in (8, 32, 128):
+        over = {name: dequant_overhead_fraction(A100, m, 4096, 4096,
+                                                GEMM_PRECISIONS[name])
+                for name in ("w8a8", "w4a16", "w4a4-atom", "w4a8-qserve-grp")}
+        assert over["w8a8"] == 0.0
+        assert over["w4a4-atom"] >= max(over["w4a16"], over["w4a8-qserve-grp"])
+        assert over["w4a8-qserve-grp"] <= over["w4a16"] + 1e-9
+    assert dequant_overhead_fraction(
+        A100, 8, 4096, 4096, GEMM_PRECISIONS["w4a4-atom"]) > 0.6
+
+
+def _llama7b_attention(gpu, kernel, seq=1024, batch=64):
+    return attention_decode_latency(gpu, KV_KERNELS[kernel], batch, seq, 32, 32, 128)
+
+
+def test_table1_shape_on_a100():
+    """Naive KV4 is slower than KV8 on A100; the QServe kernel is 1.3-2x faster."""
+    for seq in (256, 1024, 1536):
+        kv8 = _llama7b_attention(A100, "kv8-trt", seq).total
+        naive = _llama7b_attention(A100, "kv4-naive", seq).total
+        ours = _llama7b_attention(A100, "kv4-qserve", seq).total
+        assert naive > kv8 * 0.99
+        assert 1.2 < kv8 / ours < 2.2
+
+
+def test_naive_kv4_faster_on_l40s_due_to_stronger_cuda_cores():
+    kv8 = _llama7b_attention(L40S, "kv8-trt").total
+    naive = _llama7b_attention(L40S, "kv4-naive").total
+    assert kv8 / naive > 1.4  # paper: ~1.7x
+
+
+def test_naive_kv4_compute_bound_on_a100_memory_bound_on_l40s():
+    a100 = _llama7b_attention(A100, "kv4-naive")
+    l40s = _llama7b_attention(L40S, "kv4-naive")
+    assert a100.is_compute_bound
+    assert not l40s.is_compute_bound
+
+
+def test_kv4_breakdown_monotonically_improves():
+    stages = ["kv4-naive", "kv4-bittrick", "kv4-simplectrl", "kv4-qserve"]
+    latencies = [_llama7b_attention(A100, s).total for s in stages]
+    assert all(latencies[i + 1] <= latencies[i] + 1e-12
+               for i in range(len(latencies) - 1))
+
+
+def test_attention_latency_validation():
+    with pytest.raises(ValueError):
+        attention_decode_latency(A100, KV_KERNELS["kv8-trt"], 0, 128, 32, 32, 128)
+    with pytest.raises(ValueError):
+        A100.tensor_core_tops("int2")
+    with pytest.raises(ValueError):
+        A100.cuda_core_tops("int2")

@@ -1,0 +1,100 @@
+"""Tests for the layout (Figure 12) and register-level parallelism (Figures 13/14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import (
+    compute_aware_reorder,
+    compute_thread_map,
+    dequantize_subtract_after_multiply,
+    dequantize_subtract_before_multiply,
+    inverse_reorder,
+    ldmatrix_thread_map,
+    pointer_arithmetic_ops,
+    simulate_rlp_dequant,
+    simulate_vadd4,
+)
+from repro.gpu.layout import NUM_THREADS, TILE_COLS, TILE_ROWS
+from repro.quant.progressive import progressive_quantize, progressive_dequantize_level1
+
+
+def test_ldmatrix_matches_compute_for_int8_but_not_int4():
+    compute = compute_thread_map()
+    ld8 = ldmatrix_thread_map(8)
+    ld4 = ldmatrix_thread_map(4)
+    mismatches_8 = sum(set(compute[t]) != set(ld8[t]) for t in range(NUM_THREADS))
+    mismatches_4 = sum(set(compute[t]) != set(ld4[t]) for t in range(NUM_THREADS))
+    assert mismatches_8 == 0          # Figure 12a: ldmatrix works for W8A8
+    assert mismatches_4 > NUM_THREADS // 2   # Figure 12b: fails for W4A8
+
+
+def test_compute_aware_reorder_gives_each_thread_its_elements():
+    tile = np.arange(TILE_ROWS * TILE_COLS).reshape(TILE_ROWS, TILE_COLS)
+    reordered = compute_aware_reorder(tile)
+    mapping = compute_thread_map()
+    for t in range(NUM_THREADS):
+        expected = np.array([tile[r, c] for (r, c) in mapping[t]])
+        np.testing.assert_array_equal(reordered[t], expected)
+    np.testing.assert_array_equal(inverse_reorder(reordered), tile)
+
+
+def test_pointer_arithmetic_counts():
+    naive = pointer_arithmetic_ops("naive")
+    reordered = pointer_arithmetic_ops("reordered")
+    assert reordered == pointer_arithmetic_ops("ldmatrix")
+    assert naive == 4 * reordered  # 4-element segments vs 16-element loads
+    with pytest.raises(ValueError):
+        pointer_arithmetic_ops("bogus")
+
+
+def test_vadd4_wraps_like_hardware():
+    a = np.array([[120, -120, 5, 0]])
+    b = np.array([[10, -10, -5, 0]])
+    out = simulate_vadd4(a, b)
+    assert list(out[0]) == [-126, 126, 0, 0]  # wrap-around on the first two lanes
+    with pytest.raises(ValueError):
+        simulate_vadd4(np.zeros((1, 3)), np.zeros((1, 3)))
+
+
+def test_figure14_overflow_before_but_not_after_multiplication():
+    # Figure 14's example: codes {7, 0, 3, 15}, zero = 8, scale = 2.
+    codes = np.array([[7, 0, 3, 15]])
+    before = dequantize_subtract_before_multiply(codes, zero=8, scale=2)
+    after = dequantize_subtract_after_multiply(codes, zero=8, scale=2)
+    reference = (codes - 8) * 2
+    assert not after.overflowed
+    np.testing.assert_array_equal(after.values, reference)
+    assert before.overflowed or np.array_equal(before.values, reference)
+    # The overflow case of Figure 14a: a larger spread makes it explicit.
+    wide = np.array([[15, 0, 3, 15]])
+    res = dequantize_subtract_before_multiply(wide, zero=0, scale=10)
+    assert res.overflowed
+    assert not np.array_equal(res.values, (wide - 0) * 10)
+
+
+def test_rlp_instruction_count():
+    q = np.array([[1, 2, 3, 4], [5, 6, 7, 8]])
+    _, _, instructions = simulate_rlp_dequant(q, zeros=[1, 2], scales=[2, 3])
+    assert instructions == 4  # two ALU instructions per packed group of four
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_progressive_codes_never_overflow_rlp(seed):
+    """Progressive group quantization's protective range guarantees the
+    subtraction-after-multiplication order is exact for every group."""
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(0, rng.uniform(0.05, 2.0), size=(4, 32))
+    pqw = progressive_quantize(weight, group_size=8)
+    reference = progressive_dequantize_level1(pqw).astype(np.int64)
+    for row in range(4):
+        for g in range(4):
+            codes = pqw.qweight[row, g * 8:(g + 1) * 8].reshape(2, 4).astype(np.int64)
+            zero = int(pqw.zeros[row, g])
+            scale = int(pqw.scales_l2[row, g])
+            values, overflow, _ = simulate_rlp_dequant(
+                codes, zeros=[zero, zero], scales=[scale, scale])
+            assert not overflow
+            np.testing.assert_array_equal(
+                values.reshape(-1), reference[row, g * 8:(g + 1) * 8])

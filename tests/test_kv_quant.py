@@ -1,0 +1,83 @@
+"""Tests for per-head dynamic KV-cache quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant import (
+    KVQuantConfig,
+    dequantize_kv,
+    kv_fake_quantize,
+    quantize_kv_per_head,
+)
+
+
+def _kv(tokens=12, heads=2, dim=16, seed=0, outlier_channel=True):
+    rng = np.random.default_rng(seed)
+    kv = rng.normal(0, 1, size=(tokens, heads, dim))
+    if outlier_channel:
+        kv[:, :, 0] *= 10.0  # the fixed Key outlier channel of Figure 7
+    return kv
+
+
+def test_shapes_and_dtypes():
+    q = quantize_kv_per_head(_kv(), bits=4)
+    assert q.codes.shape == (12, 2, 16)
+    assert q.scales.shape == (12, 2, 1)
+    assert q.codes.dtype == np.uint8
+    assert q.scales.dtype == np.float16
+    assert q.codes.max() <= 15
+
+
+def test_kv8_much_more_accurate_than_kv4():
+    kv = _kv()
+    err4 = np.mean((kv - dequantize_kv(quantize_kv_per_head(kv, 4))) ** 2)
+    err8 = np.mean((kv - dequantize_kv(quantize_kv_per_head(kv, 8))) ** 2)
+    assert err8 < err4 / 10
+
+
+def test_fake_quantize_identity_at_16_bits():
+    kv = _kv()
+    out = kv_fake_quantize(kv, KVQuantConfig(bits=16))
+    np.testing.assert_array_equal(out, kv)
+
+
+def test_per_head_dynamic_beats_static_per_tensor():
+    kv = _kv(outlier_channel=True)
+    dynamic = kv_fake_quantize(kv, KVQuantConfig(bits=4, per_head=True))
+    static = kv_fake_quantize(kv, KVQuantConfig(bits=4, per_head=False))
+    err_dyn = np.mean((kv - dynamic) ** 2)
+    err_static = np.mean((kv - static) ** 2)
+    assert err_dyn < err_static
+
+
+def test_memory_accounting():
+    q = quantize_kv_per_head(_kv(), bits=4)
+    # 12*2*16 codes at 0.5B = 192B plus 12*2 scale/zero pairs in fp16.
+    assert q.memory_bytes() == 192 + 12 * 2 * 2 * 2
+
+
+def test_invalid_bits_and_shape():
+    with pytest.raises(ValueError):
+        quantize_kv_per_head(_kv(), bits=3)
+    with pytest.raises(ValueError):
+        quantize_kv_per_head(np.zeros((4, 8)), bits=4)
+
+
+def test_config_bytes_per_element():
+    assert KVQuantConfig(bits=4).bytes_per_element == 0.5
+    assert KVQuantConfig(bits=8).bytes_per_element == 1.0
+    assert not KVQuantConfig(bits=16).enabled
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(4, 8).filter(lambda b: b in (4, 8)))
+def test_property_roundtrip_error_bounded(seed, bits):
+    """Property: per-head asymmetric quantization error is bounded by one
+    quantization step (half from rounding the value, half from rounding the
+    zero point)."""
+    rng = np.random.default_rng(seed)
+    kv = rng.normal(0, rng.uniform(0.1, 5.0), size=(6, 3, 8))
+    q = quantize_kv_per_head(kv, bits=bits)
+    err = np.abs(kv - dequantize_kv(q))
+    assert np.all(err <= q.scales.astype(np.float64) + 1e-6)

@@ -1,0 +1,86 @@
+"""Tests for the basic NumPy layers and RoPE."""
+
+import numpy as np
+import pytest
+
+from repro.model import Linear, RotaryEmbedding, apply_rope, rms_norm, silu, softmax, swiglu
+
+
+def test_rms_norm_normalises():
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 5, size=(10, 32))
+    out = rms_norm(x, np.ones(32))
+    rms = np.sqrt(np.mean(out ** 2, axis=-1))
+    np.testing.assert_allclose(rms, 1.0, atol=1e-3)
+
+
+def test_rms_norm_weight_scales_channels():
+    x = np.ones((2, 4))
+    w = np.array([1.0, 2.0, 3.0, 4.0])
+    out = rms_norm(x, w)
+    np.testing.assert_allclose(out[0], w, atol=1e-4)
+
+
+def test_silu_matches_definition():
+    x = np.linspace(-5, 5, 101)
+    expected = x / (1 + np.exp(-x))
+    np.testing.assert_allclose(silu(x), expected, atol=1e-9)
+
+
+def test_softmax_rows_sum_to_one_and_handle_large_values():
+    x = np.array([[1000.0, 1000.0, -np.inf], [0.0, 1.0, 2.0]])
+    p = softmax(x)
+    np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+    assert p[0, 2] == 0.0
+
+
+def test_swiglu_is_gated_product():
+    gate = np.array([0.0, 1.0])
+    up = np.array([3.0, 3.0])
+    out = swiglu(gate, up)
+    assert out[0] == 0.0
+    assert out[1] == pytest.approx(3.0 * silu(np.array([1.0]))[0])
+
+
+def test_linear_matmul_and_validation():
+    w = np.arange(6, dtype=float).reshape(2, 3)
+    layer = Linear(w, name="test")
+    x = np.ones((4, 3))
+    np.testing.assert_allclose(layer(x), x @ w.T)
+    assert layer.out_features == 2 and layer.in_features == 3
+    with pytest.raises(ValueError):
+        layer(np.ones((4, 5)))
+    with pytest.raises(ValueError):
+        Linear(np.ones(3))
+
+
+def test_rope_preserves_norm_and_zero_position_is_identity():
+    rope = RotaryEmbedding(head_dim=16, max_seq_len=64)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(5, 2, 16))
+    cos, sin = rope.tables(np.arange(5))
+    rotated = apply_rope(x, cos, sin)
+    np.testing.assert_allclose(np.linalg.norm(rotated, axis=-1),
+                               np.linalg.norm(x, axis=-1), atol=1e-9)
+    np.testing.assert_allclose(rotated[0], x[0], atol=1e-12)  # position 0
+
+
+def test_rope_relative_property():
+    """Dot products of rotated q/k depend only on relative position."""
+    rope = RotaryEmbedding(head_dim=8, max_seq_len=32)
+    rng = np.random.default_rng(1)
+    q = rng.normal(size=(1, 1, 8))
+    k = rng.normal(size=(1, 1, 8))
+    def score(pq, pk):
+        cq, sq = rope.tables(np.array([pq]))
+        ck, sk = rope.tables(np.array([pk]))
+        return float(np.sum(apply_rope(q, cq, sq) * apply_rope(k, ck, sk)))
+    assert score(3, 1) == pytest.approx(score(10, 8), abs=1e-9)
+
+
+def test_rope_rejects_out_of_range_positions_and_odd_dim():
+    rope = RotaryEmbedding(head_dim=8, max_seq_len=4)
+    with pytest.raises(ValueError):
+        rope.tables(np.array([4]))
+    with pytest.raises(ValueError):
+        RotaryEmbedding(head_dim=7, max_seq_len=4)

@@ -1,0 +1,62 @@
+"""Tests for INT4 packing and RLP interleaving (Figure 13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant import (
+    deinterleave_from_rlp,
+    interleave_for_rlp,
+    pack_int4,
+    rlp_unpack_uint4x8,
+    unpack_int4,
+)
+
+
+def test_pack_unpack_roundtrip():
+    rng = np.random.default_rng(0)
+    codes = rng.integers(0, 16, size=(4, 64)).astype(np.uint8)
+    assert np.array_equal(unpack_int4(pack_int4(codes)), codes)
+
+
+def test_pack_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        pack_int4(np.array([1, 2, 3]))       # odd length
+    with pytest.raises(ValueError):
+        pack_int4(np.array([16, 0]))         # out of range
+
+
+def test_interleave_roundtrip_and_pattern():
+    codes = np.arange(32, dtype=np.uint8)
+    inter = interleave_for_rlp(codes)
+    # Figure 13: w0, w16, w1, w17, ...
+    assert list(inter[:6]) == [0, 16, 1, 17, 2, 18]
+    assert np.array_equal(deinterleave_from_rlp(inter), codes)
+
+
+def test_interleave_requires_multiple_of_32():
+    with pytest.raises(ValueError):
+        interleave_for_rlp(np.arange(33))
+
+
+def test_rlp_unpack_recovers_low_and_high_halves_with_three_ops():
+    """After interleaving + packing, the three logical operations of Figure 13
+    recover w0..w15 in the low words and w16..w31 in the high words."""
+    rng = np.random.default_rng(5)
+    codes = rng.integers(0, 16, size=32).astype(np.uint8)
+    packed_bytes = pack_int4(interleave_for_rlp(codes))
+    words = packed_bytes.view(np.uint32)
+    low, high, ops = rlp_unpack_uint4x8(words)
+    assert ops == 3 * words.size
+    assert np.array_equal(low.view(np.uint8), codes[:16])
+    assert np.array_equal(high.view(np.uint8), codes[16:])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 4))
+def test_property_full_pipeline_roundtrip(seed, blocks):
+    """Property: interleave -> pack -> unpack -> deinterleave is the identity."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 16, size=blocks * 32).astype(np.uint8)
+    roundtrip = deinterleave_from_rlp(unpack_int4(pack_int4(interleave_for_rlp(codes))))
+    assert np.array_equal(roundtrip, codes)

@@ -1,0 +1,122 @@
+"""Tests for progressive group quantization (QoQ core, Section 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant import (
+    INT8,
+    legacy_two_level_dequantize,
+    legacy_two_level_quantize,
+    progressive_dequantize,
+    progressive_dequantize_level1,
+    progressive_quantize,
+    quantization_error,
+)
+
+
+def _weight(rows=16, cols=64, seed=0, outliers=False):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 0.1, size=(rows, cols))
+    if outliers:
+        w[:, rng.choice(cols, 3, replace=False)] *= 20
+    return w
+
+
+def test_shapes_per_group():
+    w = _weight()
+    pqw = progressive_quantize(w, group_size=16)
+    assert pqw.qweight.shape == (16, 64)
+    assert pqw.zeros.shape == (16, 4)
+    assert pqw.scales_l2.shape == (16, 4)
+    assert pqw.scales_l1.shape == (16, 1)
+    assert pqw.qweight.dtype == np.uint8
+    assert pqw.scales_l1.dtype == np.float16
+
+
+def test_codes_are_uint4_and_scales_uint8():
+    pqw = progressive_quantize(_weight(outliers=True), group_size=16)
+    assert pqw.qweight.min() >= 0 and pqw.qweight.max() <= 15
+    assert pqw.zeros.min() >= 0 and pqw.zeros.max() <= 15
+    assert pqw.scales_l2.min() >= 1 and pqw.scales_l2.max() <= 255
+
+
+def test_level1_intermediate_is_int8(rng=None):
+    pqw = progressive_quantize(_weight(outliers=True), group_size=16)
+    q0 = progressive_dequantize_level1(pqw)
+    assert q0.dtype == np.int8
+    assert q0.min() >= INT8.qmin and q0.max() <= INT8.qmax
+
+
+def test_protective_range_prevents_overflow():
+    """Without the protective range the INT8 intermediate can overflow."""
+    rng = np.random.default_rng(7)
+    overflow_seen = False
+    for seed in range(20):
+        w = _weight(seed=seed, outliers=True) * rng.uniform(0.5, 2.0)
+        unsafe = progressive_quantize(w, group_size=16, protective_range=False)
+        try:
+            progressive_dequantize_level1(unsafe)
+        except OverflowError:
+            overflow_seen = True
+        safe = progressive_quantize(w, group_size=16, protective_range=True)
+        progressive_dequantize_level1(safe)  # must never raise
+    assert overflow_seen, "expected at least one overflow without the protective range"
+
+
+def test_reconstruction_error_reasonable():
+    w = _weight()
+    pqw = progressive_quantize(w, group_size=16)
+    rel = quantization_error(w, progressive_dequantize(pqw)) / np.mean(w ** 2)
+    assert rel < 0.05
+
+
+def test_group_quant_more_accurate_than_per_channel():
+    w = _weight(outliers=True, seed=3)
+    per_channel = progressive_quantize(w, group_size=None)
+    per_group = progressive_quantize(w, group_size=16)
+    err_pc = quantization_error(w, progressive_dequantize(per_channel))
+    err_pg = quantization_error(w, progressive_dequantize(per_group))
+    assert err_pg <= err_pc
+
+
+def test_per_channel_variant_has_degenerate_level2():
+    pqw = progressive_quantize(_weight(), group_size=None)
+    assert pqw.is_per_channel
+    assert np.all(pqw.scales_l2 == 1)
+    assert pqw.zeros.shape == (16, 1)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        progressive_quantize(np.zeros((4, 30)), group_size=16)
+    with pytest.raises(ValueError):
+        progressive_quantize(np.zeros(8), group_size=4)
+
+
+def test_memory_accounting_counts_packed_nibbles():
+    pqw = progressive_quantize(_weight(), group_size=16)
+    # 16x64 weights at 0.5 byte = 512, plus zeros/scales/fp16 level-1 scales.
+    assert pqw.memory_bytes() >= 512
+    assert pqw.memory_bytes() < 512 + 16 * 4 + 16 * 4 + 16 * 2 + 64
+
+
+def test_legacy_two_level_roundtrip():
+    w = _weight()
+    tlw = legacy_two_level_quantize(w, group_size=16)
+    w_hat = legacy_two_level_dequantize(tlw)
+    rel = quantization_error(w, w_hat) / np.mean(w ** 2)
+    assert rel < 0.1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 8), st.floats(0.01, 10.0))
+def test_property_protective_range_invariant(seed, rows, scale):
+    """Property: the INT8 intermediate of progressive quantization never
+    escapes [-128, 127], for any weight distribution."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, scale, size=(rows, 32))
+    w[rng.integers(0, rows), rng.integers(0, 32)] *= 30  # plant an outlier
+    pqw = progressive_quantize(w, group_size=8)
+    q0 = progressive_dequantize_level1(pqw)
+    assert q0.min() >= -128 and q0.max() <= 127

@@ -1,0 +1,191 @@
+"""Tests for the QoQ techniques and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import evaluate_perplexity
+from repro.model.quantized import W4A8Linear, W8A8Linear
+from repro.qoq import (
+    QoQConfig,
+    apply_smooth_attention,
+    compute_reorder_permutation,
+    compute_smooth_attention_scales,
+    compute_smoothing_scales,
+    hadamard_matrix,
+    quantize_model_qoq,
+    random_orthogonal_matrix,
+    search_clip_ratio,
+)
+from repro.quant import UINT4
+from repro.quant.kv_quant import KVQuantConfig, kv_fake_quantize
+
+
+# ----------------------------------------------------------------------
+# SmoothAttention
+# ----------------------------------------------------------------------
+def _keys_with_outliers(tokens=64, heads=2, dim=16, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.normal(size=(tokens, heads, dim))
+    keys[:, :, 3] *= 12.0
+    keys[:, :, 3 + dim // 2] *= 9.0
+    return keys
+
+
+def test_smooth_attention_scales_respect_rope_pairing():
+    keys = _keys_with_outliers()
+    scales = compute_smooth_attention_scales(keys, alpha=0.5)
+    assert scales.shape == (2, 16)
+    np.testing.assert_allclose(scales[:, :8], scales[:, 8:])
+    assert np.all(scales > 0)
+    # Outlier channels get the largest scales.
+    assert np.argmax(scales[0]) in (3, 11)
+
+
+def test_smooth_attention_preserves_scores_and_reduces_kv4_error():
+    rng = np.random.default_rng(1)
+    hidden, heads, dim = 32, 2, 16
+    wq = rng.normal(size=(heads * dim, hidden))
+    wk = rng.normal(size=(heads * dim, hidden))
+    x = rng.normal(size=(40, hidden))
+    keys = (x @ wk.T).reshape(-1, heads, dim)
+    keys[:, :, 5] *= 10
+    wk[5::dim, :] *= 10  # make the outlier structural
+    keys = (x @ wk.T).reshape(-1, heads, dim)
+    queries = (x @ wq.T).reshape(-1, heads, dim)
+
+    scales = compute_smooth_attention_scales(keys, alpha=0.5, rope_paired=False)
+    new_wq, new_wk = apply_smooth_attention(wq, wk, scales, gqa_ratio=1)
+    new_q = (x @ new_wq.T).reshape(-1, heads, dim)
+    new_k = (x @ new_wk.T).reshape(-1, heads, dim)
+
+    # Attention scores are mathematically unchanged.
+    ref = np.einsum("ihd,jhd->hij", queries, keys)
+    got = np.einsum("ihd,jhd->hij", new_q, new_k)
+    np.testing.assert_allclose(got, ref, atol=1e-8)
+
+    # KV4 quantization error of the scores is reduced after smoothing.
+    cfg = KVQuantConfig(bits=4)
+    err_before = np.linalg.norm(
+        np.einsum("ihd,jhd->hij", queries, kv_fake_quantize(keys, cfg)) - ref)
+    err_after = np.linalg.norm(
+        np.einsum("ihd,jhd->hij", new_q, kv_fake_quantize(new_k, cfg)) - ref)
+    assert err_after < err_before
+
+
+def test_smooth_attention_input_validation():
+    with pytest.raises(ValueError):
+        compute_smooth_attention_scales(np.zeros((4, 8)))
+    with pytest.raises(ValueError):
+        apply_smooth_attention(np.zeros((8, 4)), np.zeros((8, 4)), np.ones((2, 3)))
+
+
+# ----------------------------------------------------------------------
+# Rotation / smoothing / reorder / clipping
+# ----------------------------------------------------------------------
+def test_hadamard_matrix_orthonormal():
+    h = hadamard_matrix(16)
+    np.testing.assert_allclose(h @ h.T, np.eye(16), atol=1e-12)
+    with pytest.raises(ValueError):
+        hadamard_matrix(12)
+
+
+def test_random_orthogonal_matrix_orthonormal():
+    q = random_orthogonal_matrix(10, seed=3)
+    np.testing.assert_allclose(q @ q.T, np.eye(10), atol=1e-9)
+
+
+def test_rotation_flattens_outlier_channels():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 32))
+    x[:, 7] *= 30
+    rotated = x @ hadamard_matrix(32)
+    ratio_before = np.max(np.abs(x)) / np.median(np.abs(x))
+    ratio_after = np.max(np.abs(rotated)) / np.median(np.abs(rotated))
+    assert ratio_after < ratio_before / 3
+
+
+def test_smoothing_scales_geometric_mean_one():
+    rng = np.random.default_rng(0)
+    weight = rng.normal(size=(16, 32))
+    act = np.abs(rng.normal(size=32)) * 10
+    scales = compute_smoothing_scales(act, weight, alpha=0.1)
+    assert scales.shape == (32,)
+    assert np.exp(np.mean(np.log(scales))) == pytest.approx(1.0, abs=1e-9)
+    with pytest.raises(ValueError):
+        compute_smoothing_scales(act, weight, alpha=2.0)
+
+
+def test_reorder_permutation_sorts_by_salience():
+    absmax = np.array([1.0, 9.0, 3.0, 9.0])
+    perm = compute_reorder_permutation(absmax)
+    assert list(perm) == [1, 3, 2, 0]
+
+
+def test_clip_search_never_worse_than_no_clipping():
+    rng = np.random.default_rng(2)
+    weight = rng.normal(size=(16, 32))
+    weight[0, 0] = 40.0  # a useless outlier clipping should remove
+    inputs = rng.normal(size=(64, 32))
+    ratio, err = search_clip_ratio(weight, inputs, fmt=UINT4, group_size=8)
+    baseline_q = None
+    from repro.quant import fake_quantize, Granularity
+    baseline_q = fake_quantize(weight, UINT4, Granularity.PER_GROUP,
+                               symmetric=False, group_size=8)
+    baseline_err = float(np.mean((inputs @ weight.T - inputs @ baseline_q.T) ** 2))
+    assert err <= baseline_err + 1e-12
+    assert 0.0 < ratio <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+def test_pipeline_transforms_exact_without_quantization(tiny_model, tiny_calibration,
+                                                        tiny_eval_sequences):
+    fp = evaluate_perplexity(tiny_model, tiny_eval_sequences)
+    res = quantize_model_qoq(
+        tiny_model, tiny_calibration,
+        QoQConfig(weight_bits=16, act_bits=16, kv_bits=16, group_size=32,
+                  enable_clipping=False))
+    ppl = evaluate_perplexity(res.model, tiny_eval_sequences, res.forward_config)
+    assert ppl == pytest.approx(fp, rel=1e-6)
+
+
+def test_pipeline_produces_w4a8_linears_and_bounded_degradation(
+        tiny_model, tiny_calibration, tiny_eval_sequences):
+    res = quantize_model_qoq(tiny_model, tiny_calibration, QoQConfig(group_size=32))
+    layers = res.model.named_linears()
+    assert all(isinstance(l, W4A8Linear) for l in layers.values())
+    assert res.forward_config.kv_quant.bits == 4
+    fp = evaluate_perplexity(tiny_model, tiny_eval_sequences)
+    ppl = evaluate_perplexity(res.model, tiny_eval_sequences, res.forward_config)
+    assert fp < ppl < fp * 1.6  # quantized, but not broken
+    # Calibration artefacts are recorded for every layer.
+    assert len(res.clip_ratios) == len(layers)
+    assert len(res.smooth_attention_scales) == tiny_model.config.num_layers
+
+
+def test_pipeline_w8_stage_uses_w8a8_linears(tiny_model, tiny_calibration):
+    res = quantize_model_qoq(
+        tiny_model, tiny_calibration,
+        QoQConfig(weight_bits=8, kv_bits=8, group_size=None,
+                  enable_rotation=False, enable_smoothing=False,
+                  enable_smooth_attention=False, enable_reorder=False,
+                  enable_clipping=False))
+    assert all(isinstance(l, W8A8Linear) for l in res.model.named_linears().values())
+
+
+def test_pipeline_original_model_untouched(tiny_model, tiny_calibration):
+    before = {n: l.weight.copy() for n, l in tiny_model.named_linears().items()}
+    quantize_model_qoq(tiny_model, tiny_calibration, QoQConfig(group_size=32))
+    for name, layer in tiny_model.named_linears().items():
+        np.testing.assert_array_equal(layer.weight, before[name])
+
+
+def test_qoq_config_validation():
+    with pytest.raises(ValueError):
+        QoQConfig(weight_bits=3)
+    with pytest.raises(ValueError):
+        QoQConfig(act_bits=4)
+    with pytest.raises(ValueError):
+        QoQConfig(kv_bits=2)
+    assert "g128" in QoQConfig().precision_name

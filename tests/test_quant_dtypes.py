@@ -1,0 +1,42 @@
+"""Tests for integer format descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.quant import INT4, INT8, PROTECTIVE_INT8, UINT4, UINT8
+
+
+def test_ranges():
+    assert (INT4.qmin, INT4.qmax) == (-8, 7)
+    assert (UINT4.qmin, UINT4.qmax) == (0, 15)
+    assert (INT8.qmin, INT8.qmax) == (-128, 127)
+    assert (UINT8.qmin, UINT8.qmax) == (0, 255)
+    assert (PROTECTIVE_INT8.qmin, PROTECTIVE_INT8.qmax) == (-119, 119)
+
+
+def test_levels_and_symmetric_qmax():
+    assert INT8.levels == 256
+    assert UINT4.levels == 16
+    assert INT8.symmetric_qmax == 127
+    assert INT4.symmetric_qmax == 7
+
+
+def test_clip_and_contains():
+    values = np.array([-200, -8, 0, 7, 200])
+    clipped = INT4.clip(values)
+    assert clipped.min() == -8 and clipped.max() == 7
+    assert INT4.contains(clipped)
+    assert not INT4.contains(values)
+    assert INT4.contains(np.array([]))
+
+
+def test_astype_validates_range():
+    with pytest.raises(ValueError):
+        UINT4.astype(np.array([16]))
+    out = UINT4.astype(np.array([0, 15]))
+    assert out.dtype == np.uint8
+
+
+def test_protective_range_is_subset_of_int8():
+    assert PROTECTIVE_INT8.qmin > INT8.qmin
+    assert PROTECTIVE_INT8.qmax < INT8.qmax

@@ -1,0 +1,91 @@
+"""Tests for the integer-path quantized linear layers."""
+
+import numpy as np
+import pytest
+
+from repro.model.quantized import ActQuantSpec, FakeQuantLinear, W4A8Linear, W8A8Linear
+from repro.qoq.rotation import hadamard_matrix
+
+
+def _weight_and_input(out=24, inp=32, tokens=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0, 0.2, size=(out, inp)), rng.normal(0, 1.0, size=(tokens, inp))
+
+
+def test_w8a8_close_to_dense():
+    w, x = _weight_and_input()
+    dense = x @ w.T
+    out = W8A8Linear(w)(x)
+    rel = np.linalg.norm(out - dense) / np.linalg.norm(dense)
+    assert rel < 0.02
+
+
+def test_w4a8_close_to_dense_and_worse_than_w8a8():
+    w, x = _weight_and_input()
+    dense = x @ w.T
+    err8 = np.linalg.norm(W8A8Linear(w)(x) - dense)
+    err4 = np.linalg.norm(W4A8Linear(w, group_size=8)(x) - dense)
+    assert err8 < err4
+    assert err4 / np.linalg.norm(dense) < 0.1
+
+
+def test_w4a8_integer_accumulation_matches_manual_epilogue():
+    """The integer path must equal quantize(acts) @ int8_weight * scales."""
+    w, x = _weight_and_input(out=8, inp=16, tokens=4)
+    layer = W4A8Linear(w, group_size=8)
+    from repro.model.quantized import _quantize_activation_int8
+    codes, scales = _quantize_activation_int8(x)
+    manual = (codes.astype(np.int64) @ layer._qweight_int8.astype(np.int64).T
+              ).astype(np.float64) * scales * layer._weight_scales
+    np.testing.assert_allclose(layer(x), manual, atol=1e-9)
+
+
+def test_fake_quant_linear_act_bits():
+    w, x = _weight_and_input()
+    dense = x @ w.T
+    a16 = FakeQuantLinear(w, act_spec=ActQuantSpec(bits=16))(x)
+    a4 = FakeQuantLinear(w, act_spec=ActQuantSpec(bits=4))(x)
+    np.testing.assert_allclose(a16, dense)
+    assert np.linalg.norm(a4 - dense) > np.linalg.norm(a16 - dense)
+
+
+def test_rotation_transform_is_exact_without_quantization():
+    w, x = _weight_and_input()
+    q = hadamard_matrix(32)
+    layer = FakeQuantLinear(w @ q, rotation=q, act_spec=ActQuantSpec(bits=16))
+    np.testing.assert_allclose(layer(x), x @ w.T, atol=1e-9)
+
+
+def test_smoothing_transform_is_exact_without_quantization():
+    w, x = _weight_and_input()
+    lam = np.exp(np.random.default_rng(3).normal(size=32))
+    layer = FakeQuantLinear(w * lam[None, :], input_scale=lam,
+                            act_spec=ActQuantSpec(bits=16))
+    np.testing.assert_allclose(layer(x), x @ w.T, atol=1e-9)
+
+
+def test_permutation_transform_is_exact_without_quantization():
+    w, x = _weight_and_input()
+    perm = np.random.default_rng(4).permutation(32)
+    layer = FakeQuantLinear(w[:, perm], permutation=perm,
+                            act_spec=ActQuantSpec(bits=16))
+    np.testing.assert_allclose(layer(x), x @ w.T, atol=1e-9)
+
+
+def test_transform_validation():
+    w, _ = _weight_and_input()
+    with pytest.raises(ValueError):
+        FakeQuantLinear(w, input_scale=np.ones(5))
+    with pytest.raises(ValueError):
+        FakeQuantLinear(w, rotation=np.ones((3, 3)))
+    with pytest.raises(ValueError):
+        FakeQuantLinear(w, permutation=np.zeros(32, dtype=int))
+    with pytest.raises(ValueError):
+        W4A8Linear(name="empty")
+
+
+def test_weight_property_shapes():
+    w, _ = _weight_and_input()
+    assert W8A8Linear(w).weight.shape == w.shape
+    assert W4A8Linear(w, group_size=8).weight.shape == w.shape
+    assert W4A8Linear(w, group_size=8).group_size == 8

@@ -1,0 +1,119 @@
+"""Tests for the generic quantizer, including property-based round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant import (
+    Granularity,
+    INT4,
+    INT8,
+    UINT4,
+    compute_qparams,
+    dequantize,
+    fake_quantize,
+    quantization_error,
+    quantize,
+)
+
+
+def _random_matrix(rows=8, cols=32, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0, scale, size=(rows, cols))
+
+
+@pytest.mark.parametrize("granularity,group", [
+    (Granularity.PER_TENSOR, None),
+    (Granularity.PER_CHANNEL, None),
+    (Granularity.PER_TOKEN, None),
+    (Granularity.PER_GROUP, 8),
+])
+@pytest.mark.parametrize("symmetric", [True, False])
+def test_roundtrip_error_bounded_by_scale(granularity, group, symmetric):
+    x = _random_matrix()
+    fmt = INT8 if symmetric else UINT4
+    params = compute_qparams(x, fmt, granularity=granularity, symmetric=symmetric,
+                             group_size=group)
+    x_hat = dequantize(quantize(x, params), params)
+    # Round-to-nearest error is bounded by half the largest scale per element.
+    assert np.max(np.abs(x - x_hat)) <= 0.5 * np.max(params.scale) + 1e-9
+
+
+def test_per_channel_scales_shape():
+    x = _random_matrix(rows=4, cols=16)
+    params = compute_qparams(x, INT8, Granularity.PER_CHANNEL)
+    assert params.scale.shape == (4, 1)
+    assert params.num_parameters == 4
+
+
+def test_per_group_requires_divisible_columns():
+    x = _random_matrix(rows=2, cols=10)
+    with pytest.raises(ValueError):
+        compute_qparams(x, INT8, Granularity.PER_GROUP, group_size=4)
+
+
+def test_symmetric_requires_signed_format():
+    with pytest.raises(ValueError):
+        compute_qparams(_random_matrix(), UINT4, symmetric=True)
+
+
+def test_asymmetric_beats_symmetric_on_shifted_data():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(5.0, 6.0, size=(4, 64))  # strictly positive, narrow range
+    sym = fake_quantize(x, INT4, Granularity.PER_CHANNEL, symmetric=True)
+    asym = fake_quantize(x, UINT4, Granularity.PER_CHANNEL, symmetric=False)
+    assert quantization_error(x, asym) < quantization_error(x, sym)
+
+
+def test_group_quant_beats_per_channel_with_outlier_columns():
+    x = _random_matrix(rows=8, cols=64, seed=3)
+    x[:, :4] *= 50.0  # concentrated outliers blow up the per-channel scale
+    per_channel = fake_quantize(x, UINT4, Granularity.PER_CHANNEL, symmetric=False)
+    per_group = fake_quantize(x, UINT4, Granularity.PER_GROUP, symmetric=False,
+                              group_size=8)
+    err_pc = quantization_error(x[:, 4:], per_channel[:, 4:])
+    err_pg = quantization_error(x[:, 4:], per_group[:, 4:])
+    assert err_pg < err_pc
+
+
+def test_clip_ratio_shrinks_scale():
+    x = _random_matrix()
+    full = compute_qparams(x, INT8, Granularity.PER_CHANNEL, clip_ratio=1.0)
+    clipped = compute_qparams(x, INT8, Granularity.PER_CHANNEL, clip_ratio=0.5)
+    assert np.all(clipped.scale <= full.scale + 1e-12)
+
+
+def test_qmax_override_protective_range():
+    x = _random_matrix()
+    params = compute_qparams(x, INT8, Granularity.PER_CHANNEL, qmax_override=119)
+    codes = quantize(x, params)
+    assert codes.max() <= 119 and codes.min() >= -119
+
+
+def test_quantization_error_orders():
+    x = np.ones((2, 4))
+    y = np.zeros((2, 4))
+    assert quantization_error(x, y, "mse") == 1.0
+    assert quantization_error(x, y, "mae") == 1.0
+    assert quantization_error(x, y, "fro") == pytest.approx(np.sqrt(8))
+    with pytest.raises(ValueError):
+        quantization_error(x, y, "bogus")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 8), st.floats(0.1, 50.0),
+       st.booleans(), st.integers(0, 2 ** 31 - 1))
+def test_fake_quant_idempotent_and_bounded(rows, cols_groups, scale, symmetric, seed):
+    """Property: fake-quantizing twice equals fake-quantizing once, and the
+    result never exceeds the input's dynamic range."""
+    cols = cols_groups * 4
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, scale, size=(rows, cols))
+    fmt = INT8 if symmetric else UINT4
+    once = fake_quantize(x, fmt, Granularity.PER_CHANNEL, symmetric=symmetric)
+    twice = fake_quantize(once, fmt, Granularity.PER_CHANNEL, symmetric=symmetric)
+    np.testing.assert_allclose(once, twice, atol=1e-9)
+    if symmetric:
+        # Symmetric quantization never increases the dynamic range (asymmetric
+        # can shift values by up to half a step via the rounded zero point).
+        assert np.max(np.abs(once)) <= np.max(np.abs(x)) * (1 + 1e-9) + 1e-9

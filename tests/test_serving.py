@@ -1,0 +1,160 @@
+"""Tests for the serving simulator: KV manager, scheduler, engine, throughput."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import A100, L40S
+from repro.model import get_config
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    PageAllocationError,
+    PagedKVCacheManager,
+    Request,
+    ServingEngine,
+    SYSTEM_PRESETS,
+    get_system,
+    make_uniform_workload,
+    max_achievable_batch,
+    max_achievable_throughput,
+    measure_throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def llama7b():
+    return get_config("llama-2-7b")
+
+
+def _manager(model, system="qserve-w4a8kv4-chn", capacity_gib=10.0):
+    return PagedKVCacheManager(model=model, system=get_system(system),
+                               capacity_bytes=capacity_gib * (1 << 30),
+                               page_size=16, max_seq_len=1536)
+
+
+# ----------------------------------------------------------------------
+# KV cache manager
+# ----------------------------------------------------------------------
+def test_kv_bytes_per_token_scales_with_precision(llama7b):
+    kv4 = _manager(llama7b, "qserve-w4a8kv4-chn").bytes_per_token()
+    kv8 = _manager(llama7b, "trt-w8a8").bytes_per_token()
+    kv16 = _manager(llama7b, "trt-fp16").bytes_per_token()
+    assert kv4 < kv8 < kv16
+    assert kv16 == pytest.approx(2 * 32 * 32 * 128 * 2)  # 2 * layers * kv_dim * 2B
+
+
+def test_page_allocation_and_free(llama7b):
+    mgr = _manager(llama7b)
+    assert mgr.free_pages == mgr.total_pages
+    pages = mgr.allocate(0, 100)
+    assert pages == mgr.pages_for_tokens(100) == 7
+    assert mgr.allocate(0, 100) == 0            # idempotent growth
+    assert mgr.allocate(0, 120) == 1            # grow by one page
+    assert mgr.used_pages == 8
+    assert mgr.free(0) == 8
+    assert mgr.used_pages == 0
+
+
+def test_page_allocation_error_when_full(llama7b):
+    mgr = _manager(llama7b, capacity_gib=0.001)
+    with pytest.raises(PageAllocationError):
+        mgr.allocate(0, 10_000)
+
+
+def test_non_paged_system_reserves_max_seq(llama7b):
+    paged = _manager(llama7b, "qserve-w4a8kv4-chn")
+    non_paged = _manager(llama7b, "quarot-w4a4")
+    assert non_paged.pages_for_tokens(10) == non_paged.pages_for_tokens(1000)
+    assert paged.pages_for_tokens(10) < paged.pages_for_tokens(1000)
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+def test_scheduler_admission_and_completion(llama7b):
+    mgr = _manager(llama7b, capacity_gib=4.0)
+    sched = ContinuousBatchingScheduler(kv_manager=mgr, max_num_seqs=4)
+    requests = [Request(request_id=i, prompt_len=64, output_len=4) for i in range(6)]
+    sched.submit(requests)
+    admitted = sched.admit(now=0.0)
+    assert len(admitted) == 4                    # capped by max_num_seqs
+    sched.complete_prefill(now=1.0)
+    for step in range(4):
+        sched.record_decode_step(now=2.0 + step)
+    assert len(sched.finished) == 4
+    assert mgr.used_pages == 0 or len(sched.running) == 0
+    # The remaining two requests can now be admitted.
+    admitted = sched.admit(now=10.0)
+    assert len(admitted) == 2
+
+
+def test_scheduler_respects_arrival_times(llama7b):
+    mgr = _manager(llama7b)
+    sched = ContinuousBatchingScheduler(kv_manager=mgr, max_num_seqs=8)
+    sched.submit([Request(request_id=0, prompt_len=8, output_len=1, arrival_time=5.0)])
+    assert sched.admit(now=0.0) == []
+    assert len(sched.admit(now=6.0)) == 1
+
+
+# ----------------------------------------------------------------------
+# Engine and throughput
+# ----------------------------------------------------------------------
+def test_decode_step_breakdown_attention_grows_with_batch(llama7b):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["trt-w8a8"])
+    small = engine.decode_step(1, 1024)
+    large = engine.decode_step(64, 1024)
+    assert large.total > small.total
+    assert large.fraction("attention") > small.fraction("attention")
+    assert large.fraction("attention") > 0.5   # Figure 2a: >50% at batch 64
+
+
+def test_prefill_latency_scales_with_tokens(llama7b):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["trt-w8a8"])
+    assert engine.prefill(4, 1024).total > engine.prefill(1, 1024).total
+
+
+def test_serving_loop_generates_all_tokens(llama7b):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=160)
+    workload = make_uniform_workload(4, prompt_len=128, output_len=32)
+    result = engine.serve(workload, max_num_seqs=4)
+    assert result.generated_tokens == 4 * 32
+    assert result.peak_batch == 4
+    assert result.generation_throughput > 0
+
+
+def test_max_batch_ordering_across_systems(llama7b):
+    batches = {name: max_achievable_batch(llama7b, A100, SYSTEM_PRESETS[name])
+               for name in ("trt-fp16", "trt-w8a8", "qserve-w4a8kv4-chn")}
+    assert batches["trt-fp16"] < batches["trt-w8a8"] < batches["qserve-w4a8kv4-chn"]
+
+
+def test_fp16_oom_for_70b_on_both_gpus():
+    cfg = get_config("llama-2-70b")
+    assert max_achievable_batch(cfg, A100, SYSTEM_PRESETS["trt-fp16"]) == 0
+    assert max_achievable_batch(cfg, L40S, SYSTEM_PRESETS["trt-fp16"]) == 0
+    assert max_achievable_throughput(cfg, L40S, SYSTEM_PRESETS["trt-fp16"]).tokens_per_second == 0
+    # QServe still serves the 70B model on the 48 GB L40S.
+    assert max_achievable_batch(cfg, L40S, SYSTEM_PRESETS["qserve-w4a8kv4-chn"]) > 0
+
+
+def test_qserve_beats_best_trt_throughput(llama7b):
+    best_trt = max(
+        max_achievable_throughput(llama7b, gpu, SYSTEM_PRESETS[name]).tokens_per_second
+        for gpu in (A100,) for name in ("trt-fp16", "trt-w4a16", "trt-w8a8"))
+    qserve = max_achievable_throughput(
+        llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"]).tokens_per_second
+    assert qserve > best_trt * 1.1
+
+
+def test_w4a4_systems_slower_than_trt_w8a8(llama7b):
+    w8a8 = max_achievable_throughput(llama7b, A100, SYSTEM_PRESETS["trt-w8a8"])
+    for name in ("atom-w4a4", "quarot-w4a4"):
+        result = max_achievable_throughput(llama7b, A100, SYSTEM_PRESETS[name])
+        assert result.tokens_per_second < w8a8.tokens_per_second
+
+
+def test_measure_throughput_validation(llama7b):
+    with pytest.raises(ValueError):
+        measure_throughput(llama7b, A100, SYSTEM_PRESETS["trt-w8a8"], batch=0)
+    with pytest.raises(KeyError):
+        get_system("nonexistent")
