@@ -1,7 +1,21 @@
-"""Benchmark regenerating Table 4, Figure 15 and artifact Table 6 (throughput)."""
+"""Benchmark regenerating Table 4, Figure 15 and artifact Table 6 (throughput).
+
+Table 4 numbers are measured with the legacy scheduling preset (conservative
+FCFS admission, stall-the-world prefill) — the engine default — so they stay
+comparable across scheduler work.  ``test_scheduler_latency`` additionally
+exercises the chunked-prefill path under a Poisson load and reports latency
+percentiles next to throughput.
+"""
 
 from repro.experiments import table4_throughput
 from repro.gpu import A100, L40S
+from repro.model import get_config
+from repro.serving import (
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    ServingEngine,
+    make_uniform_workload,
+)
 
 
 def test_table4_a100(benchmark):
@@ -31,3 +45,32 @@ def test_table6_artifact(benchmark):
     print()
     print(report.to_text("{:.2f}"))
     assert all(row[-1] > 1.0 for row in report.rows)
+
+
+def test_scheduler_latency(benchmark):
+    """Chunked prefill vs legacy stall prefill under a Poisson load."""
+    engine = ServingEngine(get_config("llama-2-7b"), A100,
+                           SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=1536)
+    workload = make_uniform_workload(64, 1024, 512, arrival_rate=48.0, seed=1)
+
+    def run():
+        results = {}
+        for preset in ("legacy", "chunked", "chunked-preempt"):
+            results[preset] = engine.serve(
+                workload.copy_fresh(), max_num_seqs=64,
+                scheduling=SCHEDULING_PRESETS[preset])
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for preset, result in results.items():
+        m = result.metrics
+        print(f"{preset:16s} {result.generation_throughput:7.1f} tok/s  "
+              f"TTFT p50/p95 {m.ttft.p50 * 1e3:7.1f}/{m.ttft.p95 * 1e3:7.1f} ms  "
+              f"TPOT p99 {m.tpot.p99 * 1e3:6.2f} ms  "
+              f"preemptions {result.num_preemptions}")
+    legacy, chunked = results["legacy"], results["chunked"]
+    assert chunked.metrics.ttft.mean < legacy.metrics.ttft.mean
+    assert (chunked.generation_throughput
+            > 0.95 * legacy.generation_throughput)

@@ -6,6 +6,11 @@ FP16 / W4A16 / W8A8, Atom, QuaRot and QServe W4A8KV4 for a chosen model on
 A100 and L40S, and prints the cost-efficiency claim of Figure 1 (QServe on
 L40S vs TensorRT-LLM on A100).
 
+A second section looks past throughput at serving *latency*: the same engine
+is driven under a Poisson arrival load with the legacy stall-prefill loop and
+with chunked prefill + preemption enabled, reporting per-request TTFT/TPOT
+percentiles and SLO goodput for each scheduling preset.
+
 Run with:  python examples/serving_throughput.py [model-name]
            (model-name from: llama-3-8b, llama-2-7b, mistral-7b, llama-2-13b,
             llama-30b, yi-34b, llama-2-70b, qwen1.5-72b)
@@ -16,13 +21,25 @@ import sys
 from repro.experiments.runner import format_table
 from repro.gpu import A100, L40S
 from repro.model import get_config
-from repro.serving import SYSTEM_PRESETS, max_achievable_throughput
+from repro.serving import (
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    ServingEngine,
+    make_uniform_workload,
+    max_achievable_throughput,
+)
 
 SYSTEMS = ["trt-fp16", "trt-w4a16", "trt-w8a8", "atom-w4a4", "quarot-w4a4",
            "qserve-w4a8kv4-chn", "qserve-w4a8kv4-grp"]
 
+#: Scheduling presets compared in the latency study.
+SCHEDULERS = ["legacy", "chunked", "chunked-preempt"]
 
-def main(model_name: str = "llama-2-7b") -> None:
+#: Latency SLO used for the goodput column: 500 ms TTFT, 50 ms/token TPOT.
+TTFT_SLO_S, TPOT_SLO_S = 0.5, 0.05
+
+
+def throughput_study(model_name: str) -> None:
     cfg = get_config(model_name)
     rows = []
     results = {}
@@ -45,6 +62,41 @@ def main(model_name: str = "llama-2-7b") -> None:
           f"{best_trt_a100:.0f} tok/s for the best TensorRT-LLM config on A100 "
           f"({qserve_l40s / best_trt_a100:.2f}x) — on a GPU that costs "
           f"{cost_ratio:.1f}x less (Figure 1).")
+
+
+def latency_study(model_name: str, num_requests: int = 64,
+                  arrival_rate: float = 48.0) -> None:
+    """Same engine, Poisson load: compare scheduling presets on latency."""
+    cfg = get_config(model_name)
+    engine = ServingEngine(cfg, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=1536)
+    workload = make_uniform_workload(num_requests, 1024, 512,
+                                     arrival_rate=arrival_rate, seed=1)
+    rows = []
+    for preset in SCHEDULERS:
+        result = engine.serve(workload.copy_fresh(), max_num_seqs=num_requests,
+                              scheduling=SCHEDULING_PRESETS[preset])
+        m = result.metrics
+        rows.append([
+            preset,
+            round(result.generation_throughput, 1),
+            round(m.ttft.mean * 1e3, 1), round(m.ttft.p95 * 1e3, 1),
+            round(m.tpot.mean * 1e3, 2), round(m.tpot.p99 * 1e3, 2),
+            round(m.slo_goodput(TTFT_SLO_S, TPOT_SLO_S, result.total_time_s), 2),
+            result.num_preemptions,
+        ])
+    print(f"\nScheduler comparison for {model_name} on A100 "
+          f"(QServe W4A8KV4, Poisson {arrival_rate:.0f} req/s, "
+          f"SLO: TTFT<{TTFT_SLO_S * 1e3:.0f}ms, TPOT<{TPOT_SLO_S * 1e3:.0f}ms):\n")
+    print(format_table(
+        ["Scheduler", "Tok/s", "TTFT mean (ms)", "TTFT p95 (ms)",
+         "TPOT mean (ms)", "TPOT p99 (ms)", "Goodput (req/s)", "Preempt"],
+        rows))
+
+
+def main(model_name: str = "llama-2-7b") -> None:
+    throughput_study(model_name)
+    latency_study(model_name)
 
 
 if __name__ == "__main__":

@@ -3,26 +3,58 @@
 The efficiency results of the paper (Table 4, Figures 15/17) measure the
 *maximum achievable generation throughput* of a serving system under a fixed
 device-memory budget, with 1024-token prompts and 512-token outputs.  This
-package reproduces that measurement as a discrete simulation:
+package reproduces that measurement as a discrete, event-driven simulation,
+and extends it with the latency side of serving (TTFT/TPOT percentiles, SLO
+goodput) under pluggable scheduling policies:
 
 * :mod:`repro.serving.precision` — serving-system presets (TensorRT-LLM FP16 /
   W8A8 / W4A16, Atom, QuaRot, QServe per-channel & per-group) mapping onto the
   GPU cost model's GEMM/attention kernels;
-* :mod:`repro.serving.request` — request and workload definitions;
+* :mod:`repro.serving.request` — request and workload definitions, including
+  ShareGPT-like lognormal and bursty on/off workload generators;
 * :mod:`repro.serving.kv_cache_manager` — paged KV cache with per-head scale
-  storage;
-* :mod:`repro.serving.scheduler` — in-flight (continuous) batching scheduler;
+  storage and whole-request page reclamation;
+* :mod:`repro.serving.policies` — scheduler policies (FCFS, strict-FCFS,
+  SJF), iteration planners (stall prefill, chunked prefill) and
+  :class:`SchedulingConfig` presets;
+* :mod:`repro.serving.scheduler` — in-flight (continuous) batching scheduler
+  with optimistic admission and preempt-and-recompute under page pressure;
+* :mod:`repro.serving.metrics` — per-request TTFT/TPOT/E2E latency with
+  p50/p95/p99 summaries and SLO goodput;
 * :mod:`repro.serving.engine` — per-iteration latency from the GPU cost model
-  plus the full serving loop;
+  plus the event-driven serving loop;
 * :mod:`repro.serving.throughput` — memory-budgeted maximum-batch search and
   throughput measurement.
 """
 
 from repro.serving.precision import SystemConfig, SYSTEM_PRESETS, get_system
-from repro.serving.request import Request, RequestState, Workload, make_uniform_workload
+from repro.serving.request import (
+    Request,
+    RequestState,
+    Workload,
+    make_uniform_workload,
+    make_lognormal_workload,
+    make_bursty_workload,
+)
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
+from repro.serving.policies import (
+    SchedulerPolicy,
+    FCFSPolicy,
+    StrictFCFSPolicy,
+    ShortestJobFirstPolicy,
+    POLICIES,
+    get_policy,
+    IterationPlan,
+    IterationPlanner,
+    StallPrefillPlanner,
+    ChunkedPrefillPlanner,
+    SchedulingConfig,
+    SCHEDULING_PRESETS,
+    LEGACY_SCHEDULING,
+)
+from repro.serving.metrics import RequestMetrics, LatencySummary, ServingMetrics
 from repro.serving.scheduler import ContinuousBatchingScheduler
-from repro.serving.engine import ServingEngine, StepBreakdown
+from repro.serving.engine import ServingEngine, ServingResult, StepBreakdown
 from repro.serving.throughput import (
     ThroughputResult,
     max_achievable_batch,
@@ -33,9 +65,16 @@ from repro.serving.throughput import (
 __all__ = [
     "SystemConfig", "SYSTEM_PRESETS", "get_system",
     "Request", "RequestState", "Workload", "make_uniform_workload",
+    "make_lognormal_workload", "make_bursty_workload",
     "PagedKVCacheManager", "PageAllocationError",
+    "SchedulerPolicy", "FCFSPolicy", "StrictFCFSPolicy",
+    "ShortestJobFirstPolicy", "POLICIES", "get_policy",
+    "IterationPlan", "IterationPlanner", "StallPrefillPlanner",
+    "ChunkedPrefillPlanner", "SchedulingConfig", "SCHEDULING_PRESETS",
+    "LEGACY_SCHEDULING",
+    "RequestMetrics", "LatencySummary", "ServingMetrics",
     "ContinuousBatchingScheduler",
-    "ServingEngine", "StepBreakdown",
+    "ServingEngine", "ServingResult", "StepBreakdown",
     "ThroughputResult", "max_achievable_batch", "measure_throughput",
     "max_achievable_throughput",
 ]

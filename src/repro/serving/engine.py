@@ -1,30 +1,48 @@
-"""Serving engine: per-iteration latency model + full serving loop.
+"""Serving engine: per-iteration latency model + event-driven serving loop.
 
 ``ServingEngine`` binds a model geometry, a GPU and a serving-system preset.
 It answers two kinds of questions:
 
-* *kernel-level*: how long does one decode iteration (or one prefill) take at
-  a given batch size and context length?  These latencies come from the GPU
-  cost model (:mod:`repro.gpu.gemm`, :mod:`repro.gpu.attention_kernel`) and
-  drive Figures 2a, 17 and the throughput tables.
-* *system-level*: given a workload and a memory budget, run the continuous
-  batching loop (prefill newly admitted requests, decode the running batch,
-  retire finished requests) on a simulated clock and report the generation
-  throughput — the quantity Table 4 calls "maximum achievable throughput".
+* *kernel-level*: how long does one decode iteration (or one prefill, or one
+  mixed chunked-prefill+decode iteration) take at a given batch size and
+  context length?  These latencies come from the GPU cost model
+  (:mod:`repro.gpu.gemm`, :mod:`repro.gpu.attention_kernel`) and drive
+  Figures 2a, 17 and the throughput tables.
+* *system-level*: given a workload, a memory budget and a
+  :class:`repro.serving.policies.SchedulingConfig`, run the continuous
+  batching loop on a simulated clock and report generation throughput (the
+  quantity Table 4 calls "maximum achievable throughput") together with
+  per-request latency metrics (TTFT/TPOT/E2E percentiles, SLO goodput).
+
+The serving loop itself is policy-free: admission order and head-of-line
+bypass come from the scheduling config's :class:`SchedulerPolicy`, the
+composition of each iteration from its :class:`IterationPlanner` (legacy
+stall-the-world prefill, or chunked prefill where prompt tokens share
+iterations with the decode batch), and page pressure is resolved by
+preempt-and-recompute when the config enables it.  The default
+``LEGACY_SCHEDULING`` preset reproduces the seed engine's behaviour exactly —
+same admissions, same cost-model calls in the same order, bitwise-identical
+throughput.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.gpu.attention_kernel import KV_KERNELS, attention_decode_latency
 from repro.gpu.gemm import GEMM_PRECISIONS, gemm_latency
 from repro.gpu.specs import GPUSpec
 from repro.model.config import ModelConfig
 from repro.serving.kv_cache_manager import PagedKVCacheManager
+from repro.serving.metrics import ServingMetrics
+from repro.serving.policies import (
+    IterationPlan,
+    LEGACY_SCHEDULING,
+    SchedulingConfig,
+)
 from repro.serving.precision import SystemConfig
-from repro.serving.request import Workload
+from repro.serving.request import RequestState, Workload
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
 __all__ = ["StepBreakdown", "ServingResult", "ServingEngine"]
@@ -60,6 +78,11 @@ class ServingResult:
     prompt_tokens: int
     peak_batch: int
     num_iterations: int
+    num_finished: int = 0
+    num_unserved: int = 0
+    num_preemptions: int = 0
+    recomputed_prefill_tokens: int = 0
+    metrics: Optional[ServingMetrics] = None
 
     @property
     def generation_throughput(self) -> float:
@@ -125,6 +148,11 @@ class ServingEngine:
             total += ffn * (moe_factor - 1)
         return total
 
+    def _prefill_attention_latency(self, macs: float) -> float:
+        """Compute-bound FP16 tensor-core attention latency for ``macs`` MACs."""
+        return (2.0 * macs / (self.gpu.tensor_core_tops("fp16") * 1e12
+                              * self.gpu.compute_efficiency)) * self.model.num_layers
+
     def decode_step(self, batch: int, context_len: int) -> StepBreakdown:
         """Latency of one decoding iteration for ``batch`` sequences."""
         if batch <= 0:
@@ -148,21 +176,90 @@ class ServingEngine:
         # Prefill attention is a compute-bound FP16 matmul of cost
         # 2 * b * S^2 * H * D MACs per layer (QK^T and SV), on tensor cores.
         macs = 2.0 * batch * prompt_len * prompt_len * self.model.num_heads * self.model.head_dim
-        attn = (2.0 * macs / (self.gpu.tensor_core_tops("fp16") * 1e12
-                              * self.gpu.compute_efficiency)) * self.model.num_layers
+        attn = self._prefill_attention_latency(macs)
         eff = self.system.runtime_efficiency
         return StepBreakdown(gemm=gemm / eff, attention=attn / eff,
+                             other=_STEP_OVERHEAD_S / eff)
+
+    def mixed_step(self, prefill_chunks: List[Tuple[int, int]],
+                   decode_batch: int, decode_context: int) -> StepBreakdown:
+        """Latency of one chunked-prefill iteration.
+
+        ``prefill_chunks`` holds ``(chunk_len, tokens_already_prefilled)``
+        pairs: each chunk's queries attend to the KV state accumulated so far
+        plus the chunk itself, so a prompt split into chunks costs the same
+        order of attention MACs as the monolithic prefill.  ``decode_batch``
+        sequences additionally each generate one token against
+        ``decode_context`` tokens of KV cache.  GEMM cost is shared — all
+        prefill-chunk and decode tokens go through the projections as one
+        batched matmul, which is exactly why chunked prefill keeps the GPU
+        saturated without stalling decodes.
+        """
+        chunk_tokens = sum(c for c, _ in prefill_chunks)
+        tokens = chunk_tokens + decode_batch
+        if tokens <= 0:
+            raise ValueError("mixed_step needs at least one token of work")
+        gemm = self._block_gemm_latency(tokens) * self.model.num_layers
+        macs = 0.0
+        for chunk_len, done in prefill_chunks:
+            macs += 2.0 * chunk_len * (done + chunk_len) * \
+                self.model.num_heads * self.model.head_dim
+        attn = self._prefill_attention_latency(macs) if macs else 0.0
+        if decode_batch > 0:
+            attn += attention_decode_latency(
+                self.gpu, self.attention_kernel, decode_batch,
+                max(1, decode_context), self.model.num_heads,
+                self.model.num_kv_heads, self.model.head_dim,
+            ).total * self.model.num_layers
+        # LM head only for the decode tokens; mid-prompt logits are discarded.
+        lm = 0.0
+        if decode_batch > 0:
+            lm = gemm_latency(self.gpu, decode_batch, self.model.vocab_size,
+                              self.model.hidden_size, GEMM_PRECISIONS["fp16"]).total
+        eff = self.system.runtime_efficiency
+        return StepBreakdown(gemm=(gemm + lm) / eff, attention=attn / eff,
                              other=_STEP_OVERHEAD_S / eff)
 
     # ------------------------------------------------------------------
     # System-level serving loop
     # ------------------------------------------------------------------
-    def serve(self, workload: Workload, max_num_seqs: Optional[int] = None) -> ServingResult:
-        """Run the continuous-batching loop over ``workload`` on a simulated clock."""
+    def _plan_latency(self, plan: IterationPlan) -> float:
+        """Cost-model latency of executing one iteration plan."""
+        if plan.stalled_prefill:
+            # Legacy batched prefill: every admitted prompt is padded to the
+            # longest one and prefilled in a single call.
+            prompt_len = max(r.prefill_target for r, _ in plan.prefill_chunks)
+            return self.prefill(len(plan.prefill_chunks), prompt_len).total
+        decode = plan.decode
+        if not plan.prefill_chunks:
+            batch = len(decode)
+            context = int(sum(r.context_len for r in decode) / batch)
+            return self.decode_step(batch, context).total
+        chunks = [(tokens, r.prefilled) for r, tokens in plan.prefill_chunks]
+        decode_context = 0
+        if decode:
+            decode_context = int(sum(r.context_len for r in decode) / len(decode))
+        return self.mixed_step(chunks, len(decode), decode_context).total
+
+    def serve(self, workload: Workload, max_num_seqs: Optional[int] = None,
+              scheduling: Optional[SchedulingConfig] = None) -> ServingResult:
+        """Run the continuous-batching loop over ``workload`` on a simulated clock.
+
+        ``scheduling`` selects the policy/planner/preemption preset; the
+        default :data:`LEGACY_SCHEDULING` reproduces the seed engine exactly.
+        Requests a configuration can never admit (e.g. a context larger than
+        the whole KV cache under conservative reservation) are left unserved
+        and counted in ``ServingResult.num_unserved`` rather than hanging the
+        loop.
+        """
+        scheduling = scheduling or LEGACY_SCHEDULING
+        planner = scheduling.build_planner()
         kv_manager = self.new_kv_manager()
         scheduler = ContinuousBatchingScheduler(
             kv_manager=kv_manager,
-            max_num_seqs=max_num_seqs or 10**9)
+            max_num_seqs=max_num_seqs or 10**9,
+            policy=scheduling.build_policy(),
+            preemption=scheduling.preemption)
         scheduler.submit(list(workload.requests))
 
         now = 0.0
@@ -177,32 +274,55 @@ class ServingEngine:
             if guard > max_iterations:
                 raise RuntimeError("serving loop failed to terminate")
             admitted = scheduler.admit(now)
-            if admitted:
-                prompt_len = max(r.prompt_len for r in admitted)
-                now += self.prefill(len(admitted), prompt_len).total
-                scheduler.complete_prefill(now)
-                iterations += 1
-                continue
-            decoding = scheduler.decoding_requests()
-            if not decoding:
-                # Nothing runnable: jump to the next arrival.
+            if scheduling.preemption:
+                # Claim pages for every decode before planning; may preempt
+                # any running request — including one admitted just above, so
+                # drop evictees from the admitted list before planning.
+                scheduler.prepare_decode()
+                admitted = [r for r in admitted
+                            if r.state is RequestState.PREFILLING]
+            plan = planner.plan(scheduler, admitted)
+            if plan.is_empty:
+                # Nothing runnable: jump to the next arrival, or stop if the
+                # remaining requests can never be admitted.
                 future = [r.arrival_time for r in scheduler.waiting]
                 if not future:
                     break
-                now = max(now, min(future))
+                next_arrival = min(future)
+                if next_arrival > now:
+                    now = max(now, next_arrival)
+                    continue
+                if not scheduler.running:
+                    # Arrived requests that no amount of waiting can admit
+                    # (e.g. larger than the whole KV cache): leave unserved.
+                    break
                 continue
-            batch = len(decoding)
-            peak_batch = max(peak_batch, batch)
-            context = int(sum(r.context_len for r in decoding) / batch)
-            now += self.decode_step(batch, context).total
-            scheduler.record_decode_step(now)
-            generated += batch
+
+            now += self._plan_latency(plan)
             iterations += 1
+            if plan.decode:
+                peak_batch = max(peak_batch, len(plan.decode))
+                generated += len(plan.decode)
+                scheduler.record_decode_step(now)
+            for request, tokens in plan.prefill_chunks:
+                scheduler.record_prefill(request, tokens, now)
+
+        # Count only prompts that actually completed a prefill: a loop that
+        # stops with requests still waiting must not claim their tokens.
+        prefilled_prompt_tokens = sum(
+            r.prompt_len for r in workload.requests
+            if r.prefill_done_time is not None)
+        unserved = sum(1 for r in workload.requests if r.finish_time is None)
 
         return ServingResult(
             total_time_s=now,
             generated_tokens=generated,
-            prompt_tokens=workload.total_prompt_tokens,
+            prompt_tokens=prefilled_prompt_tokens,
             peak_batch=peak_batch,
             num_iterations=iterations,
+            num_finished=len(scheduler.finished),
+            num_unserved=unserved,
+            num_preemptions=scheduler.num_preemptions,
+            recomputed_prefill_tokens=scheduler.recomputed_prefill_tokens,
+            metrics=ServingMetrics.from_requests(scheduler.finished),
         )

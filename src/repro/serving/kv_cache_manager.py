@@ -7,6 +7,11 @@ after the quantized features inside each page.  The manager below implements
 the bookkeeping: page-granular allocation per request, byte accounting that
 includes the in-page quantization parameters, and the non-paged fallback used
 to model systems without paged-attention support (QuaRot).
+
+Reclamation: :meth:`PagedKVCacheManager.free` releases *all* pages of a
+request at once — used both when a request finishes and when the scheduler
+preempts it (recompute-style preemption rebuilds the KV cache from scratch on
+readmission, so partial reclamation is never needed).
 """
 
 from __future__ import annotations

@@ -1,0 +1,170 @@
+"""Per-request latency metrics for the serving simulator.
+
+Generation throughput (the paper's Table 4 metric) says nothing about how a
+system feels under load; production serving is judged on latency percentiles:
+
+* **TTFT** (time to first token): arrival → first generated token.
+* **TPOT** (time per output token): mean inter-token gap after the first
+  token, ``(finish - first_token) / (output_len - 1)``.
+* **E2E**: arrival → last token.
+* **SLO attainment / goodput**: the fraction (and rate) of requests whose
+  TTFT *and* TPOT both meet a service-level objective — the quantity bursty
+  traffic actually degrades first.
+
+:class:`ServingMetrics` is assembled by the engine from finished requests and
+travels on :class:`repro.serving.engine.ServingResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.request import Request
+
+__all__ = ["RequestMetrics", "LatencySummary", "ServingMetrics"]
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Latency record of one finished request (all times in seconds)."""
+
+    request_id: int
+    prompt_len: int
+    output_len: int
+    arrival_time: float
+    first_token_time: float
+    finish_time: float
+    admitted_time: Optional[float] = None
+    preemptions: int = 0
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def queue_delay(self) -> float:
+        """Arrival → first admission (0 when the admission time is unknown)."""
+        if self.admitted_time is None:
+            return 0.0
+        return self.admitted_time - self.arrival_time
+
+    @property
+    def e2e_latency(self) -> float:
+        """End-to-end latency, arrival to final token."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def tpot(self) -> float:
+        """Mean time per output token after the first (0 for 1-token outputs)."""
+        if self.output_len <= 1:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / (self.output_len - 1)
+
+    @classmethod
+    def from_request(cls, request: Request) -> "RequestMetrics":
+        if request.first_token_time is None or request.finish_time is None:
+            raise ValueError(
+                f"request {request.request_id} has not finished; no metrics")
+        return cls(
+            request_id=request.request_id,
+            prompt_len=request.prompt_len,
+            output_len=request.output_len,
+            arrival_time=request.arrival_time,
+            first_token_time=request.first_token_time,
+            finish_time=request.finish_time,
+            admitted_time=request.admitted_time,
+            preemptions=request.preemptions,
+        )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Mean and p50/p95/p99 of one latency distribution (seconds)."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        if len(values) == 0:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(values, dtype=np.float64)
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return cls(mean=float(arr.mean()), p50=float(p50), p95=float(p95),
+                   p99=float(p99), maximum=float(arr.max()))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"mean {self.mean * 1e3:.1f} ms / p50 {self.p50 * 1e3:.1f} / "
+                f"p95 {self.p95 * 1e3:.1f} / p99 {self.p99 * 1e3:.1f} ms")
+
+
+@dataclass
+class ServingMetrics:
+    """Latency metrics over all finished requests of one serving run."""
+
+    requests: List[RequestMetrics] = field(default_factory=list)
+
+    @classmethod
+    def from_requests(cls, requests: Sequence[Request]) -> "ServingMetrics":
+        """Collect metrics from every request that produced a full output."""
+        return cls(requests=[RequestMetrics.from_request(r) for r in requests
+                             if r.first_token_time is not None
+                             and r.finish_time is not None])
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    # ------------------------------------------------------------------
+    @property
+    def ttft(self) -> LatencySummary:
+        return LatencySummary.from_values([r.ttft for r in self.requests])
+
+    @property
+    def tpot(self) -> LatencySummary:
+        return LatencySummary.from_values([r.tpot for r in self.requests])
+
+    @property
+    def e2e(self) -> LatencySummary:
+        return LatencySummary.from_values([r.e2e_latency for r in self.requests])
+
+    @property
+    def queue_delay(self) -> LatencySummary:
+        return LatencySummary.from_values([r.queue_delay for r in self.requests])
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(r.preemptions for r in self.requests)
+
+    # ------------------------------------------------------------------
+    def slo_attainment(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
+        """Fraction of finished requests meeting both TTFT and TPOT SLOs."""
+        if not self.requests:
+            return 0.0
+        good = sum(1 for r in self.requests
+                   if r.ttft <= ttft_slo_s and r.tpot <= tpot_slo_s)
+        return good / len(self.requests)
+
+    def slo_goodput(self, ttft_slo_s: float, tpot_slo_s: float,
+                    total_time_s: float) -> float:
+        """Requests per second completed within both SLOs (the goodput metric)."""
+        if total_time_s <= 0:
+            return 0.0
+        return (self.slo_attainment(ttft_slo_s, tpot_slo_s)
+                * len(self.requests) / total_time_s)
+
+    def summary_text(self) -> str:
+        """Human-readable multi-line summary (for examples/benchmarks)."""
+        return "\n".join([
+            f"requests: {len(self.requests)} "
+            f"(preemptions: {self.total_preemptions})",
+            f"TTFT: {self.ttft}",
+            f"TPOT: {self.tpot}",
+            f"E2E:  {self.e2e}",
+        ])

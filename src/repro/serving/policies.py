@@ -1,0 +1,258 @@
+"""Scheduling policies and iteration planners for the serving simulator.
+
+The serving loop in :mod:`repro.serving.engine` is deliberately policy-free:
+every decision that distinguishes one serving system from another lives here,
+behind two small abstractions.
+
+``SchedulerPolicy``
+    Decides the *order* in which waiting requests are considered for
+    admission, whether a blocked request may be bypassed by later arrivals
+    (head-of-line bypass), and which running request to evict first when the
+    KV cache runs out of pages (preemption victim selection).  Three policies
+    ship by default:
+
+    * ``fcfs`` — first-come-first-served with head-of-line bypass: a request
+      blocked on pages does not prevent later, smaller requests from being
+      admitted.  This matches the seed scheduler's (previously implicit)
+      behaviour.
+    * ``strict-fcfs`` — admission stops at the first request that cannot be
+      admitted, guaranteeing no request is ever overtaken.
+    * ``sjf`` — shortest-job-first: requests with the least total work
+      (remaining prefill plus remaining output) are admitted first.  Reduces
+      mean latency at the cost of potential starvation of long requests.
+
+``IterationPlanner``
+    Decides what a single model iteration computes.  ``StallPrefillPlanner``
+    reproduces the seed engine exactly: newly admitted prompts are prefilled
+    in one batched call while the running batch stalls.
+    ``ChunkedPrefillPlanner`` implements Sarathi/vLLM-style chunked prefill:
+    each iteration carries a bounded budget of prefill tokens *alongside* the
+    full decode batch, so decodes never stall and time-between-tokens stays
+    bounded.
+
+``SchedulingConfig`` bundles a policy name, planner choice and preemption
+switch into a preset; ``SCHEDULING_PRESETS["legacy"]`` is bit-for-bit
+equivalent to the seed serving loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple, Type
+
+from repro.serving.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.scheduler import ContinuousBatchingScheduler
+
+__all__ = [
+    "SchedulerPolicy",
+    "FCFSPolicy",
+    "StrictFCFSPolicy",
+    "ShortestJobFirstPolicy",
+    "POLICIES",
+    "get_policy",
+    "IterationPlan",
+    "IterationPlanner",
+    "StallPrefillPlanner",
+    "ChunkedPrefillPlanner",
+    "SchedulingConfig",
+    "SCHEDULING_PRESETS",
+    "LEGACY_SCHEDULING",
+]
+
+
+# ----------------------------------------------------------------------
+# Scheduler policies
+# ----------------------------------------------------------------------
+class SchedulerPolicy(abc.ABC):
+    """Ordering and bypass rules for admission and preemption."""
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+    #: May a request blocked on pages (or the sequence cap) be overtaken by a
+    #: later request in admission order?
+    allow_bypass: bool = True
+
+    @abc.abstractmethod
+    def admission_key(self, request: Request) -> Tuple:
+        """Sort key; lower sorts earlier (= higher admission priority)."""
+
+    def admission_order(self, requests: List[Request]) -> List[Request]:
+        """Waiting requests in the order admission should consider them."""
+        return sorted(requests, key=self.admission_key)
+
+    def victim_order(self, requests: List[Request]) -> List[Request]:
+        """Running requests in eviction order: lowest priority first."""
+        return sorted(requests, key=self.admission_key, reverse=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class FCFSPolicy(SchedulerPolicy):
+    """First-come-first-served with head-of-line bypass (seed behaviour)."""
+
+    name = "fcfs"
+    allow_bypass = True
+
+    def admission_key(self, request: Request) -> Tuple:
+        return (request.arrival_time, request.request_id)
+
+
+class StrictFCFSPolicy(FCFSPolicy):
+    """FCFS without bypass: admission halts at the first blocked request."""
+
+    name = "strict-fcfs"
+    allow_bypass = False
+
+
+class ShortestJobFirstPolicy(SchedulerPolicy):
+    """Admit the request with the least remaining work first."""
+
+    name = "sjf"
+    allow_bypass = True
+
+    def admission_key(self, request: Request) -> Tuple:
+        remaining = (request.prefill_target - request.prefilled) + (
+            request.output_len - request.generated)
+        return (remaining, request.arrival_time, request.request_id)
+
+
+POLICIES: Dict[str, Type[SchedulerPolicy]] = {
+    cls.name: cls for cls in (FCFSPolicy, StrictFCFSPolicy, ShortestJobFirstPolicy)
+}
+
+
+def get_policy(name: str) -> SchedulerPolicy:
+    """Instantiate a scheduling policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+
+
+# ----------------------------------------------------------------------
+# Iteration planners
+# ----------------------------------------------------------------------
+@dataclass
+class IterationPlan:
+    """What one model iteration computes.
+
+    ``prefill_chunks`` pairs each prefilling request with the number of its
+    prompt tokens processed this iteration; ``decode`` lists the requests
+    that each generate one token.  ``stalled_prefill`` marks the legacy
+    whole-prompt batched prefill, which uses the monolithic
+    :meth:`repro.serving.engine.ServingEngine.prefill` cost path instead of
+    the mixed-iteration path.
+    """
+
+    prefill_chunks: List[Tuple[Request, int]] = field(default_factory=list)
+    decode: List[Request] = field(default_factory=list)
+    stalled_prefill: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.prefill_chunks and not self.decode
+
+
+class IterationPlanner(abc.ABC):
+    """Chooses each iteration's prefill/decode composition."""
+
+    @abc.abstractmethod
+    def plan(self, scheduler: "ContinuousBatchingScheduler",
+             admitted: List[Request]) -> IterationPlan:
+        """Build the next iteration's plan from current scheduler state."""
+
+
+class StallPrefillPlanner(IterationPlanner):
+    """Seed behaviour: admitted prompts prefill in full, stalling decodes."""
+
+    def plan(self, scheduler: "ContinuousBatchingScheduler",
+             admitted: List[Request]) -> IterationPlan:
+        if admitted:
+            chunks = [(r, r.prefill_target) for r in admitted]
+            return IterationPlan(prefill_chunks=chunks, stalled_prefill=True)
+        return IterationPlan(decode=scheduler.decoding_requests())
+
+
+class ChunkedPrefillPlanner(IterationPlanner):
+    """Mix a bounded budget of prefill tokens into every decode iteration.
+
+    ``token_budget`` caps the total tokens per iteration (decode tokens count
+    one each); whatever budget the decode batch leaves is handed to waiting
+    prefills in scheduler (admission) order.  A prompt therefore streams into
+    the batch over several iterations instead of stalling it.
+    """
+
+    def __init__(self, token_budget: int = 512) -> None:
+        if token_budget <= 0:
+            raise ValueError("token_budget must be positive")
+        self.token_budget = token_budget
+
+    def plan(self, scheduler: "ContinuousBatchingScheduler",
+             admitted: List[Request]) -> IterationPlan:
+        decode = scheduler.decoding_requests()
+        budget = max(0, self.token_budget - len(decode))
+        chunks: List[Tuple[Request, int]] = []
+        for request in scheduler.prefilling_requests():
+            if budget <= 0:
+                break
+            tokens = min(request.prefill_remaining, budget)
+            if tokens > 0:
+                chunks.append((request, tokens))
+                budget -= tokens
+        return IterationPlan(prefill_chunks=chunks, decode=decode)
+
+
+# ----------------------------------------------------------------------
+# Scheduling presets
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchedulingConfig:
+    """One complete serving-loop configuration.
+
+    Attributes
+    ----------
+    policy:
+        Key into :data:`POLICIES` selecting the admission/eviction order.
+    chunked_prefill:
+        When true, use :class:`ChunkedPrefillPlanner` so prefill tokens share
+        iterations with decodes; otherwise the legacy stall-the-world prefill.
+    prefill_chunk_size:
+        Per-iteration token budget for chunked prefill.
+    preemption:
+        When true, admission reserves pages only for the tokens a request
+        currently holds (optimistic) and the scheduler preempts-and-recomputes
+        low-priority requests when the cache fills; when false, admission
+        conservatively reserves ``prompt_len + output_len`` up front and
+        preemption never occurs (seed behaviour).
+    """
+
+    policy: str = "fcfs"
+    chunked_prefill: bool = False
+    prefill_chunk_size: int = 512
+    preemption: bool = False
+
+    def build_policy(self) -> SchedulerPolicy:
+        return get_policy(self.policy)
+
+    def build_planner(self) -> IterationPlanner:
+        if self.chunked_prefill:
+            return ChunkedPrefillPlanner(token_budget=self.prefill_chunk_size)
+        return StallPrefillPlanner()
+
+
+#: The seed engine's exact behaviour: conservative FCFS with bypass,
+#: whole-prompt stalling prefill, no preemption.
+LEGACY_SCHEDULING = SchedulingConfig()
+
+SCHEDULING_PRESETS: Dict[str, SchedulingConfig] = {
+    "legacy": LEGACY_SCHEDULING,
+    "strict-fcfs": SchedulingConfig(policy="strict-fcfs"),
+    "sjf": SchedulingConfig(policy="sjf"),
+    "chunked": SchedulingConfig(chunked_prefill=True),
+    "chunked-preempt": SchedulingConfig(chunked_prefill=True, preemption=True),
+}

@@ -1,4 +1,15 @@
-"""Requests and workloads for the serving simulator."""
+"""Requests and workloads for the serving simulator.
+
+Besides the paper's uniform 1024-in/512-out benchmark workload
+(:func:`make_uniform_workload`), this module provides two generators for
+stress-testing schedulers under realistic traffic:
+
+* :func:`make_lognormal_workload` — ShareGPT-like lognormal mixes of prompt
+  and output lengths, optionally with Poisson arrivals;
+* :func:`make_bursty_workload` — on/off (Markov-modulated Poisson) arrivals:
+  bursts of traffic at a high rate separated by idle gaps, the pattern that
+  exposes head-of-line blocking and page-pressure preemption.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +19,14 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["RequestState", "Request", "Workload", "make_uniform_workload"]
+__all__ = [
+    "RequestState",
+    "Request",
+    "Workload",
+    "make_uniform_workload",
+    "make_lognormal_workload",
+    "make_bursty_workload",
+]
 
 
 class RequestState(str, enum.Enum):
@@ -17,6 +35,7 @@ class RequestState(str, enum.Enum):
     WAITING = "waiting"
     PREFILLING = "prefilling"
     DECODING = "decoding"
+    PREEMPTED = "preempted"
     FINISHED = "finished"
 
 
@@ -27,6 +46,12 @@ class Request:
     The throughput benchmark of the paper uses 1024 prompt tokens and 512
     output tokens per request; :func:`make_uniform_workload` builds exactly
     that.
+
+    Prefill progress is tracked explicitly (``prefilled`` out of
+    ``prefill_target`` tokens) so chunked prefill can spread a prompt over
+    several iterations, and so a preempted request can be re-prefilled over
+    ``prompt_len + generated`` tokens on readmission (recompute-style
+    preemption).
     """
 
     request_id: int
@@ -37,10 +62,19 @@ class Request:
     generated: int = 0
     prefill_done_time: Optional[float] = None
     finish_time: Optional[float] = None
+    # Prefill progress within the current residency (set at admission).
+    prefilled: int = 0
+    prefill_target: int = 0
+    # Latency bookkeeping.
+    first_token_time: Optional[float] = None
+    admitted_time: Optional[float] = None
+    preemptions: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0:
             raise ValueError("prompt_len and output_len must be positive")
+        if self.prefill_target <= 0:
+            self.prefill_target = self.prompt_len
 
     @property
     def context_len(self) -> int:
@@ -48,8 +82,18 @@ class Request:
         return self.prompt_len + self.generated
 
     @property
+    def prefill_remaining(self) -> int:
+        """Prompt (or recompute) tokens still to prefill this residency."""
+        return max(0, self.prefill_target - self.prefilled)
+
+    @property
     def finished(self) -> bool:
         return self.generated >= self.output_len
+
+    def copy_fresh(self) -> "Request":
+        """A pristine copy (same id/lengths/arrival, no progress)."""
+        return Request(request_id=self.request_id, prompt_len=self.prompt_len,
+                       output_len=self.output_len, arrival_time=self.arrival_time)
 
 
 @dataclass
@@ -68,6 +112,14 @@ class Workload:
     @property
     def total_prompt_tokens(self) -> int:
         return sum(r.prompt_len for r in self.requests)
+
+    def copy_fresh(self) -> "Workload":
+        """A pristine copy of the workload.
+
+        ``ServingEngine.serve`` mutates request state in place; use this to
+        run the same workload under several scheduling configurations.
+        """
+        return Workload(requests=[r.copy_fresh() for r in self.requests])
 
 
 def make_uniform_workload(num_requests: int, prompt_len: int = 1024,
@@ -89,6 +141,106 @@ def make_uniform_workload(num_requests: int, prompt_len: int = 1024,
     requests = [
         Request(request_id=i, prompt_len=prompt_len, output_len=output_len,
                 arrival_time=float(arrivals[i]))
+        for i in range(num_requests)
+    ]
+    return Workload(requests=requests)
+
+
+#: ShareGPT-like length-distribution defaults, shared by
+#: :func:`make_lognormal_workload` and :func:`make_bursty_workload`:
+#: (mean_log, sigma_log, min_len, max_len) of the clipped lognormal.
+_PROMPT_LOGNORMAL = (6.0, 0.8, 4, 3072)
+_OUTPUT_LOGNORMAL = (5.0, 0.9, 4, 1024)
+
+
+def _lognormal_lengths(rng: np.random.Generator, n: int, mean_log: float,
+                       sigma_log: float, lo: int, hi: int) -> np.ndarray:
+    lengths = rng.lognormal(mean=mean_log, sigma=sigma_log, size=n)
+    return np.clip(np.round(lengths), lo, hi).astype(np.int64)
+
+
+def make_lognormal_workload(num_requests: int,
+                            prompt_mean_log: float = _PROMPT_LOGNORMAL[0],
+                            prompt_sigma_log: float = _PROMPT_LOGNORMAL[1],
+                            output_mean_log: float = _OUTPUT_LOGNORMAL[0],
+                            output_sigma_log: float = _OUTPUT_LOGNORMAL[1],
+                            min_len: int = _PROMPT_LOGNORMAL[2],
+                            max_prompt_len: int = _PROMPT_LOGNORMAL[3],
+                            max_output_len: int = _OUTPUT_LOGNORMAL[3],
+                            arrival_rate: Optional[float] = None,
+                            seed: int = 0) -> Workload:
+    """ShareGPT-like workload: lognormal prompt and output length mixes.
+
+    The defaults give median prompts of ~400 tokens and median outputs of
+    ~150 tokens with heavy right tails, roughly the shape of the ShareGPT
+    conversation traces used by vLLM's serving benchmarks.  Arrivals are
+    Poisson when ``arrival_rate`` is set, otherwise all at time zero.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    rng = np.random.default_rng(seed)
+    prompts = _lognormal_lengths(rng, num_requests, prompt_mean_log,
+                                 prompt_sigma_log, min_len, max_prompt_len)
+    outputs = _lognormal_lengths(rng, num_requests, output_mean_log,
+                                 output_sigma_log, min_len, max_output_len)
+    arrivals = np.zeros(num_requests)
+    if arrival_rate is not None:
+        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=num_requests))
+    requests = [
+        Request(request_id=i, prompt_len=int(prompts[i]),
+                output_len=int(outputs[i]), arrival_time=float(arrivals[i]))
+        for i in range(num_requests)
+    ]
+    return Workload(requests=requests)
+
+
+def make_bursty_workload(num_requests: int,
+                         burst_rate: float = 8.0,
+                         mean_burst_s: float = 4.0,
+                         mean_idle_s: float = 8.0,
+                         prompt_len: int = 1024,
+                         output_len: int = 512,
+                         lognormal_lengths: bool = False,
+                         seed: int = 0) -> Workload:
+    """On/off bursty arrivals (Markov-modulated Poisson process).
+
+    Traffic alternates between ON periods (exponential duration with mean
+    ``mean_burst_s``, Poisson arrivals at ``burst_rate`` requests/s) and
+    silent OFF periods (mean ``mean_idle_s``).  The long-run average rate is
+    ``burst_rate * mean_burst_s / (mean_burst_s + mean_idle_s)``, but the
+    instantaneous rate during a burst is much higher — exactly the pattern
+    that overflows KV-cache pages and stresses admission/preemption policies.
+
+    With ``lognormal_lengths=True`` request lengths follow the
+    :func:`make_lognormal_workload` defaults instead of being uniform.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if burst_rate <= 0 or mean_burst_s <= 0 or mean_idle_s < 0:
+        raise ValueError("burst_rate/mean_burst_s must be positive, "
+                         "mean_idle_s non-negative")
+    rng = np.random.default_rng(seed)
+    arrivals: List[float] = []
+    t = 0.0
+    while len(arrivals) < num_requests:
+        burst_end = t + rng.exponential(mean_burst_s)
+        while len(arrivals) < num_requests:
+            t += rng.exponential(1.0 / burst_rate)
+            if t > burst_end:
+                break
+            arrivals.append(t)
+        t = burst_end + rng.exponential(mean_idle_s) if mean_idle_s > 0 else burst_end
+    arrivals_arr = np.asarray(arrivals[:num_requests])
+
+    if lognormal_lengths:
+        prompts = _lognormal_lengths(rng, num_requests, *_PROMPT_LOGNORMAL)
+        outputs = _lognormal_lengths(rng, num_requests, *_OUTPUT_LOGNORMAL)
+    else:
+        prompts = np.full(num_requests, prompt_len, dtype=np.int64)
+        outputs = np.full(num_requests, output_len, dtype=np.int64)
+    requests = [
+        Request(request_id=i, prompt_len=int(prompts[i]),
+                output_len=int(outputs[i]), arrival_time=float(arrivals_arr[i]))
         for i in range(num_requests)
     ]
     return Workload(requests=requests)

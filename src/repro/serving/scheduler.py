@@ -2,9 +2,23 @@
 
 QServe, vLLM and TensorRT-LLM all admit new requests into the running batch as
 soon as KV-cache pages free up, instead of waiting for the whole batch to
-finish.  The scheduler below implements that policy: FCFS admission subject to
-page availability and a maximum concurrent-sequence cap, immediate reclamation
-of pages on completion.
+finish.  The scheduler below implements that, parameterised by a
+:class:`repro.serving.policies.SchedulerPolicy` that fixes the admission
+order, whether blocked requests may be bypassed (head-of-line bypass), and
+the eviction order under preemption.
+
+Two admission-reservation modes are supported:
+
+* **conservative** (``preemption=False``, seed behaviour): pages for the
+  request's final length (``prompt_len + output_len``) are reserved up front,
+  so a running request can never be starved of pages mid-generation — the
+  policy TensorRT-LLM uses when preemption is disabled.
+* **optimistic** (``preemption=True``): only the tokens the request currently
+  holds are reserved, which admits far more requests; when the cache later
+  fills, the lowest-priority running request is *preempted*: its pages are
+  reclaimed, it returns to the waiting queue in the ``PREEMPTED`` state, and
+  on readmission its KV cache is recomputed by re-prefilling
+  ``prompt_len + generated`` tokens (vLLM's recompute-style preemption).
 """
 
 from __future__ import annotations
@@ -12,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.serving.kv_cache_manager import PagedKVCacheManager
+from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
+from repro.serving.policies import FCFSPolicy, SchedulerPolicy
 from repro.serving.request import Request, RequestState
 
 __all__ = ["ContinuousBatchingScheduler"]
@@ -20,13 +35,17 @@ __all__ = ["ContinuousBatchingScheduler"]
 
 @dataclass
 class ContinuousBatchingScheduler:
-    """FCFS continuous-batching scheduler over a paged KV cache."""
+    """Policy-driven continuous-batching scheduler over a paged KV cache."""
 
     kv_manager: PagedKVCacheManager
     max_num_seqs: int = 256
+    policy: SchedulerPolicy = field(default_factory=FCFSPolicy)
+    preemption: bool = False
     waiting: List[Request] = field(default_factory=list)
     running: List[Request] = field(default_factory=list)
     finished: List[Request] = field(default_factory=list)
+    num_preemptions: int = 0
+    recomputed_prefill_tokens: int = 0
 
     def submit(self, requests: List[Request]) -> None:
         """Add requests to the waiting queue (sorted by arrival time)."""
@@ -34,36 +53,163 @@ class ContinuousBatchingScheduler:
         self.waiting.sort(key=lambda r: (r.arrival_time, r.request_id))
 
     # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _reservation_tokens(self, request: Request) -> int:
+        """KV tokens to reserve at admission under the current mode."""
+        if self.preemption:
+            # Optimistic: only what the request holds right now (its prompt,
+            # plus any generated tokens to recompute after a preemption).
+            return request.context_len
+        # Conservative: the request's final footprint, so growth never fails.
+        return request.prompt_len + request.output_len
+
     def admit(self, now: float) -> List[Request]:
-        """Admit as many waiting requests as memory allows; returns new admits."""
-        admitted: List[Request] = []
-        still_waiting: List[Request] = []
+        """Admit waiting requests in policy order; returns the new admits.
+
+        With ``policy.allow_bypass`` (plain FCFS, SJF) a request blocked on
+        pages or the sequence cap is skipped and later requests may still be
+        admitted.  Under ``strict-fcfs`` admission halts at the first blocked
+        request so that arrival order is never violated.
+        """
+        arrived: List[Request] = []
+        pending: List[Request] = []
         for request in self.waiting:
-            if request.arrival_time > now or len(self.running) + len(admitted) >= self.max_num_seqs:
-                still_waiting.append(request)
+            (arrived if request.arrival_time <= now else pending).append(request)
+
+        admitted: List[Request] = []
+        blocked: List[Request] = []
+        halted = False
+        for request in self.policy.admission_order(arrived):
+            if halted:
+                blocked.append(request)
                 continue
-            # Reserve pages for the request's *final* length (prompt plus the
-            # full output budget) so a running request can never be starved of
-            # pages mid-generation — the conservative admission policy
-            # TensorRT-LLM uses when preemption is disabled.
-            final_len = request.prompt_len + request.output_len
-            if self.kv_manager.can_allocate(request.request_id, final_len):
-                self.kv_manager.allocate(request.request_id, final_len)
-                request.state = RequestState.PREFILLING
+            if len(self.running) + len(admitted) >= self.max_num_seqs:
+                blocked.append(request)
+                if not self.policy.allow_bypass:
+                    halted = True
+                continue
+            if self.preemption and self.kv_manager.pages_for_tokens(
+                    request.prompt_len + request.output_len) > self.kv_manager.total_pages:
+                # Optimistic admission still refuses requests whose *final*
+                # footprint exceeds the whole cache: no amount of preemption
+                # could ever finish them, so admitting would end in a
+                # mid-decode allocation failure instead of a clean
+                # never-admitted report.
+                blocked.append(request)
+                if not self.policy.allow_bypass:
+                    halted = True
+                continue
+            tokens = self._reservation_tokens(request)
+            if self.kv_manager.can_allocate(request.request_id, tokens):
+                self.kv_manager.allocate(request.request_id, tokens)
+                self._begin_prefill(request, now)
                 admitted.append(request)
             else:
-                still_waiting.append(request)
-        self.waiting = still_waiting
+                blocked.append(request)
+                if not self.policy.allow_bypass:
+                    halted = True
+        self.waiting = blocked + pending
+        self.waiting.sort(key=lambda r: (r.arrival_time, r.request_id))
         self.running.extend(admitted)
         return admitted
 
+    def _begin_prefill(self, request: Request, now: float) -> None:
+        if request.state is RequestState.PREEMPTED:
+            # Recompute-style readmission: the KV cache of the prompt *and*
+            # all previously generated tokens must be rebuilt.
+            self.recomputed_prefill_tokens += request.context_len
+        request.state = RequestState.PREFILLING
+        request.prefill_target = request.context_len
+        request.prefilled = 0
+        if request.admitted_time is None:
+            request.admitted_time = now
+
+    # ------------------------------------------------------------------
+    # Prefill progress
+    # ------------------------------------------------------------------
+    def record_prefill(self, request: Request, tokens: int, now: float) -> None:
+        """Account ``tokens`` of prefill progress; completes the prefill when
+        the target is reached and moves the request to the decoding state."""
+        if request.state is not RequestState.PREFILLING:
+            raise ValueError(f"request {request.request_id} is not prefilling")
+        request.prefilled += tokens
+        if request.prefilled >= request.prefill_target:
+            request.state = RequestState.DECODING
+            request.prefill_done_time = now
+
     def complete_prefill(self, now: float) -> None:
-        """Move freshly prefilled requests into the decoding state."""
+        """Finish the prefill of every prefilling request (legacy stall path)."""
         for request in self.running:
             if request.state is RequestState.PREFILLING:
-                request.state = RequestState.DECODING
-                request.prefill_done_time = now
+                self.record_prefill(request, request.prefill_remaining, now)
 
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+    def _preempt(self, request: Request) -> None:
+        """Reclaim a running request's pages and return it to the queue."""
+        self.kv_manager.free(request.request_id)
+        request.state = RequestState.PREEMPTED
+        request.preemptions += 1
+        request.prefilled = 0
+        # The whole context must be re-prefilled on readmission; keep the
+        # target current so prefill_remaining (and SJF ordering) reflect the
+        # true recompute cost while the request sits in the queue.
+        request.prefill_target = request.context_len
+        self.running.remove(request)
+        self.waiting.append(request)
+        self.waiting.sort(key=lambda r: (r.arrival_time, r.request_id))
+        self.num_preemptions += 1
+
+    def prepare_decode(self) -> List[Request]:
+        """Guarantee every decoding request can append one token.
+
+        Under optimistic admission a decode step may need a fresh page for a
+        request whose context crosses a page boundary.  Pages are claimed here,
+        highest-priority request first; when the cache is exhausted the
+        policy's lowest-priority *running* request (decoding or prefilling) is
+        preempted until the claim fits.  Returns the surviving decode batch.
+        """
+        decoding = self.decoding_requests()
+        if not self.preemption or not decoding:
+            return decoding
+        survivors: List[Request] = []
+        for request in self.policy.admission_order(decoding):
+            if request.state is not RequestState.DECODING:
+                continue  # preempted as a victim earlier in this pass
+            preempted_self = False
+            while not self.kv_manager.can_allocate(
+                    request.request_id, request.context_len + 1):
+                victim = self._pick_victim(protect=survivors + [request])
+                if victim is None:
+                    # Nothing lower-priority left to evict.
+                    if survivors or len(self.running) > 1:
+                        self._preempt(request)
+                        preempted_self = True
+                        break
+                    raise PageAllocationError(
+                        f"request {request.request_id} needs "
+                        f"{request.context_len + 1} tokens of KV cache but the "
+                        f"device holds only "
+                        f"{self.kv_manager.total_pages * self.kv_manager.page_size}")
+                self._preempt(victim)
+            if not preempted_self:
+                self.kv_manager.allocate(request.request_id,
+                                         request.context_len + 1)
+                survivors.append(request)
+        return survivors
+
+    def _pick_victim(self, protect: List[Request]) -> Optional[Request]:
+        protected = {id(r) for r in protect}
+        candidates = [r for r in self.running if id(r) not in protected]
+        if not candidates:
+            return None
+        return self.policy.victim_order(candidates)[0]
+
+    # ------------------------------------------------------------------
+    # Decode accounting
+    # ------------------------------------------------------------------
     def record_decode_step(self, now: float) -> List[Request]:
         """Account one generated token per decoding request; retire finished ones."""
         completed: List[Request] = []
@@ -73,13 +219,17 @@ class ContinuousBatchingScheduler:
                 survivors.append(request)
                 continue
             request.generated += 1
+            if request.first_token_time is None:
+                request.first_token_time = now
             if request.finished:
                 request.state = RequestState.FINISHED
                 request.finish_time = now
                 self.kv_manager.free(request.request_id)
                 completed.append(request)
             else:
-                # Grow the allocation to cover the newly generated token.
+                # Grow the allocation to cover the newly generated token (a
+                # no-op under conservative reservation, and pre-claimed by
+                # prepare_decode under preemption).
                 self.kv_manager.allocate(request.request_id, request.context_len)
                 survivors.append(request)
         self.running = survivors

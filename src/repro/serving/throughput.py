@@ -16,6 +16,7 @@ from typing import Optional
 from repro.gpu.specs import GPUSpec
 from repro.model.config import ModelConfig
 from repro.serving.engine import ServingEngine, ServingResult  # noqa: F401  (re-exported for callers)
+from repro.serving.policies import SchedulingConfig
 from repro.serving.precision import SystemConfig
 from repro.serving.request import make_uniform_workload
 
@@ -67,20 +68,27 @@ def max_achievable_batch(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
 
 def measure_throughput(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
                        batch: int, prompt_len: int = 1024, output_len: int = 512,
-                       num_requests: Optional[int] = None) -> ThroughputResult:
-    """Serve a uniform workload at a fixed concurrency and report throughput."""
+                       num_requests: Optional[int] = None,
+                       scheduling: Optional[SchedulingConfig] = None) -> ThroughputResult:
+    """Serve a uniform workload at a fixed concurrency and report throughput.
+
+    ``scheduling`` selects a :class:`SchedulingConfig` preset (policy,
+    chunked prefill, preemption); the default is the legacy stall-prefill
+    conservative-FCFS loop the paper's Table 4 numbers are measured with.
+    """
     if batch <= 0:
         raise ValueError("batch must be positive")
     engine = ServingEngine(model, gpu, system, max_seq_len=prompt_len + output_len)
     workload = make_uniform_workload(num_requests or batch, prompt_len, output_len)
-    result = engine.serve(workload, max_num_seqs=batch)
+    result = engine.serve(workload, max_num_seqs=batch, scheduling=scheduling)
     return ThroughputResult(
         system=system.name, model=model.name, gpu=gpu.name, batch=batch,
         tokens_per_second=result.generation_throughput, serving=result)
 
 
 def max_achievable_throughput(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
-                              prompt_len: int = 1024, output_len: int = 512) -> ThroughputResult:
+                              prompt_len: int = 1024, output_len: int = 512,
+                              scheduling: Optional[SchedulingConfig] = None) -> ThroughputResult:
     """Throughput at the largest memory-feasible batch (the Table 4 metric).
 
     Returns a result with zero throughput and batch 0 when the model does not
@@ -94,4 +102,5 @@ def max_achievable_throughput(model: ModelConfig, gpu: GPUSpec, system: SystemCo
             tokens_per_second=0.0,
             serving=ServingResult(total_time_s=0.0, generated_tokens=0,
                                   prompt_tokens=0, peak_batch=0, num_iterations=0))
-    return measure_throughput(model, gpu, system, batch, prompt_len, output_len)
+    return measure_throughput(model, gpu, system, batch, prompt_len, output_len,
+                              scheduling=scheduling)

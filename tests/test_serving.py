@@ -1,4 +1,6 @@
-"""Tests for the serving simulator: KV manager, scheduler, engine, throughput."""
+"""Tests for the serving simulator: KV manager, scheduler, engine, throughput,
+scheduling policies, chunked prefill, preemption, workload generators and
+latency metrics."""
 
 import numpy as np
 import pytest
@@ -7,12 +9,22 @@ from repro.gpu import A100, L40S
 from repro.model import get_config
 from repro.serving import (
     ContinuousBatchingScheduler,
+    LEGACY_SCHEDULING,
+    LatencySummary,
     PageAllocationError,
     PagedKVCacheManager,
     Request,
+    RequestMetrics,
+    RequestState,
+    SCHEDULING_PRESETS,
+    SchedulingConfig,
     ServingEngine,
+    ServingMetrics,
     SYSTEM_PRESETS,
+    get_policy,
     get_system,
+    make_bursty_workload,
+    make_lognormal_workload,
     make_uniform_workload,
     max_achievable_batch,
     max_achievable_throughput,
@@ -158,3 +170,351 @@ def test_measure_throughput_validation(llama7b):
         measure_throughput(llama7b, A100, SYSTEM_PRESETS["trt-w8a8"], batch=0)
     with pytest.raises(KeyError):
         get_system("nonexistent")
+    with pytest.raises(KeyError):
+        get_policy("nonexistent")
+
+
+# ----------------------------------------------------------------------
+# Scheduling policies
+# ----------------------------------------------------------------------
+def test_legacy_preset_matches_default(llama7b):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=160)
+    workload = make_uniform_workload(6, prompt_len=128, output_len=16,
+                                     arrival_rate=200.0, seed=3)
+    default = engine.serve(workload.copy_fresh(), max_num_seqs=4)
+    explicit = engine.serve(workload.copy_fresh(), max_num_seqs=4,
+                            scheduling=LEGACY_SCHEDULING)
+    assert default.total_time_s == explicit.total_time_s
+    assert default.generated_tokens == explicit.generated_tokens
+    assert default.num_iterations == explicit.num_iterations
+
+
+def test_fcfs_bypass_vs_strict_fcfs(llama7b):
+    # Capacity fits the small request but not the big one: plain FCFS lets
+    # the small request overtake; strict-FCFS admits nothing.
+    big = Request(request_id=0, prompt_len=1200, output_len=200)
+    small = Request(request_id=1, prompt_len=32, output_len=8)
+    for policy_name, expected in (("fcfs", [1]), ("strict-fcfs", [])):
+        mgr = _manager(llama7b, capacity_gib=0.02)
+        assert mgr.pages_for_tokens(1400) > mgr.total_pages
+        assert mgr.pages_for_tokens(40) <= mgr.total_pages
+        sched = ContinuousBatchingScheduler(
+            kv_manager=mgr, max_num_seqs=8, policy=get_policy(policy_name))
+        sched.submit([big.copy_fresh(), small.copy_fresh()])
+        admitted = sched.admit(now=0.0)
+        assert [r.request_id for r in admitted] == expected
+
+
+def test_sjf_admits_short_jobs_first(llama7b):
+    mgr = _manager(llama7b, capacity_gib=4.0)
+    sched = ContinuousBatchingScheduler(kv_manager=mgr, max_num_seqs=2,
+                                        policy=get_policy("sjf"))
+    long_req = Request(request_id=0, prompt_len=512, output_len=256)
+    short_req = Request(request_id=1, prompt_len=32, output_len=8)
+    mid_req = Request(request_id=2, prompt_len=128, output_len=64)
+    sched.submit([long_req, short_req, mid_req])
+    admitted = sched.admit(now=0.0)
+    assert [r.request_id for r in admitted] == [1, 2]  # shortest two of three
+
+
+# ----------------------------------------------------------------------
+# Chunked prefill
+# ----------------------------------------------------------------------
+def test_mixed_step_reduces_to_decode_step(llama7b):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["trt-w8a8"])
+    mixed = engine.mixed_step([], decode_batch=16, decode_context=1024)
+    plain = engine.decode_step(16, 1024)
+    assert mixed.total == plain.total
+
+
+def test_mixed_step_chunk_cost_grows_with_context(llama7b):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["trt-w8a8"])
+    early = engine.mixed_step([(256, 0)], decode_batch=8, decode_context=512)
+    late = engine.mixed_step([(256, 768)], decode_batch=8, decode_context=512)
+    assert late.attention > early.attention
+
+
+def test_chunked_prefill_serves_all_tokens(llama7b):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=160)
+    workload = make_uniform_workload(6, prompt_len=128, output_len=32)
+    result = engine.serve(workload, max_num_seqs=6,
+                          scheduling=SCHEDULING_PRESETS["chunked"])
+    assert result.generated_tokens == 6 * 32
+    assert result.num_finished == 6
+    assert result.num_preemptions == 0
+
+
+def test_chunked_prefill_improves_ttft_under_load(llama7b):
+    """Acceptance: at a Poisson load, chunked prefill cuts mean TTFT while
+    generation throughput stays within 5% of the stall-prefill loop."""
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=1536)
+    workload = make_uniform_workload(64, prompt_len=1024, output_len=512,
+                                     arrival_rate=48.0, seed=1)
+    legacy = engine.serve(workload.copy_fresh(), max_num_seqs=64)
+    chunked = engine.serve(
+        workload.copy_fresh(), max_num_seqs=64,
+        scheduling=SchedulingConfig(chunked_prefill=True,
+                                    prefill_chunk_size=1024))
+    assert chunked.metrics.ttft.mean < legacy.metrics.ttft.mean
+    assert chunked.metrics.ttft.p95 < legacy.metrics.ttft.p95
+    ratio = chunked.generation_throughput / legacy.generation_throughput
+    assert ratio > 0.95
+
+
+def test_chunked_prefill_latency_accounting(llama7b):
+    """A chunked prompt's prefill spans several iterations whose combined
+    chunk tokens equal the prompt; TTFT lands after prefill completion."""
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=640)
+    workload = make_uniform_workload(2, prompt_len=512, output_len=8)
+    result = engine.serve(workload, max_num_seqs=2,
+                          scheduling=SchedulingConfig(chunked_prefill=True,
+                                                      prefill_chunk_size=128))
+    # 2 * 512 prompt tokens at <=128 tokens/iteration => >= 8 prefill iterations
+    # plus 8 decode iterations.
+    assert result.num_iterations >= 16
+    for request in workload.requests:
+        assert request.prefill_done_time is not None
+        assert request.first_token_time is not None
+        assert request.first_token_time > request.prefill_done_time - 1e-12
+        assert request.prefilled == request.prefill_target == 512
+
+
+# ----------------------------------------------------------------------
+# Preemption
+# ----------------------------------------------------------------------
+def test_preemption_recompute_in_scheduler(llama7b):
+    mgr = _manager(llama7b, capacity_gib=0.02)  # 9 pages = 144 tokens
+    sched = ContinuousBatchingScheduler(kv_manager=mgr, max_num_seqs=8,
+                                        policy=get_policy("fcfs"),
+                                        preemption=True)
+    a = Request(request_id=0, prompt_len=48, output_len=64)
+    b = Request(request_id=1, prompt_len=48, output_len=64, arrival_time=0.1)
+    sched.submit([a, b])
+    assert len(sched.admit(now=0.5)) == 2  # optimistic: both fit their prompts
+    sched.complete_prefill(now=1.0)
+    # Decode until the cache fills; the later-arrived request gets preempted.
+    for step in range(80):
+        batch = sched.prepare_decode()
+        if not batch:
+            break
+        sched.record_decode_step(now=2.0 + step)
+        if sched.num_preemptions:
+            break
+    assert sched.num_preemptions >= 1
+    assert b.state is RequestState.PREEMPTED
+    assert b in sched.waiting
+    assert mgr.allocated_tokens_capacity(b.request_id) == 0  # pages reclaimed
+    generated_before = b.generated
+    assert generated_before > 0
+    # While queued, the remaining work already reflects the recompute cost.
+    assert b.prefill_remaining == b.prompt_len + generated_before
+    # Readmission re-prefills prompt + generated tokens (recompute).
+    sched.running.clear()  # simulate request a finishing
+    mgr.free(a.request_id)
+    assert len(sched.admit(now=100.0)) == 1
+    assert b.state is RequestState.PREFILLING
+    assert b.prefill_target == b.prompt_len + generated_before
+    assert sched.recomputed_prefill_tokens == b.prefill_target
+
+
+def test_preemption_under_page_pressure_end_to_end(llama7b, monkeypatch):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=1536)
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: 0.9 * (1 << 30))
+    workload = make_uniform_workload(12, prompt_len=1024, output_len=512)
+    result = engine.serve(workload,
+                          scheduling=SCHEDULING_PRESETS["chunked-preempt"])
+    assert result.num_finished == 12
+    assert result.generated_tokens == 12 * 512
+    assert result.num_preemptions > 0
+    assert result.recomputed_prefill_tokens > 0
+    assert result.metrics.total_preemptions == result.num_preemptions
+
+
+def test_optimistic_admission_beats_conservative_batch(llama7b, monkeypatch):
+    """Optimistic admission packs more concurrent requests than reserving
+    prompt+output up front, so early decode batches are larger."""
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=1536)
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: 2.0 * (1 << 30))
+    workload = make_uniform_workload(16, prompt_len=1024, output_len=512)
+    conservative = engine.serve(workload.copy_fresh())
+    optimistic = engine.serve(workload.copy_fresh(),
+                              scheduling=SchedulingConfig(preemption=True))
+    assert optimistic.peak_batch > conservative.peak_batch
+    assert optimistic.num_finished == conservative.num_finished == 16
+
+
+def test_stall_prefill_with_preemption_survives_admit_eviction(llama7b, monkeypatch):
+    """A request admitted and then immediately preempted (as the lowest
+    priority victim of a decode-growth claim) must simply drop out of the
+    iteration plan, not crash the stall-prefill path."""
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=256)
+    pages5 = 5 * engine.new_kv_manager().bytes_per_page()
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: pages5)
+    # req0 (3 prompt pages, final footprint exactly 5 pages) decodes while
+    # req1 arrives just after admission and takes the last 2 pages; req0's
+    # first page-boundary crossing then preempts the freshly admitted req1.
+    from repro.serving import Workload
+    req0 = Request(request_id=0, prompt_len=48, output_len=32)
+    req1 = Request(request_id=1, prompt_len=32, output_len=16,
+                   arrival_time=1e-9)
+    result = engine.serve(Workload(requests=[req0, req1]),
+                          scheduling=SchedulingConfig(preemption=True))
+    assert result.num_preemptions >= 1
+    assert result.num_finished == 2
+    assert result.generated_tokens == 32 + 16
+
+
+def test_optimistic_admission_refuses_never_fitting_request(llama7b, monkeypatch):
+    """Under preemption, a request whose final footprint exceeds the whole
+    cache is never admitted (reported unserved) instead of crashing
+    mid-decode with an allocation failure."""
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=256)
+    pages5 = 5 * engine.new_kv_manager().bytes_per_page()
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: pages5)
+    from repro.serving import Workload
+    too_big = Request(request_id=0, prompt_len=48, output_len=64)  # 7 pages
+    ok = Request(request_id=1, prompt_len=32, output_len=16)       # 3 pages
+    result = engine.serve(Workload(requests=[too_big, ok]),
+                          scheduling=SchedulingConfig(preemption=True))
+    assert result.num_unserved == 1
+    assert result.num_finished == 1
+    assert result.generated_tokens == 16
+    assert too_big.state is RequestState.WAITING
+
+
+def test_unservable_request_terminates_and_prompt_tokens_fix(llama7b, monkeypatch):
+    """A request that can never be admitted must not hang the loop nor be
+    counted in ``prompt_tokens`` (only prefilled prompts count)."""
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=1536)
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: 0.05 * (1 << 30))
+    from repro.serving import Workload
+    requests = [Request(request_id=0, prompt_len=1024, output_len=512),
+                Request(request_id=1, prompt_len=64, output_len=16),
+                Request(request_id=2, prompt_len=64, output_len=16)]
+    workload = Workload(requests=requests)
+    result = engine.serve(workload)
+    assert result.num_unserved == 1
+    assert result.num_finished == 2
+    assert result.prompt_tokens == 2 * 64  # not workload.total_prompt_tokens
+    assert requests[0].state is RequestState.WAITING
+
+
+# ----------------------------------------------------------------------
+# Workload generators
+# ----------------------------------------------------------------------
+def test_poisson_arrivals_are_monotonic_and_seeded():
+    wl1 = make_uniform_workload(50, arrival_rate=10.0, seed=7)
+    wl2 = make_uniform_workload(50, arrival_rate=10.0, seed=7)
+    arrivals = [r.arrival_time for r in wl1.requests]
+    assert arrivals == sorted(arrivals)
+    assert arrivals[-1] > 0
+    assert arrivals == [r.arrival_time for r in wl2.requests]
+
+
+def test_lognormal_workload_shape():
+    wl = make_lognormal_workload(500, seed=11)
+    prompts = np.array([r.prompt_len for r in wl.requests])
+    outputs = np.array([r.output_len for r in wl.requests])
+    assert prompts.min() >= 4 and prompts.max() <= 3072
+    assert outputs.min() >= 4 and outputs.max() <= 1024
+    # Heavy right tail: mean well above median.
+    assert prompts.mean() > np.median(prompts)
+    assert len(set(prompts.tolist())) > 50  # genuinely mixed lengths
+
+
+def test_bursty_workload_structure():
+    wl = make_bursty_workload(200, burst_rate=20.0, mean_burst_s=2.0,
+                              mean_idle_s=10.0, seed=5)
+    arrivals = np.array([r.arrival_time for r in wl.requests])
+    assert len(arrivals) == 200
+    assert (np.diff(arrivals) >= 0).all()
+    gaps = np.diff(arrivals)
+    # On/off traffic: some gaps are idle periods far above the in-burst mean.
+    assert gaps.max() > 10 * gaps.mean()
+    # Burstier than Poisson: squared coefficient of variation well above 1.
+    cv2 = gaps.var() / gaps.mean() ** 2
+    assert cv2 > 2.0
+
+
+def test_bursty_workload_serves_with_preemption(llama7b, monkeypatch):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=1536)
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: 2.0 * (1 << 30))
+    workload = make_bursty_workload(24, burst_rate=60.0, mean_burst_s=1.0,
+                                    mean_idle_s=4.0, prompt_len=1024,
+                                    output_len=256, seed=2)
+    result = engine.serve(workload,
+                          scheduling=SCHEDULING_PRESETS["chunked-preempt"])
+    assert result.num_finished == 24
+    assert result.generated_tokens == 24 * 256
+    assert len(result.metrics) == 24
+
+
+def test_workload_copy_fresh_is_independent():
+    wl = make_uniform_workload(3, prompt_len=16, output_len=4)
+    copy = wl.copy_fresh()
+    wl.requests[0].generated = 2
+    wl.requests[0].state = RequestState.DECODING
+    assert copy.requests[0].generated == 0
+    assert copy.requests[0].state is RequestState.WAITING
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_latency_summary_percentiles():
+    values = list(range(1, 101))  # 1..100
+    summary = LatencySummary.from_values(values)
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.p50 == pytest.approx(np.percentile(values, 50))
+    assert summary.p95 == pytest.approx(np.percentile(values, 95))
+    assert summary.p99 == pytest.approx(np.percentile(values, 99))
+    assert summary.maximum == 100
+    empty = LatencySummary.from_values([])
+    assert empty.mean == empty.p99 == 0.0
+
+
+def test_request_metrics_math():
+    m = RequestMetrics(request_id=0, prompt_len=100, output_len=11,
+                       arrival_time=1.0, first_token_time=3.0, finish_time=8.0)
+    assert m.ttft == pytest.approx(2.0)
+    assert m.e2e_latency == pytest.approx(7.0)
+    assert m.tpot == pytest.approx(0.5)  # (8-3)/(11-1)
+    one_token = RequestMetrics(request_id=1, prompt_len=10, output_len=1,
+                               arrival_time=0.0, first_token_time=1.0,
+                               finish_time=1.0)
+    assert one_token.tpot == 0.0
+
+
+def test_slo_attainment_and_goodput():
+    metrics = ServingMetrics(requests=[
+        RequestMetrics(0, 10, 11, 0.0, 0.5, 2.0),   # ttft 0.5, tpot 0.15
+        RequestMetrics(1, 10, 11, 0.0, 2.0, 12.0),  # ttft 2.0, tpot 1.0
+    ])
+    assert metrics.slo_attainment(ttft_slo_s=1.0, tpot_slo_s=0.2) == 0.5
+    assert metrics.slo_attainment(ttft_slo_s=3.0, tpot_slo_s=2.0) == 1.0
+    assert metrics.slo_goodput(1.0, 0.2, total_time_s=10.0) == pytest.approx(0.1)
+    assert ServingMetrics().slo_attainment(1.0, 1.0) == 0.0
+
+
+def test_serving_result_exposes_latency_percentiles(llama7b):
+    result = measure_throughput(llama7b, A100,
+                                SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                                batch=8, prompt_len=128, output_len=16).serving
+    metrics = result.metrics
+    assert metrics is not None and len(metrics) == 8
+    for summary in (metrics.ttft, metrics.tpot, metrics.e2e):
+        assert summary.p50 > 0
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+    # All requests arrive at t=0 and admit in the first iteration.
+    assert metrics.queue_delay.maximum == 0.0
+    assert all(r.queue_delay >= 0 for r in metrics.requests)
