@@ -1,0 +1,86 @@
+"""Benchmark for the parallel-serving tier: TP sweeps, replica scaling and
+router A/B curves.
+
+Extends the Table 4 throughput trajectory past one GPU: ``test_tp_sweep``
+shows previously-OOM model/GPU pairs becoming servable at tp>=2,
+``test_replica_scaling`` the cluster throughput curve over 1/2/4 replicas,
+and ``test_router_ab`` the p95-TTFT gap between load-blind round-robin and
+the queue-aware routers on bursty, heavy-tailed traffic.
+"""
+
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import (
+    ClusterEngine,
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    make_router_study_workload,
+    tp_sweep,
+)
+
+
+def _cluster(num_replicas: int) -> ClusterEngine:
+    return ClusterEngine(get_config("llama-2-7b"), A100,
+                         SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                         num_replicas=num_replicas, max_seq_len=4096)
+
+
+def test_tp_sweep(benchmark):
+    """70B FP16 on A100: OOM at tp=1, servable from tp=2 up."""
+    cfg = get_config("llama-2-70b")
+    results = benchmark.pedantic(
+        tp_sweep, args=(cfg, A100, SYSTEM_PRESETS["trt-fp16"]),
+        kwargs={"tp_degrees": (1, 2, 4, 8)}, rounds=1, iterations=1)
+    print()
+    for r in results:
+        batch = r.batch if r.batch else "OOM"
+        print(f"tp={r.tp_degree}: batch {batch}, {r.tokens_per_second:8.1f} tok/s")
+    by_tp = {r.tp_degree: r for r in results}
+    assert by_tp[1].batch == 0                       # Table 4's OOM entry
+    assert by_tp[2].tokens_per_second > 0            # servable once sharded
+    assert by_tp[4].tokens_per_second > by_tp[2].tokens_per_second
+
+
+def test_replica_scaling(benchmark):
+    """Cluster throughput grows with replica count on bursty traffic."""
+    workload = make_router_study_workload()
+
+    def run():
+        return {n: _cluster(n).serve(workload.copy_fresh(),
+                                     router="least-outstanding", max_num_seqs=6,
+                                     scheduling=SCHEDULING_PRESETS["chunked"])
+                for n in (1, 2, 4)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for n, result in results.items():
+        m = result.metrics
+        print(f"{n} replica(s): {result.generation_throughput:7.1f} tok/s  "
+              f"TTFT p50/p95 {m.ttft.p50 * 1e3:7.1f}/{m.ttft.p95 * 1e3:8.1f} ms")
+    assert all(r.num_unserved == 0 for r in results.values())
+    assert results[4].metrics.ttft.p95 < results[1].metrics.ttft.p95
+    assert results[4].generation_throughput > results[1].generation_throughput
+
+
+def test_router_ab(benchmark):
+    """Queue-aware routing beats round-robin on p95 TTFT under bursts."""
+    workload = make_router_study_workload()
+    cluster = _cluster(4)
+
+    def run():
+        return {router: cluster.serve(workload.copy_fresh(), router=router,
+                                      max_num_seqs=6,
+                                      scheduling=SCHEDULING_PRESETS["chunked"])
+                for router in ("round-robin", "least-outstanding",
+                               "shortest-queue")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for router, result in results.items():
+        m = result.metrics
+        print(f"{router:18s} {result.generation_throughput:7.1f} tok/s  "
+              f"TTFT p50/p95 {m.ttft.p50 * 1e3:7.1f}/{m.ttft.p95 * 1e3:8.1f} ms  "
+              f"split {result.requests_per_replica}")
+    rr = results["round-robin"].metrics.ttft.p95
+    lor = results["least-outstanding"].metrics.ttft.p95
+    assert lor < rr

@@ -1,0 +1,104 @@
+"""Parallel-serving study: tensor parallelism and multi-replica clusters.
+
+Three sections, all built on the same cost-model-driven simulator:
+
+1. **TP sweep** — maximum achievable throughput of a 70B-class model across
+   tensor-parallel degrees.  At tp=1 the FP16 weights alone overflow both
+   GPUs (Table 4's "OOM" entries); at tp>=2 the model becomes servable, and
+   the per-layer all-reduce cost decides how well throughput scales.
+2. **Replica scaling** — cluster throughput of 1/2/4 identical replicas on a
+   shared bursty workload, behind a least-outstanding-requests router.
+3. **Router A/B** — round-robin vs least-outstanding vs shortest-queue on a
+   bursty, heavy-tailed workload: p50/p95 TTFT and SLO goodput per router.
+
+Run with:  python examples/cluster_serving.py [model-name]
+           (model-name drives sections 2 and 3; the TP sweep always uses
+            llama-2-70b, the model whose FP16 weights overflow one GPU)
+"""
+
+import sys
+
+from repro.experiments.runner import format_table
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import (
+    ClusterEngine,
+    ParallelConfig,
+    ROUTERS,
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    make_router_study_workload,
+    tp_sweep,
+)
+
+#: Latency SLO for the goodput column: 500 ms TTFT, 50 ms/token TPOT.
+TTFT_SLO_S, TPOT_SLO_S = 0.5, 0.05
+
+
+def tp_study(model_name: str = "llama-2-70b") -> None:
+    cfg = get_config(model_name)
+    print(f"Tensor-parallel sweep for {model_name} on A100 "
+          f"(TRT-FP16, 1024 in / 512 out):\n")
+    rows = []
+    for result in tp_sweep(cfg, A100, SYSTEM_PRESETS["trt-fp16"],
+                           tp_degrees=(1, 2, 4, 8)):
+        rows.append([result.tp_degree,
+                     result.batch if result.batch else "OOM",
+                     round(result.tokens_per_second, 1)])
+    print(format_table(["TP degree", "Max batch", "Throughput (tok/s)"], rows))
+
+
+def replica_scaling_study(model_name: str) -> None:
+    cfg = get_config(model_name)
+    workload = make_router_study_workload()
+    rows = []
+    for num_replicas in (1, 2, 4):
+        cluster = ClusterEngine(cfg, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                                num_replicas=num_replicas, max_seq_len=4096)
+        result = cluster.serve(workload.copy_fresh(),
+                               router="least-outstanding", max_num_seqs=6,
+                               scheduling=SCHEDULING_PRESETS["chunked"])
+        m = result.metrics
+        rows.append([num_replicas,
+                     round(result.generation_throughput, 1),
+                     round(m.ttft.p50 * 1e3, 1), round(m.ttft.p95 * 1e3, 1),
+                     round(result.slo_goodput(TTFT_SLO_S, TPOT_SLO_S), 2)])
+    print(f"\nReplica scaling for {model_name} on A100 "
+          f"(QServe W4A8KV4, bursty traffic, least-outstanding router):\n")
+    print(format_table(
+        ["Replicas", "Tok/s", "TTFT p50 (ms)", "TTFT p95 (ms)",
+         "Goodput (req/s)"], rows))
+
+
+def router_ab_study(model_name: str, num_replicas: int = 4) -> None:
+    cfg = get_config(model_name)
+    workload = make_router_study_workload()
+    cluster = ClusterEngine(cfg, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                            num_replicas=num_replicas, max_seq_len=4096)
+    rows = []
+    for router in sorted(ROUTERS):
+        result = cluster.serve(workload.copy_fresh(), router=router,
+                               max_num_seqs=6,
+                               scheduling=SCHEDULING_PRESETS["chunked"])
+        m = result.metrics
+        rows.append([router,
+                     round(result.generation_throughput, 1),
+                     round(m.ttft.p50 * 1e3, 1), round(m.ttft.p95 * 1e3, 1),
+                     round(result.slo_goodput(TTFT_SLO_S, TPOT_SLO_S), 2),
+                     result.requests_per_replica])
+    print(f"\nRouter A/B for {model_name} on {num_replicas}x A100 "
+          f"(bursty heavy-tailed traffic, "
+          f"SLO: TTFT<{TTFT_SLO_S * 1e3:.0f}ms, TPOT<{TPOT_SLO_S * 1e3:.0f}ms):\n")
+    print(format_table(
+        ["Router", "Tok/s", "TTFT p50 (ms)", "TTFT p95 (ms)",
+         "Goodput (req/s)", "Requests/replica"], rows))
+
+
+def main(model_name: str = "llama-2-7b") -> None:
+    tp_study()
+    replica_scaling_study(model_name)
+    router_ab_study(model_name)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama-2-7b")

@@ -17,7 +17,10 @@ instruction-count arguments of Sections 3 and 5 as executable code:
   overflow checking (Figures 13/14).
 """
 
-from repro.gpu.specs import GPUSpec, A100, L40S, get_gpu
+from repro.gpu.specs import (
+    GPUSpec, A100, L40S, get_gpu,
+    InterconnectSpec, NVLINK, PCIE_GEN4, get_interconnect,
+)
 from repro.gpu.roofline import (
     gemm_roofline_tops,
     attention_roofline_tops,
@@ -52,6 +55,7 @@ from repro.gpu.rlp import (
 
 __all__ = [
     "GPUSpec", "A100", "L40S", "get_gpu",
+    "InterconnectSpec", "NVLINK", "PCIE_GEN4", "get_interconnect",
     "gemm_roofline_tops", "attention_roofline_tops", "roofline_crossover_batch",
     "GEMMPrecision", "GEMM_PRECISIONS", "GemmLatency", "gemm_latency",
     "dequant_overhead_fraction",

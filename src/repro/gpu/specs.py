@@ -7,13 +7,22 @@ throughput and 2 TB/s of DRAM bandwidth; Section 3.2: FP32 CUDA-core peak is
 ``efficiency`` factors translate peak numbers into the sustained fractions a
 tuned kernel reaches, so absolute latencies land in a realistic range — the
 experiments only rely on ratios, which the efficiencies mostly cancel out of.
+
+:class:`InterconnectSpec` extends the device model with the GPU-to-GPU links
+that tensor parallelism runs over (NVLink on SXM boards, plain PCIe on the
+L40S), parameterised by per-direction bandwidth and per-message latency —
+the two quantities a ring all-reduce's cost decomposes into.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["GPUSpec", "A100", "L40S", "get_gpu", "GPU_REGISTRY"]
+__all__ = [
+    "GPUSpec", "A100", "L40S", "get_gpu", "GPU_REGISTRY",
+    "InterconnectSpec", "NVLINK", "PCIE_GEN4", "get_interconnect",
+    "INTERCONNECT_REGISTRY",
+]
 
 
 @dataclass(frozen=True)
@@ -113,3 +122,67 @@ def get_gpu(name: str) -> GPUSpec:
         return GPU_REGISTRY[name] if name in GPU_REGISTRY else GPU_REGISTRY[name.upper()]
     except KeyError:
         raise KeyError(f"unknown GPU {name!r}; known: A100, L40S") from None
+
+
+# ----------------------------------------------------------------------
+# GPU-to-GPU interconnects (tensor-parallel communication model)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Bandwidth/latency model of one GPU-to-GPU link.
+
+    Attributes
+    ----------
+    bandwidth_gbps:
+        Sustained per-GPU, per-direction bandwidth in GB/s.  A ring
+        all-reduce is bandwidth-bound on this number: every GPU sends and
+        receives ``2 (tp-1)/tp`` of the payload over its link.
+    latency_us:
+        Per-message latency in microseconds (link traversal plus kernel
+        launch and synchronisation overhead); a ``tp``-GPU ring all-reduce
+        pays it ``2 (tp - 1)`` times.
+    """
+
+    name: str
+    bandwidth_gbps: float
+    latency_us: float
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_gbps * 1e9
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_us * 1e-6
+
+    def allreduce_latency(self, payload_bytes: float, world_size: int) -> float:
+        """Ring all-reduce time for ``payload_bytes`` across ``world_size`` GPUs.
+
+        The classic cost model: each GPU moves ``2 (n-1)/n`` of the payload
+        over its link in ``2 (n-1)`` latency-bound steps.  A single GPU
+        communicates nothing.
+        """
+        if world_size <= 1:
+            return 0.0
+        steps = 2 * (world_size - 1)
+        volume = (steps / world_size) * payload_bytes
+        return volume / self.bandwidth_bytes_per_s + steps * self.latency_s
+
+
+#: NVLink 3 (A100 SXM): 600 GB/s bidirectional => 300 GB/s per direction.
+NVLINK = InterconnectSpec(name="nvlink", bandwidth_gbps=300.0, latency_us=3.0)
+
+#: PCIe Gen4 x16 (L40S boards have no NVLink): 32 GB/s per direction and a
+#: noticeably higher per-message cost through host bounce buffers.
+PCIE_GEN4 = InterconnectSpec(name="pcie-gen4", bandwidth_gbps=32.0, latency_us=10.0)
+
+INTERCONNECT_REGISTRY = {"nvlink": NVLINK, "pcie-gen4": PCIE_GEN4, "pcie": PCIE_GEN4}
+
+
+def get_interconnect(name: str) -> InterconnectSpec:
+    """Look up an interconnect spec by name (case-insensitive)."""
+    try:
+        return INTERCONNECT_REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(INTERCONNECT_REGISTRY))
+        raise KeyError(f"unknown interconnect {name!r}; known: {known}") from None

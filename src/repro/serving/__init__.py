@@ -22,9 +22,14 @@ goodput) under pluggable scheduling policies:
 * :mod:`repro.serving.metrics` — per-request TTFT/TPOT/E2E latency with
   p50/p95/p99 summaries and SLO goodput;
 * :mod:`repro.serving.engine` — per-iteration latency from the GPU cost model
-  plus the event-driven serving loop;
-* :mod:`repro.serving.throughput` — memory-budgeted maximum-batch search and
-  throughput measurement.
+  plus the event-driven serving loop (whole-run ``serve`` and the
+  iteration-level :class:`EngineStepper`);
+* :mod:`repro.serving.parallel` — tensor-parallel sharding + all-reduce cost
+  model (:class:`ParallelConfig`);
+* :mod:`repro.serving.cluster` — multi-replica cluster simulation behind
+  pluggable routers (round-robin, least-outstanding, shortest-queue);
+* :mod:`repro.serving.throughput` — memory-budgeted maximum-batch search,
+  throughput measurement and tensor-parallel sweeps.
 """
 
 from repro.serving.precision import SystemConfig, SYSTEM_PRESETS, get_system
@@ -35,6 +40,7 @@ from repro.serving.request import (
     make_uniform_workload,
     make_lognormal_workload,
     make_bursty_workload,
+    make_router_study_workload,
 )
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
 from repro.serving.policies import (
@@ -54,18 +60,36 @@ from repro.serving.policies import (
 )
 from repro.serving.metrics import RequestMetrics, LatencySummary, ServingMetrics
 from repro.serving.scheduler import ContinuousBatchingScheduler
-from repro.serving.engine import ServingEngine, ServingResult, StepBreakdown
+from repro.serving.parallel import ParallelConfig
+from repro.serving.engine import (
+    EngineStepper,
+    ServingEngine,
+    ServingResult,
+    StepBreakdown,
+)
+from repro.serving.cluster import (
+    Router,
+    RoundRobinRouter,
+    LeastOutstandingRouter,
+    ShortestQueueRouter,
+    ROUTERS,
+    get_router,
+    ClusterResult,
+    ClusterEngine,
+)
 from repro.serving.throughput import (
     ThroughputResult,
     max_achievable_batch,
     measure_throughput,
     max_achievable_throughput,
+    tp_sweep,
 )
 
 __all__ = [
     "SystemConfig", "SYSTEM_PRESETS", "get_system",
     "Request", "RequestState", "Workload", "make_uniform_workload",
     "make_lognormal_workload", "make_bursty_workload",
+    "make_router_study_workload",
     "PagedKVCacheManager", "PageAllocationError",
     "SchedulerPolicy", "FCFSPolicy", "StrictFCFSPolicy",
     "ShortestJobFirstPolicy", "POLICIES", "get_policy",
@@ -74,7 +98,11 @@ __all__ = [
     "LEGACY_SCHEDULING",
     "RequestMetrics", "LatencySummary", "ServingMetrics",
     "ContinuousBatchingScheduler",
-    "ServingEngine", "ServingResult", "StepBreakdown",
+    "ParallelConfig",
+    "EngineStepper", "ServingEngine", "ServingResult", "StepBreakdown",
+    "Router", "RoundRobinRouter", "LeastOutstandingRouter",
+    "ShortestQueueRouter", "ROUTERS", "get_router",
+    "ClusterResult", "ClusterEngine",
     "ThroughputResult", "max_achievable_batch", "measure_throughput",
-    "max_achievable_throughput",
+    "max_achievable_throughput", "tp_sweep",
 ]

@@ -14,6 +14,13 @@ It answers two kinds of questions:
   quantity Table 4 calls "maximum achievable throughput") together with
   per-request latency metrics (TTFT/TPOT/E2E percentiles, SLO goodput).
 
+The engine is optionally tensor-parallel: a
+:class:`repro.serving.parallel.ParallelConfig` shards every projection,
+attention head and the KV cache across ``tp_degree`` GPUs and charges the
+two per-layer activation all-reduces to the interconnect
+(:class:`repro.gpu.specs.InterconnectSpec`).  ``tp_degree=1`` (the default)
+is bitwise-identical to the single-GPU engine.
+
 The serving loop itself is policy-free: admission order and head-of-line
 bypass come from the scheduling config's :class:`SchedulerPolicy`, the
 composition of each iteration from its :class:`IterationPlanner` (legacy
@@ -23,6 +30,11 @@ preempt-and-recompute when the config enables it.  The default
 ``LEGACY_SCHEDULING`` preset reproduces the seed engine's behaviour exactly —
 same admissions, same cost-model calls in the same order, bitwise-identical
 throughput.
+
+The loop is exposed at two granularities: :meth:`ServingEngine.serve` runs a
+workload to completion, while :class:`EngineStepper` advances the same loop
+one iteration at a time — the hook :class:`repro.serving.cluster.ClusterEngine`
+uses to run several replica engines against one shared clock.
 """
 
 from __future__ import annotations
@@ -36,33 +48,42 @@ from repro.gpu.specs import GPUSpec
 from repro.model.config import ModelConfig
 from repro.serving.kv_cache_manager import PagedKVCacheManager
 from repro.serving.metrics import ServingMetrics
+from repro.serving.parallel import ParallelConfig
 from repro.serving.policies import (
     IterationPlan,
     LEGACY_SCHEDULING,
     SchedulingConfig,
 )
 from repro.serving.precision import SystemConfig
-from repro.serving.request import RequestState, Workload
+from repro.serving.request import Request, RequestState, Workload
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
-__all__ = ["StepBreakdown", "ServingResult", "ServingEngine"]
+__all__ = ["StepBreakdown", "ServingResult", "ServingEngine", "EngineStepper"]
 
 #: Fixed per-iteration overhead for kernels not modelled explicitly
 #: (normalisation, rotary embedding, sampling, python/runtime launch gaps).
 _STEP_OVERHEAD_S = 100e-6
 
+#: Guard against a non-terminating serving loop (scheduler/planner bugs).
+_MAX_ITERATIONS = 10_000_000
+
 
 @dataclass
 class StepBreakdown:
-    """Latency decomposition of one model iteration (seconds)."""
+    """Latency decomposition of one model iteration (seconds).
+
+    ``comm`` is the tensor-parallel all-reduce time; it is zero on a
+    single-GPU engine.
+    """
 
     gemm: float
     attention: float
     other: float
+    comm: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.gemm + self.attention + self.other
+        return self.gemm + self.attention + self.other + self.comm
 
     def fraction(self, part: str) -> float:
         value = getattr(self, part)
@@ -91,28 +112,51 @@ class ServingResult:
 
 
 class ServingEngine:
-    """Cost-model-driven serving simulator for one (model, GPU, system) triple."""
+    """Cost-model-driven serving simulator for one (model, GPU, system) triple.
+
+    ``parallel`` shards the replica across ``tp_degree`` GPUs (weights, KV
+    cache, GEMM and attention work) and adds the per-layer all-reduce cost;
+    omitted it defaults to the single-GPU identity.
+    """
 
     def __init__(self, model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
-                 max_seq_len: int = 2048) -> None:
+                 max_seq_len: int = 2048,
+                 parallel: Optional[ParallelConfig] = None) -> None:
         self.model = model
         self.gpu = gpu
         self.system = system
         self.max_seq_len = max_seq_len
+        self.parallel = parallel or ParallelConfig()
+        self.parallel.validate_for(model)
         self.gemm_precision = GEMM_PRECISIONS[system.gemm_precision]
         self.attention_kernel = KV_KERNELS[system.attention_kernel]
+
+    @property
+    def tp_degree(self) -> int:
+        return self.parallel.tp_degree
 
     # ------------------------------------------------------------------
     # Memory accounting
     # ------------------------------------------------------------------
     def weight_bytes(self) -> float:
+        """Whole-model weight footprint (across all TP shards)."""
         return float(self.model.weight_bytes(self.system.weight_bits))
 
+    def weight_bytes_per_gpu(self) -> float:
+        """Per-GPU weight footprint under tensor-parallel sharding."""
+        return self.weight_bytes() / self.parallel.tp_degree
+
     def kv_capacity_bytes(self) -> float:
-        """Device memory left over for the KV cache."""
-        weights = self.weight_bytes()
+        """Memory left for KV cache, aggregated across the TP group.
+
+        Each GPU keeps ``1/tp`` of the weights plus its own activation
+        workspace; KV heads shard the same way, so the replica's usable KV
+        capacity is the per-GPU leftover times the TP degree.
+        """
+        weights = self.weight_bytes_per_gpu()
         workspace = weights * self.system.activation_workspace_factor + 1.0 * (1 << 30)
-        return max(0.0, self.gpu.memory_bytes - weights - workspace)
+        per_gpu = max(0.0, self.gpu.memory_bytes - weights - workspace)
+        return per_gpu * self.parallel.tp_degree
 
     def new_kv_manager(self) -> PagedKVCacheManager:
         return PagedKVCacheManager(
@@ -124,16 +168,23 @@ class ServingEngine:
     # Kernel-level latency
     # ------------------------------------------------------------------
     def _block_gemm_latency(self, tokens: int) -> float:
-        """Sum of one transformer block's GEMM latencies for ``tokens`` rows."""
+        """Sum of one transformer block's per-GPU GEMM latencies for ``tokens`` rows.
+
+        Under tensor parallelism the QKV and gate/up projections shard their
+        output dimension and the output/down projections shard their
+        reduction dimension (Megatron column/row parallelism), so each GPU
+        runs the same four GEMMs at ``1/tp`` of one matrix dimension.
+        """
         h = self.model.hidden_size
         kv = self.model.kv_dim
         inter = self.model.intermediate_size
+        tp = self.parallel.tp_degree
         p = self.gemm_precision
         shapes = [
-            (tokens, h + 2 * kv, h),        # fused QKV projection
-            (tokens, h, h),                 # output projection
-            (tokens, 2 * inter, h),         # fused gate + up projection
-            (tokens, h, inter),             # down projection
+            (tokens, (h + 2 * kv) // tp, h),    # fused QKV projection (column)
+            (tokens, h, h // tp),               # output projection (row)
+            (tokens, 2 * inter // tp, h),       # fused gate + up projection (column)
+            (tokens, h, inter // tp),           # down projection (row)
         ]
         total = 0.0
         for m, n, k in shapes:
@@ -143,8 +194,8 @@ class ServingEngine:
             # work scales accordingly but weight traffic covers all experts'
             # parameters once per iteration (they all must be resident).
             moe_factor = self.model.experts_per_token
-            ffn = (gemm_latency(self.gpu, tokens, 2 * inter, h, p).total
-                   + gemm_latency(self.gpu, tokens, h, inter, p).total)
+            ffn = (gemm_latency(self.gpu, tokens, 2 * inter // tp, h, p).total
+                   + gemm_latency(self.gpu, tokens, h, inter // tp, p).total)
             total += ffn * (moe_factor - 1)
         return total
 
@@ -153,33 +204,48 @@ class ServingEngine:
         return (2.0 * macs / (self.gpu.tensor_core_tops("fp16") * 1e12
                               * self.gpu.compute_efficiency)) * self.model.num_layers
 
+    def _lm_head_latency(self, batch: int) -> float:
+        """Latency of the (vocab-sharded) FP16 LM head for ``batch`` tokens."""
+        vocab = self.parallel.shard_ceil(self.model.vocab_size)
+        return gemm_latency(self.gpu, batch, vocab, self.model.hidden_size,
+                            GEMM_PRECISIONS["fp16"]).total
+
+    def _comm_latency(self, tokens: int) -> float:
+        """Tensor-parallel all-reduce time of one iteration over ``tokens`` rows."""
+        return self.parallel.block_comm_latency(
+            tokens, self.model.hidden_size, self.model.num_layers)
+
     def decode_step(self, batch: int, context_len: int) -> StepBreakdown:
         """Latency of one decoding iteration for ``batch`` sequences."""
         if batch <= 0:
             raise ValueError("batch must be positive")
+        tp = self.parallel.tp_degree
         gemm = self._block_gemm_latency(batch) * self.model.num_layers
         attn = attention_decode_latency(
             self.gpu, self.attention_kernel, batch, max(1, context_len),
-            self.model.num_heads, self.model.num_kv_heads, self.model.head_dim,
+            self.model.num_heads // tp, self.model.num_kv_heads // tp,
+            self.model.head_dim,
         ).total * self.model.num_layers
         # LM head (kept in FP16 by every system).
-        lm = gemm_latency(self.gpu, batch, self.model.vocab_size,
-                          self.model.hidden_size, GEMM_PRECISIONS["fp16"]).total
+        lm = self._lm_head_latency(batch)
         eff = self.system.runtime_efficiency
         return StepBreakdown(gemm=(gemm + lm) / eff, attention=attn / eff,
-                             other=_STEP_OVERHEAD_S / eff)
+                             other=_STEP_OVERHEAD_S / eff,
+                             comm=self._comm_latency(batch))
 
     def prefill(self, batch: int, prompt_len: int) -> StepBreakdown:
         """Latency of prefilling ``batch`` prompts of ``prompt_len`` tokens."""
         tokens = batch * prompt_len
         gemm = self._block_gemm_latency(tokens) * self.model.num_layers
         # Prefill attention is a compute-bound FP16 matmul of cost
-        # 2 * b * S^2 * H * D MACs per layer (QK^T and SV), on tensor cores.
+        # 2 * b * S^2 * H * D MACs per layer (QK^T and SV), on tensor cores;
+        # head sharding divides the MACs across the TP group.
         macs = 2.0 * batch * prompt_len * prompt_len * self.model.num_heads * self.model.head_dim
-        attn = self._prefill_attention_latency(macs)
+        attn = self._prefill_attention_latency(macs / self.parallel.tp_degree)
         eff = self.system.runtime_efficiency
         return StepBreakdown(gemm=gemm / eff, attention=attn / eff,
-                             other=_STEP_OVERHEAD_S / eff)
+                             other=_STEP_OVERHEAD_S / eff,
+                             comm=self._comm_latency(tokens))
 
     def mixed_step(self, prefill_chunks: List[Tuple[int, int]],
                    decode_batch: int, decode_context: int) -> StepBreakdown:
@@ -195,6 +261,7 @@ class ServingEngine:
         batched matmul, which is exactly why chunked prefill keeps the GPU
         saturated without stalling decodes.
         """
+        tp = self.parallel.tp_degree
         chunk_tokens = sum(c for c, _ in prefill_chunks)
         tokens = chunk_tokens + decode_batch
         if tokens <= 0:
@@ -204,21 +271,21 @@ class ServingEngine:
         for chunk_len, done in prefill_chunks:
             macs += 2.0 * chunk_len * (done + chunk_len) * \
                 self.model.num_heads * self.model.head_dim
-        attn = self._prefill_attention_latency(macs) if macs else 0.0
+        attn = self._prefill_attention_latency(macs / tp) if macs else 0.0
         if decode_batch > 0:
             attn += attention_decode_latency(
                 self.gpu, self.attention_kernel, decode_batch,
-                max(1, decode_context), self.model.num_heads,
-                self.model.num_kv_heads, self.model.head_dim,
+                max(1, decode_context), self.model.num_heads // tp,
+                self.model.num_kv_heads // tp, self.model.head_dim,
             ).total * self.model.num_layers
         # LM head only for the decode tokens; mid-prompt logits are discarded.
         lm = 0.0
         if decode_batch > 0:
-            lm = gemm_latency(self.gpu, decode_batch, self.model.vocab_size,
-                              self.model.hidden_size, GEMM_PRECISIONS["fp16"]).total
+            lm = self._lm_head_latency(decode_batch)
         eff = self.system.runtime_efficiency
         return StepBreakdown(gemm=(gemm + lm) / eff, attention=attn / eff,
-                             other=_STEP_OVERHEAD_S / eff)
+                             other=_STEP_OVERHEAD_S / eff,
+                             comm=self._comm_latency(tokens))
 
     # ------------------------------------------------------------------
     # System-level serving loop
@@ -252,77 +319,169 @@ class ServingEngine:
         and counted in ``ServingResult.num_unserved`` rather than hanging the
         loop.
         """
-        scheduling = scheduling or LEGACY_SCHEDULING
-        planner = scheduling.build_planner()
-        kv_manager = self.new_kv_manager()
-        scheduler = ContinuousBatchingScheduler(
-            kv_manager=kv_manager,
+        stepper = EngineStepper(self, scheduling=scheduling,
+                                max_num_seqs=max_num_seqs)
+        stepper.submit(list(workload.requests))
+        stepper.run()
+        return stepper.result(workload)
+
+
+class EngineStepper:
+    """Incremental driver of one engine's continuous-batching loop.
+
+    Owns the scheduler, planner and simulated clock of a single serving run
+    and advances them one iteration per :meth:`step`.
+    :meth:`ServingEngine.serve` simply drives a stepper to completion;
+    :class:`repro.serving.cluster.ClusterEngine` instead interleaves several
+    steppers so that routing decisions observe each replica's queue state at
+    the moment a request arrives.
+
+    Unlike :meth:`ServingEngine.serve`, requests may be submitted
+    incrementally between steps (arrival times must not precede work already
+    simulated — the cluster router feeds requests in arrival order).
+    """
+
+    def __init__(self, engine: ServingEngine,
+                 scheduling: Optional[SchedulingConfig] = None,
+                 max_num_seqs: Optional[int] = None) -> None:
+        self.engine = engine
+        self.scheduling = scheduling or LEGACY_SCHEDULING
+        self.planner = self.scheduling.build_planner()
+        self.scheduler = ContinuousBatchingScheduler(
+            kv_manager=engine.new_kv_manager(),
             max_num_seqs=max_num_seqs or 10**9,
-            policy=scheduling.build_policy(),
-            preemption=scheduling.preemption)
-        scheduler.submit(list(workload.requests))
+            policy=self.scheduling.build_policy(),
+            preemption=self.scheduling.preemption)
+        self.now = 0.0
+        self.iterations = 0
+        self.peak_batch = 0
+        self.generated = 0
+        self._guard = 0
 
-        now = 0.0
-        iterations = 0
-        peak_batch = 0
-        generated = 0
-        guard = 0
-        max_iterations = 10_000_000
+    # ------------------------------------------------------------------
+    def submit(self, requests) -> None:
+        """Queue more requests (a list, or one request) for this run."""
+        if isinstance(requests, Request):
+            requests = [requests]
+        self.scheduler.submit(list(requests))
 
-        while not scheduler.all_done:
-            guard += 1
-            if guard > max_iterations:
-                raise RuntimeError("serving loop failed to terminate")
-            admitted = scheduler.admit(now)
-            if scheduling.preemption:
-                # Claim pages for every decode before planning; may preempt
-                # any running request — including one admitted just above, so
-                # drop evictees from the admitted list before planning.
-                scheduler.prepare_decode()
-                admitted = [r for r in admitted
-                            if r.state is RequestState.PREFILLING]
-            plan = planner.plan(scheduler, admitted)
-            if plan.is_empty:
-                # Nothing runnable: jump to the next arrival, or stop if the
-                # remaining requests can never be admitted.
-                future = [r.arrival_time for r in scheduler.waiting]
-                if not future:
-                    break
-                next_arrival = min(future)
-                if next_arrival > now:
-                    now = max(now, next_arrival)
-                    continue
-                if not scheduler.running:
-                    # Arrived requests that no amount of waiting can admit
-                    # (e.g. larger than the whole KV cache): leave unserved.
-                    break
-                continue
+    @property
+    def done(self) -> bool:
+        """No waiting or running requests remain."""
+        return self.scheduler.all_done
 
-            now += self._plan_latency(plan)
-            iterations += 1
-            if plan.decode:
-                peak_batch = max(peak_batch, len(plan.decode))
-                generated += len(plan.decode)
-                scheduler.record_decode_step(now)
-            for request, tokens in plan.prefill_chunks:
-                scheduler.record_prefill(request, tokens, now)
+    # -- queue-state views used by cluster routers ----------------------
+    @property
+    def outstanding_requests(self) -> int:
+        """Requests accepted but not yet finished (waiting + running)."""
+        return len(self.scheduler.waiting) + len(self.scheduler.running)
 
+    @property
+    def pending_prefill_tokens(self) -> int:
+        """Prefill (or recompute) tokens still owed to queued/prefilling requests."""
+        scheduler = self.scheduler
+        return (sum(r.prefill_remaining for r in scheduler.waiting)
+                + sum(r.prefill_remaining for r in scheduler.prefilling_requests()))
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run one pass of the serving-loop body.
+
+        Returns ``False`` once no further progress is possible with the
+        requests submitted so far: everything finished, or the remaining
+        requests can never be admitted (they stay unserved).
+        """
+        scheduler = self.scheduler
+        if scheduler.all_done:
+            return False
+        self._guard += 1
+        if self._guard > _MAX_ITERATIONS:
+            raise RuntimeError("serving loop failed to terminate")
+        admitted = scheduler.admit(self.now)
+        if self.scheduling.preemption:
+            # Claim pages for every decode before planning; may preempt
+            # any running request — including one admitted just above, so
+            # drop evictees from the admitted list before planning.
+            scheduler.prepare_decode()
+            admitted = [r for r in admitted
+                        if r.state is RequestState.PREFILLING]
+        plan = self.planner.plan(scheduler, admitted)
+        if plan.is_empty:
+            # Nothing runnable: jump to the next arrival, or stop if the
+            # remaining requests can never be admitted.
+            future = [r.arrival_time for r in scheduler.waiting]
+            if not future:
+                return False
+            next_arrival = min(future)
+            if next_arrival > self.now:
+                self.now = next_arrival
+                return True
+            if not scheduler.running:
+                # Arrived requests that no amount of waiting can admit
+                # (e.g. larger than the whole KV cache): leave unserved.
+                return False
+            # Admission, preemption and planning all made no progress at
+            # ``now`` and the scheduler state is unchanged, so replanning at
+            # the same clock would spin forever (the old loop did, until the
+            # iteration guard fired).  Jump deterministically to the next
+            # strictly-future arrival — only a new admission can unwedge the
+            # loop — or stop and report the stuck requests as unserved.
+            upcoming = [t for t in future if t > self.now]
+            if not upcoming:
+                return False
+            self.now = min(upcoming)
+            return True
+        self.now += self.engine._plan_latency(plan)
+        self.iterations += 1
+        if plan.decode:
+            self.peak_batch = max(self.peak_batch, len(plan.decode))
+            self.generated += len(plan.decode)
+            scheduler.record_decode_step(self.now)
+        for request, tokens in plan.prefill_chunks:
+            scheduler.record_prefill(request, tokens, self.now)
+        return True
+
+    def run(self) -> None:
+        """Step until no further progress is possible."""
+        while self.step():
+            pass
+
+    def run_until(self, t: float) -> None:
+        """Advance the clock to (at least) ``t`` or until progress stops.
+
+        The clock may overshoot ``t``: iterations are atomic, and an idle
+        replica jumps straight to its next arrival.
+        """
+        while not self.done and self.now < t:
+            if not self.step():
+                break
+
+    # ------------------------------------------------------------------
+    def result(self, workload: Workload) -> ServingResult:
+        """Assemble the :class:`ServingResult` of the requests in ``workload``.
+
+        Per-request statistics (prompt tokens, finished/unserved counts,
+        latency metrics) cover exactly ``workload``'s requests; run-level
+        counters (clock, iterations, generated tokens, preemptions) always
+        describe the whole run, which for a stepper fed several workloads is
+        more than this slice.
+        """
         # Count only prompts that actually completed a prefill: a loop that
         # stops with requests still waiting must not claim their tokens.
         prefilled_prompt_tokens = sum(
             r.prompt_len for r in workload.requests
             if r.prefill_done_time is not None)
-        unserved = sum(1 for r in workload.requests if r.finish_time is None)
-
+        finished = [r for r in workload.requests if r.finish_time is not None]
+        scheduler = self.scheduler
         return ServingResult(
-            total_time_s=now,
-            generated_tokens=generated,
+            total_time_s=self.now,
+            generated_tokens=self.generated,
             prompt_tokens=prefilled_prompt_tokens,
-            peak_batch=peak_batch,
-            num_iterations=iterations,
-            num_finished=len(scheduler.finished),
-            num_unserved=unserved,
+            peak_batch=self.peak_batch,
+            num_iterations=self.iterations,
+            num_finished=len(finished),
+            num_unserved=len(workload.requests) - len(finished),
             num_preemptions=scheduler.num_preemptions,
             recomputed_prefill_tokens=scheduler.recomputed_prefill_tokens,
-            metrics=ServingMetrics.from_requests(scheduler.finished),
+            metrics=ServingMetrics.from_requests(finished),
         )

@@ -56,6 +56,10 @@ class PagedKVCacheManager:
     page_size: int = 16
     max_seq_len: int = 2048
     _allocated: Dict[int, int] = field(default_factory=dict, init=False)
+    #: Lifetime counters; every allocated page must eventually be freed, so a
+    #: clean run ends with ``pages_allocated_total == pages_freed_total``.
+    pages_allocated_total: int = field(default=0, init=False)
+    pages_freed_total: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.page_size <= 0:
@@ -117,11 +121,14 @@ class PagedKVCacheManager:
                 f"request {request_id} needs {needed} pages, only "
                 f"{self.free_pages} free")
         self._allocated[request_id] = target
+        self.pages_allocated_total += needed
         return needed
 
     def free(self, request_id: int) -> int:
         """Release all pages of a finished request; returns pages freed."""
-        return self._allocated.pop(request_id, 0)
+        freed = self._allocated.pop(request_id, 0)
+        self.pages_freed_total += freed
+        return freed
 
     def allocated_tokens_capacity(self, request_id: int) -> int:
         return self._allocated.get(request_id, 0) * self.page_size

@@ -9,7 +9,8 @@ system feels under load; production serving is judged on latency percentiles:
 * **E2E**: arrival → last token.
 * **SLO attainment / goodput**: the fraction (and rate) of requests whose
   TTFT *and* TPOT both meet a service-level objective — the quantity bursty
-  traffic actually degrades first.
+  traffic actually degrades first.  Requests with a single output token have
+  no inter-token gap and are judged on TTFT alone.
 
 :class:`ServingMetrics` is assembled by the engine from finished requests and
 travels on :class:`repro.serving.engine.ServingResult`.
@@ -46,10 +47,13 @@ class RequestMetrics:
         return self.first_token_time - self.arrival_time
 
     @property
-    def queue_delay(self) -> float:
-        """Arrival → first admission (0 when the admission time is unknown)."""
+    def queue_delay(self) -> Optional[float]:
+        """Arrival → first admission, or ``None`` when the admission time is
+        unknown.  Unknown delays are *excluded* from
+        :attr:`ServingMetrics.queue_delay` summaries — counting them as zero
+        would silently drag the percentiles toward zero."""
         if self.admitted_time is None:
-            return 0.0
+            return None
         return self.admitted_time - self.arrival_time
 
     @property
@@ -59,10 +63,27 @@ class RequestMetrics:
 
     @property
     def tpot(self) -> float:
-        """Mean time per output token after the first (0 for 1-token outputs)."""
+        """Mean time per output token after the first.
+
+        Undefined (reported as 0) for 1-token outputs — there is no
+        inter-token gap to measure.  SLO checks must therefore judge such
+        requests on TTFT alone (see :meth:`meets_slo`); comparing the 0
+        against a TPOT SLO would trivially pass every 1-token request.
+        """
         if self.output_len <= 1:
             return 0.0
         return (self.finish_time - self.first_token_time) / (self.output_len - 1)
+
+    def meets_slo(self, ttft_slo_s: float, tpot_slo_s: float) -> bool:
+        """Whether this request met the latency SLO.
+
+        Requests with a single output token have no inter-token gap, so they
+        are judged on TTFT only; everything else must meet both the TTFT and
+        TPOT objectives.
+        """
+        if self.ttft > ttft_slo_s:
+            return False
+        return self.output_len <= 1 or self.tpot <= tpot_slo_s
 
     @classmethod
     def from_request(cls, request: Request) -> "RequestMetrics":
@@ -136,7 +157,9 @@ class ServingMetrics:
 
     @property
     def queue_delay(self) -> LatencySummary:
-        return LatencySummary.from_values([r.queue_delay for r in self.requests])
+        """Queue-delay percentiles over requests whose admission time is known."""
+        return LatencySummary.from_values(
+            [r.queue_delay for r in self.requests if r.queue_delay is not None])
 
     @property
     def total_preemptions(self) -> int:
@@ -144,11 +167,16 @@ class ServingMetrics:
 
     # ------------------------------------------------------------------
     def slo_attainment(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
-        """Fraction of finished requests meeting both TTFT and TPOT SLOs."""
+        """Fraction of finished requests meeting the latency SLO.
+
+        Delegates the per-request rule to :meth:`RequestMetrics.meets_slo`:
+        both TTFT and TPOT must be met, except that 1-token outputs (which
+        have no inter-token gap) are judged on TTFT only.
+        """
         if not self.requests:
             return 0.0
         good = sum(1 for r in self.requests
-                   if r.ttft <= ttft_slo_s and r.tpot <= tpot_slo_s)
+                   if r.meets_slo(ttft_slo_s, tpot_slo_s))
         return good / len(self.requests)
 
     def slo_goodput(self, ttft_slo_s: float, tpot_slo_s: float,

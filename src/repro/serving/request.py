@@ -26,6 +26,7 @@ __all__ = [
     "make_uniform_workload",
     "make_lognormal_workload",
     "make_bursty_workload",
+    "make_router_study_workload",
 ]
 
 
@@ -244,3 +245,17 @@ def make_bursty_workload(num_requests: int,
         for i in range(num_requests)
     ]
     return Workload(requests=requests)
+
+
+def make_router_study_workload(num_requests: int = 120, seed: int = 1) -> Workload:
+    """The canonical bursty heavy-tailed workload of the cluster router study.
+
+    One fixed parameterisation of :func:`make_bursty_workload` shared by the
+    router A/B benchmark (``benchmarks/bench_cluster_scaling.py``), the
+    cluster example and the regression test asserting that the
+    least-outstanding router beats round-robin on p95 TTFT — so all three
+    exercise, and stay honest about, the same traffic.
+    """
+    return make_bursty_workload(num_requests, burst_rate=24.0, mean_burst_s=6.0,
+                                mean_idle_s=6.0, lognormal_lengths=True,
+                                seed=seed)

@@ -6,16 +6,23 @@ device memory permits, for a workload of 1024-token prompts and 512-token
 outputs.  The functions here (a) find that largest feasible batch from the
 weight/KV memory model and (b) run the serving loop at a given batch size to
 measure throughput.
+
+Every entry point accepts a :class:`repro.serving.parallel.ParallelConfig`;
+:func:`tp_sweep` runs the same measurement across tensor-parallel degrees,
+which is how Table 4's "OOM" entries (batch 0: the weights alone overflow
+one device) become servable — a 70B-class FP16 model fits nowhere on a
+single 80 GB GPU but serves fine at ``tp >= 2``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.gpu.specs import GPUSpec
+from repro.gpu.specs import GPUSpec, InterconnectSpec, NVLINK
 from repro.model.config import ModelConfig
 from repro.serving.engine import ServingEngine, ServingResult  # noqa: F401  (re-exported for callers)
+from repro.serving.parallel import ParallelConfig
 from repro.serving.policies import SchedulingConfig
 from repro.serving.precision import SystemConfig
 from repro.serving.request import make_uniform_workload
@@ -25,6 +32,7 @@ __all__ = [
     "max_achievable_batch",
     "measure_throughput",
     "max_achievable_throughput",
+    "tp_sweep",
 ]
 
 #: Hard cap on concurrent sequences, mirroring real serving configurations.
@@ -41,24 +49,28 @@ class ThroughputResult:
     batch: int
     tokens_per_second: float
     serving: ServingResult
+    tp_degree: int = 1
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"{self.model} on {self.gpu} [{self.system}]: "
+        tp = f" tp={self.tp_degree}" if self.tp_degree > 1 else ""
+        return (f"{self.model} on {self.gpu}{tp} [{self.system}]: "
                 f"{self.tokens_per_second:.0f} tok/s @ batch {self.batch}")
 
 
 def max_achievable_batch(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
                          prompt_len: int = 1024, output_len: int = 512,
-                         cap: int = MAX_SEQS_CAP) -> int:
+                         cap: int = MAX_SEQS_CAP,
+                         parallel: Optional[ParallelConfig] = None) -> int:
     """Largest number of concurrent requests that fits in device memory.
 
     A request ultimately occupies ``prompt_len + output_len`` tokens of KV
     cache; the engine's memory model (weights at the system's storage
-    precision plus activation workspace) determines how many such requests
-    fit.  Returns 0 when even the weights do not fit (the "OOM" entries of
-    Table 4).
+    precision plus activation workspace, sharded across ``parallel``'s TP
+    group) determines how many such requests fit.  Returns 0 when even the
+    weights do not fit (the "OOM" entries of Table 4).
     """
-    engine = ServingEngine(model, gpu, system, max_seq_len=prompt_len + output_len)
+    engine = ServingEngine(model, gpu, system, max_seq_len=prompt_len + output_len,
+                           parallel=parallel)
     if engine.kv_capacity_bytes() <= 0:
         return 0
     manager = engine.new_kv_manager()
@@ -69,7 +81,8 @@ def max_achievable_batch(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
 def measure_throughput(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
                        batch: int, prompt_len: int = 1024, output_len: int = 512,
                        num_requests: Optional[int] = None,
-                       scheduling: Optional[SchedulingConfig] = None) -> ThroughputResult:
+                       scheduling: Optional[SchedulingConfig] = None,
+                       parallel: Optional[ParallelConfig] = None) -> ThroughputResult:
     """Serve a uniform workload at a fixed concurrency and report throughput.
 
     ``scheduling`` selects a :class:`SchedulingConfig` preset (policy,
@@ -78,29 +91,60 @@ def measure_throughput(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
     """
     if batch <= 0:
         raise ValueError("batch must be positive")
-    engine = ServingEngine(model, gpu, system, max_seq_len=prompt_len + output_len)
+    engine = ServingEngine(model, gpu, system, max_seq_len=prompt_len + output_len,
+                           parallel=parallel)
     workload = make_uniform_workload(num_requests or batch, prompt_len, output_len)
     result = engine.serve(workload, max_num_seqs=batch, scheduling=scheduling)
     return ThroughputResult(
         system=system.name, model=model.name, gpu=gpu.name, batch=batch,
-        tokens_per_second=result.generation_throughput, serving=result)
+        tokens_per_second=result.generation_throughput, serving=result,
+        tp_degree=engine.tp_degree)
 
 
 def max_achievable_throughput(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
                               prompt_len: int = 1024, output_len: int = 512,
-                              scheduling: Optional[SchedulingConfig] = None) -> ThroughputResult:
+                              scheduling: Optional[SchedulingConfig] = None,
+                              parallel: Optional[ParallelConfig] = None) -> ThroughputResult:
     """Throughput at the largest memory-feasible batch (the Table 4 metric).
 
     Returns a result with zero throughput and batch 0 when the model does not
     fit on the device under the system's weight precision (reported as "OOM"
     in the paper).
     """
-    batch = max_achievable_batch(model, gpu, system, prompt_len, output_len)
+    batch = max_achievable_batch(model, gpu, system, prompt_len, output_len,
+                                 parallel=parallel)
     if batch == 0:
         return ThroughputResult(
             system=system.name, model=model.name, gpu=gpu.name, batch=0,
             tokens_per_second=0.0,
             serving=ServingResult(total_time_s=0.0, generated_tokens=0,
-                                  prompt_tokens=0, peak_batch=0, num_iterations=0))
+                                  prompt_tokens=0, peak_batch=0, num_iterations=0),
+            tp_degree=(parallel or ParallelConfig()).tp_degree)
     return measure_throughput(model, gpu, system, batch, prompt_len, output_len,
-                              scheduling=scheduling)
+                              scheduling=scheduling, parallel=parallel)
+
+
+def tp_sweep(model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
+             tp_degrees: Sequence[int] = (1, 2, 4, 8),
+             prompt_len: int = 1024, output_len: int = 512,
+             interconnect: Optional[InterconnectSpec] = None,
+             scheduling: Optional[SchedulingConfig] = None) -> List[ThroughputResult]:
+    """Max-achievable throughput across tensor-parallel degrees.
+
+    Degrees the model does not shard evenly across (head counts or FFN width
+    not divisible) are skipped, so sweeping ``(1, 2, 4, 8)`` over the whole
+    model zoo is safe.  ``interconnect`` defaults to NVLink; pass
+    :data:`repro.gpu.specs.PCIE_GEN4` to model boards without it.
+    """
+    results: List[ThroughputResult] = []
+    for tp in tp_degrees:
+        parallel = ParallelConfig(tp_degree=tp,
+                                  interconnect=interconnect or NVLINK)
+        try:
+            parallel.validate_for(model)
+        except ValueError:
+            continue
+        results.append(max_achievable_throughput(
+            model, gpu, system, prompt_len, output_len,
+            scheduling=scheduling, parallel=parallel))
+    return results
