@@ -13,7 +13,10 @@ goodput) under pluggable scheduling policies:
 * :mod:`repro.serving.request` — request and workload definitions, including
   ShareGPT-like lognormal and bursty on/off workload generators;
 * :mod:`repro.serving.kv_cache_manager` — paged KV cache with per-head scale
-  storage and whole-request page reclamation;
+  storage, whole-request page reclamation and a ref-counted shared-page pool;
+* :mod:`repro.serving.prefix_cache` — radix-tree prefix sharing: prompt
+  prefixes already resident in the KV cache skip prefill, with LRU eviction
+  of unreferenced blocks under page pressure;
 * :mod:`repro.serving.policies` — scheduler policies (FCFS, strict-FCFS,
   SJF), iteration planners (stall prefill, chunked prefill) and
   :class:`SchedulingConfig` presets;
@@ -41,13 +44,21 @@ from repro.serving.request import (
     make_lognormal_workload,
     make_bursty_workload,
     make_router_study_workload,
+    make_shared_prefix_workload,
+    make_chat_workload,
 )
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
+from repro.serving.prefix_cache import (
+    PrefixCache,
+    PrefixCacheStats,
+    prompt_block_keys,
+)
 from repro.serving.policies import (
     SchedulerPolicy,
     FCFSPolicy,
     StrictFCFSPolicy,
     ShortestJobFirstPolicy,
+    CacheAwarePolicy,
     POLICIES,
     get_policy,
     IterationPlan,
@@ -72,6 +83,7 @@ from repro.serving.cluster import (
     RoundRobinRouter,
     LeastOutstandingRouter,
     ShortestQueueRouter,
+    PrefixAffinityRouter,
     ROUTERS,
     get_router,
     ClusterResult,
@@ -89,10 +101,12 @@ __all__ = [
     "SystemConfig", "SYSTEM_PRESETS", "get_system",
     "Request", "RequestState", "Workload", "make_uniform_workload",
     "make_lognormal_workload", "make_bursty_workload",
-    "make_router_study_workload",
+    "make_router_study_workload", "make_shared_prefix_workload",
+    "make_chat_workload",
     "PagedKVCacheManager", "PageAllocationError",
+    "PrefixCache", "PrefixCacheStats", "prompt_block_keys",
     "SchedulerPolicy", "FCFSPolicy", "StrictFCFSPolicy",
-    "ShortestJobFirstPolicy", "POLICIES", "get_policy",
+    "ShortestJobFirstPolicy", "CacheAwarePolicy", "POLICIES", "get_policy",
     "IterationPlan", "IterationPlanner", "StallPrefillPlanner",
     "ChunkedPrefillPlanner", "SchedulingConfig", "SCHEDULING_PRESETS",
     "LEGACY_SCHEDULING",
@@ -101,7 +115,7 @@ __all__ = [
     "ParallelConfig",
     "EngineStepper", "ServingEngine", "ServingResult", "StepBreakdown",
     "Router", "RoundRobinRouter", "LeastOutstandingRouter",
-    "ShortestQueueRouter", "ROUTERS", "get_router",
+    "ShortestQueueRouter", "PrefixAffinityRouter", "ROUTERS", "get_router",
     "ClusterResult", "ClusterEngine",
     "ThroughputResult", "max_achievable_batch", "measure_throughput",
     "max_achievable_throughput", "tp_sweep",

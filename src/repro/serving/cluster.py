@@ -19,6 +19,11 @@ Routers shipped by default:
 * ``shortest-queue`` — the replica owing the fewest pending prefill tokens,
   a length-aware refinement of LOR for LLM serving where a single 3k-token
   prompt costs far more than several short ones.
+* ``prefix-affinity`` — cache-locality routing for prefix-cached clusters:
+  probe every replica's prefix cache for the request's prompt and prefer the
+  warmest one (load-penalized), keeping same-prefix sessions on the replica
+  that already holds their KV blocks; cold requests stick by session so a
+  conversation lands on one replica from its first turn.
 
 Per-replica :class:`~repro.serving.engine.ServingResult`s are aggregated
 into a :class:`ClusterResult` with cluster-level throughput (makespan-based),
@@ -45,6 +50,7 @@ __all__ = [
     "RoundRobinRouter",
     "LeastOutstandingRouter",
     "ShortestQueueRouter",
+    "PrefixAffinityRouter",
     "ROUTERS",
     "get_router",
     "ClusterResult",
@@ -118,9 +124,55 @@ class ShortestQueueRouter(Router):
                                   replicas[i].outstanding_requests, i))
 
 
+class PrefixAffinityRouter(Router):
+    """Send same-prefix sessions to the replica holding their KV cache.
+
+    Each arriving request probes every replica's prefix cache
+    (:meth:`EngineStepper.cached_prefix_tokens`) and is routed to the
+    replica with the best ``hit_tokens - load_penalty_tokens * outstanding``
+    score, so cache affinity wins until the warm replica's queue grows
+    ``load_penalty_tokens`` worth of backlog per waiting request.  Requests
+    that hit nowhere (first turns, caching disabled) are routed
+    least-outstanding but *stick* by session key — the first two prompt
+    segments, i.e. (system prompt, first user message) — so a session's
+    later turns find their history where the first turn built it.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self, load_penalty_tokens: int = 512) -> None:
+        if load_penalty_tokens < 0:
+            raise ValueError("load_penalty_tokens must be non-negative")
+        self.load_penalty_tokens = load_penalty_tokens
+        self._sticky: Dict[tuple, int] = {}
+
+    @staticmethod
+    def _session_key(request: Request) -> Optional[tuple]:
+        if not request.prompt_segments:
+            return None
+        return tuple(request.prompt_segments[:2])
+
+    def route(self, request: Request, replicas: Sequence[EngineStepper]) -> int:
+        probes = [replica.cached_prefix_tokens(request) for replica in replicas]
+        key = self._session_key(request)
+        if max(probes) > 0:
+            index = min(range(len(replicas)),
+                        key=lambda i: (-(probes[i] - self.load_penalty_tokens
+                                         * replicas[i].outstanding_requests), i))
+        elif key is not None and key in self._sticky:
+            index = self._sticky[key]
+        else:
+            index = min(range(len(replicas)),
+                        key=lambda i: (replicas[i].outstanding_requests, i))
+        if key is not None:
+            self._sticky[key] = index
+        return index
+
+
 ROUTERS: Dict[str, Type[Router]] = {
     cls.name: cls
-    for cls in (RoundRobinRouter, LeastOutstandingRouter, ShortestQueueRouter)
+    for cls in (RoundRobinRouter, LeastOutstandingRouter, ShortestQueueRouter,
+                PrefixAffinityRouter)
 }
 
 
@@ -180,6 +232,21 @@ class ClusterResult:
         """Cluster generated tokens per second over the makespan."""
         total = self.total_time_s
         return 0.0 if total == 0 else self.generated_tokens / total
+
+    @property
+    def saved_prefill_tokens(self) -> int:
+        """Prefill tokens skipped via prefix-cache hits across all replicas."""
+        return sum(r.saved_prefill_tokens for r in self.replica_results)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cluster-wide prefix-cache token hit rate (0 when caching is off)."""
+        hits = sum(r.prefix_stats.hit_tokens for r in self.replica_results
+                   if r.prefix_stats is not None)
+        misses = sum(r.prefix_stats.miss_tokens for r in self.replica_results
+                     if r.prefix_stats is not None)
+        total = hits + misses
+        return 0.0 if total == 0 else hits / total
 
     def slo_goodput(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
         """Cluster requests per second completed within the latency SLO."""

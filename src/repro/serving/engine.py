@@ -49,6 +49,7 @@ from repro.model.config import ModelConfig
 from repro.serving.kv_cache_manager import PagedKVCacheManager
 from repro.serving.metrics import ServingMetrics
 from repro.serving.parallel import ParallelConfig
+from repro.serving.prefix_cache import PrefixCache, PrefixCacheStats
 from repro.serving.policies import (
     IterationPlan,
     LEGACY_SCHEDULING,
@@ -104,11 +105,42 @@ class ServingResult:
     num_preemptions: int = 0
     recomputed_prefill_tokens: int = 0
     metrics: Optional[ServingMetrics] = None
+    #: Peak KV-page utilization observed across the run's iterations.
+    kv_utilization_peak: float = 0.0
+    #: Prefix-cache counters; ``None`` unless prefix caching was enabled.
+    prefix_stats: Optional[PrefixCacheStats] = None
 
     @property
     def generation_throughput(self) -> float:
         """Generated tokens per second — the paper's headline metric."""
         return 0.0 if self.total_time_s == 0 else self.generated_tokens / self.total_time_s
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Prefix-cache token hit rate (0 when caching was off)."""
+        return 0.0 if self.prefix_stats is None else self.prefix_stats.hit_rate
+
+    @property
+    def saved_prefill_tokens(self) -> int:
+        """Prefill tokens skipped via prefix-cache hits (0 when off)."""
+        return (0 if self.prefix_stats is None
+                else self.prefix_stats.saved_prefill_tokens)
+
+    def summary_text(self) -> str:
+        """Human-readable summary: latency percentiles plus the KV-cache
+        utilization and prefix-cache hit-rate gauges."""
+        lines = [f"throughput: {self.generation_throughput:.1f} tok/s "
+                 f"({self.num_finished} finished, {self.num_unserved} unserved)"]
+        if self.metrics is not None and len(self.metrics):
+            lines.append(self.metrics.summary_text())
+        lines.append(f"KV utilization: peak {self.kv_utilization_peak * 100:.1f}%")
+        if self.prefix_stats is not None:
+            s = self.prefix_stats
+            lines.append(
+                f"prefix cache: hit rate {s.hit_rate * 100:.1f}%, "
+                f"{s.saved_prefill_tokens} prefill tokens saved, "
+                f"{s.evicted_pages} pages evicted")
+        return "\n".join(lines)
 
 
 class ServingEngine:
@@ -291,8 +323,21 @@ class ServingEngine:
     # System-level serving loop
     # ------------------------------------------------------------------
     def _plan_latency(self, plan: IterationPlan) -> float:
-        """Cost-model latency of executing one iteration plan."""
+        """Cost-model latency of executing one iteration plan.
+
+        Prefix-cache hits shrink the work: only a request's cold suffix is
+        prefilled, but its queries still attend across the cached prefix, so
+        cached tokens enter the attention context (the ``done`` offset of
+        each chunk) without contributing projection GEMM rows.
+        """
         if plan.stalled_prefill:
+            if any(r.cached_tokens for r, _ in plan.prefill_chunks):
+                # Cache-hit prompts attend to their cached prefix; the
+                # monolithic prefill call cannot express that offset, so the
+                # batch goes through the chunked cost path in one iteration.
+                chunks = [(r.prefill_target, r.cached_tokens)
+                          for r, _ in plan.prefill_chunks]
+                return self.mixed_step(chunks, 0, 0).total
             # Legacy batched prefill: every admitted prompt is padded to the
             # longest one and prefilled in a single call.
             prompt_len = max(r.prefill_target for r, _ in plan.prefill_chunks)
@@ -302,7 +347,8 @@ class ServingEngine:
             batch = len(decode)
             context = int(sum(r.context_len for r in decode) / batch)
             return self.decode_step(batch, context).total
-        chunks = [(tokens, r.prefilled) for r, tokens in plan.prefill_chunks]
+        chunks = [(tokens, r.cached_tokens + r.prefilled)
+                  for r, tokens in plan.prefill_chunks]
         decode_context = 0
         if decode:
             decode_context = int(sum(r.context_len for r in decode) / len(decode))
@@ -347,15 +393,29 @@ class EngineStepper:
         self.engine = engine
         self.scheduling = scheduling or LEGACY_SCHEDULING
         self.planner = self.scheduling.build_planner()
+        kv_manager = engine.new_kv_manager()
+        self.prefix_cache: Optional[PrefixCache] = None
+        if self.scheduling.prefix_caching:
+            if not engine.system.paged_kv:
+                raise ValueError(
+                    f"prefix caching requires a paged KV cache; system "
+                    f"{engine.system.name!r} is non-paged")
+            self.prefix_cache = PrefixCache(kv_manager)
+        policy = self.scheduling.build_policy()
+        if hasattr(policy, "prefix_cache"):
+            # Cache-aware policies rank by live cache state.
+            policy.prefix_cache = self.prefix_cache
         self.scheduler = ContinuousBatchingScheduler(
-            kv_manager=engine.new_kv_manager(),
+            kv_manager=kv_manager,
             max_num_seqs=max_num_seqs or 10**9,
-            policy=self.scheduling.build_policy(),
-            preemption=self.scheduling.preemption)
+            policy=policy,
+            preemption=self.scheduling.preemption,
+            prefix_cache=self.prefix_cache)
         self.now = 0.0
         self.iterations = 0
         self.peak_batch = 0
         self.generated = 0
+        self.kv_utilization_peak = 0.0
         self._guard = 0
 
     # ------------------------------------------------------------------
@@ -382,6 +442,16 @@ class EngineStepper:
         scheduler = self.scheduler
         return (sum(r.prefill_remaining for r in scheduler.waiting)
                 + sum(r.prefill_remaining for r in scheduler.prefilling_requests()))
+
+    def cached_prefix_tokens(self, request: Request) -> int:
+        """Prompt tokens this replica's prefix cache would serve ``request``.
+
+        Zero when prefix caching is off; used by the cluster's
+        prefix-affinity router to find the warmest replica.
+        """
+        if self.prefix_cache is None:
+            return 0
+        return self.prefix_cache.lookup_tokens(request)
 
     # ------------------------------------------------------------------
     def step(self) -> bool:
@@ -416,21 +486,22 @@ class EngineStepper:
             if next_arrival > self.now:
                 self.now = next_arrival
                 return True
-            if not scheduler.running:
-                # Arrived requests that no amount of waiting can admit
-                # (e.g. larger than the whole KV cache): leave unserved.
-                return False
             # Admission, preemption and planning all made no progress at
             # ``now`` and the scheduler state is unchanged, so replanning at
             # the same clock would spin forever (the old loop did, until the
             # iteration guard fired).  Jump deterministically to the next
             # strictly-future arrival — only a new admission can unwedge the
             # loop — or stop and report the stuck requests as unserved.
+            # This applies with or without a running batch: an arrived
+            # request that can never be admitted (larger than the whole KV
+            # cache) must strand only itself, not every later arrival.
             upcoming = [t for t in future if t > self.now]
             if not upcoming:
                 return False
             self.now = min(upcoming)
             return True
+        self.kv_utilization_peak = max(self.kv_utilization_peak,
+                                       self.scheduler.kv_manager.utilization())
         self.now += self.engine._plan_latency(plan)
         self.iterations += 1
         if plan.decode:
@@ -484,4 +555,7 @@ class EngineStepper:
             num_preemptions=scheduler.num_preemptions,
             recomputed_prefill_tokens=scheduler.recomputed_prefill_tokens,
             metrics=ServingMetrics.from_requests(finished),
+            kv_utilization_peak=self.kv_utilization_peak,
+            prefix_stats=(None if self.prefix_cache is None
+                          else self.prefix_cache.stats),
         )

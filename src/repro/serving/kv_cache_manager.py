@@ -11,13 +11,26 @@ to model systems without paged-attention support (QuaRot).
 Reclamation: :meth:`PagedKVCacheManager.free` releases *all* pages of a
 request at once — used both when a request finishes and when the scheduler
 preempts it (recompute-style preemption rebuilds the KV cache from scratch on
-readmission, so partial reclamation is never needed).
+readmission, so partial reclamation is never needed).  Freeing an id that was
+already freed is counted in ``double_free_count`` (a refcounting bug that the
+conservation accounting alone would hide) while freeing an id that never
+allocated stays a legitimate no-op.
+
+Pages live in two populations that both count toward capacity:
+
+* **private** pages, owned by exactly one request (the historical behaviour);
+* **shared** pages, owned by the prefix cache
+  (:mod:`repro.serving.prefix_cache`) and referenced by any number of
+  requests.  A shared page counts *once* toward ``used_pages`` no matter how
+  many requests reference it; ``allocate``'s ``shared_pages`` argument tells
+  the allocator how many of a request's pages are covered by the shared pool
+  so the private allocation covers only the remainder.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from repro.model.config import ModelConfig
 from repro.serving.precision import SystemConfig
@@ -56,10 +69,17 @@ class PagedKVCacheManager:
     page_size: int = 16
     max_seq_len: int = 2048
     _allocated: Dict[int, int] = field(default_factory=dict, init=False)
+    #: Pages owned by the prefix cache's shared pool (each counted once).
+    shared_pages: int = field(default=0, init=False)
     #: Lifetime counters; every allocated page must eventually be freed, so a
     #: clean run ends with ``pages_allocated_total == pages_freed_total``.
     pages_allocated_total: int = field(default=0, init=False)
     pages_freed_total: int = field(default=0, init=False)
+    #: Debug counter: frees of an id whose pages were already released.  A
+    #: correct scheduler never double-frees; the counter exists so refcount
+    #: bugs can't hide inside the conservation accounting.
+    double_free_count: int = field(default=0, init=False)
+    _freed_ids: Set[int] = field(default_factory=set, init=False)
 
     def __post_init__(self) -> None:
         if self.page_size <= 0:
@@ -85,14 +105,21 @@ class PagedKVCacheManager:
 
     @property
     def used_pages(self) -> int:
-        return sum(self._allocated.values())
+        return sum(self._allocated.values()) + self.shared_pages
 
     @property
     def free_pages(self) -> int:
         return self.total_pages - self.used_pages
 
     def pages_for_tokens(self, num_tokens: int) -> int:
-        """Pages needed to hold ``num_tokens`` tokens of KV state."""
+        """Pages needed to hold ``num_tokens`` tokens of KV state.
+
+        A zero-token probe costs zero pages on every system — non-paged
+        systems reserve ``max_seq_len`` up front only for requests that
+        actually hold tokens.
+        """
+        if num_tokens <= 0:
+            return 0
         if not self.system.paged_kv:
             # Non-paged systems reserve the whole maximum sequence up front.
             num_tokens = self.max_seq_len
@@ -101,17 +128,31 @@ class PagedKVCacheManager:
     # ------------------------------------------------------------------
     # Allocation API
     # ------------------------------------------------------------------
-    def can_allocate(self, request_id: int, num_tokens: int) -> bool:
-        needed = self.pages_for_tokens(num_tokens) - self._allocated.get(request_id, 0)
-        return needed <= self.free_pages
+    def pages_needed(self, request_id: int, num_tokens: int,
+                     shared_pages: int = 0) -> int:
+        """Fresh pages a grow-to-``num_tokens`` allocation would consume.
 
-    def allocate(self, request_id: int, num_tokens: int) -> int:
+        ``shared_pages`` of the request's footprint are covered by the prefix
+        cache's shared pool and need no private allocation.
+        """
+        target = self.pages_for_tokens(num_tokens) - shared_pages
+        return target - self._allocated.get(request_id, 0)
+
+    def can_allocate(self, request_id: int, num_tokens: int,
+                     shared_pages: int = 0) -> bool:
+        return self.pages_needed(request_id, num_tokens,
+                                 shared_pages) <= self.free_pages
+
+    def allocate(self, request_id: int, num_tokens: int,
+                 shared_pages: int = 0) -> int:
         """Grow the allocation of ``request_id`` to cover ``num_tokens`` tokens.
 
-        Returns the number of newly allocated pages.  Raises
+        ``shared_pages`` leading pages are served by the prefix cache's
+        shared pool, so only the remainder is privately allocated.  Returns
+        the number of newly allocated pages.  Raises
         :class:`PageAllocationError` when the cache is full.
         """
-        target = self.pages_for_tokens(num_tokens)
+        target = self.pages_for_tokens(num_tokens) - shared_pages
         current = self._allocated.get(request_id, 0)
         needed = target - current
         if needed <= 0:
@@ -121,14 +162,57 @@ class PagedKVCacheManager:
                 f"request {request_id} needs {needed} pages, only "
                 f"{self.free_pages} free")
         self._allocated[request_id] = target
+        self._freed_ids.discard(request_id)
         self.pages_allocated_total += needed
         return needed
 
     def free(self, request_id: int) -> int:
-        """Release all pages of a finished request; returns pages freed."""
-        freed = self._allocated.pop(request_id, 0)
-        self.pages_freed_total += freed
-        return freed
+        """Release all private pages of a finished request; returns pages freed.
+
+        Freeing an id with no live allocation is distinguished: an id whose
+        pages were already released counts as a double-free (see
+        ``double_free_count``), an id that never allocated is a legitimate
+        no-op (e.g. a request that was fully served by shared pages).
+        """
+        if request_id in self._allocated:
+            freed = self._allocated.pop(request_id)
+            self._freed_ids.add(request_id)
+            self.pages_freed_total += freed
+            return freed
+        if request_id in self._freed_ids:
+            self.double_free_count += 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # Shared-page pool (prefix cache)
+    # ------------------------------------------------------------------
+    def convert_private_to_shared(self, request_id: int) -> None:
+        """Move one page of ``request_id`` into the shared pool.
+
+        Used when the prefix cache publishes a freshly prefilled block: the
+        page's bytes stay where they are, only ownership changes, so neither
+        ``used_pages`` nor the lifetime counters move.
+        """
+        if self._allocated.get(request_id, 0) <= 0:
+            raise ValueError(
+                f"request {request_id} has no private page to share")
+        self._allocated[request_id] -= 1
+        self.shared_pages += 1
+
+    def drop_private_page(self, request_id: int) -> None:
+        """Discard one private page (deduplicated against a shared copy)."""
+        if self._allocated.get(request_id, 0) <= 0:
+            raise ValueError(
+                f"request {request_id} has no private page to drop")
+        self._allocated[request_id] -= 1
+        self.pages_freed_total += 1
+
+    def release_shared_page(self) -> None:
+        """Free one shared-pool page (prefix-cache eviction)."""
+        if self.shared_pages <= 0:
+            raise ValueError("shared pool is empty")
+        self.shared_pages -= 1
+        self.pages_freed_total += 1
 
     def allocated_tokens_capacity(self, request_id: int) -> int:
         return self._allocated.get(request_id, 0) * self.page_size

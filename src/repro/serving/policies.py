@@ -20,6 +20,10 @@ behind two small abstractions.
     * ``sjf`` — shortest-job-first: requests with the least total work
       (remaining prefill plus remaining output) are admitted first.  Reduces
       mean latency at the cost of potential starvation of long requests.
+    * ``cache-aware`` — requests whose prompt has the longest cached prefix
+      (see :mod:`repro.serving.prefix_cache`) are admitted first, FCFS among
+      equals: a hit-heavy request costs almost no prefill, so admitting it
+      early raises goodput and keeps its blocks referenced (un-evictable).
 
 ``IterationPlanner``
     Decides what a single model iteration computes.  ``StallPrefillPlanner``
@@ -44,6 +48,7 @@ from typing import TYPE_CHECKING, Dict, List, Tuple, Type
 from repro.serving.request import Request
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.prefix_cache import PrefixCache
     from repro.serving.scheduler import ContinuousBatchingScheduler
 
 __all__ = [
@@ -51,6 +56,7 @@ __all__ = [
     "FCFSPolicy",
     "StrictFCFSPolicy",
     "ShortestJobFirstPolicy",
+    "CacheAwarePolicy",
     "POLICIES",
     "get_policy",
     "IterationPlan",
@@ -120,8 +126,31 @@ class ShortestJobFirstPolicy(SchedulerPolicy):
         return (remaining, request.arrival_time, request.request_id)
 
 
+class CacheAwarePolicy(SchedulerPolicy):
+    """Admit the request with the longest cached prompt prefix first.
+
+    ``prefix_cache`` is bound by the engine stepper when prefix caching is
+    enabled; unbound (or with a cold cache) the policy degrades to plain
+    FCFS.  Victim selection inherits the reversed admission order, so under
+    preemption the *least*-cached running request is evicted first — the one
+    whose recompute costs the most cache-able prefill.
+    """
+
+    name = "cache-aware"
+    allow_bypass = True
+
+    def __init__(self) -> None:
+        self.prefix_cache: "PrefixCache | None" = None
+
+    def admission_key(self, request: Request) -> Tuple:
+        hit = (self.prefix_cache.lookup_tokens(request)
+               if self.prefix_cache is not None else 0)
+        return (-hit, request.arrival_time, request.request_id)
+
+
 POLICIES: Dict[str, Type[SchedulerPolicy]] = {
-    cls.name: cls for cls in (FCFSPolicy, StrictFCFSPolicy, ShortestJobFirstPolicy)
+    cls.name: cls for cls in (FCFSPolicy, StrictFCFSPolicy,
+                              ShortestJobFirstPolicy, CacheAwarePolicy)
 }
 
 
@@ -229,12 +258,21 @@ class SchedulingConfig:
         low-priority requests when the cache fills; when false, admission
         conservatively reserves ``prompt_len + output_len`` up front and
         preemption never occurs (seed behaviour).
+    prefix_caching:
+        When true, the engine attaches a
+        :class:`~repro.serving.prefix_cache.PrefixCache` to the scheduler:
+        prompt prefixes already resident in the KV cache (shared system
+        prompts, chat histories) skip prefill and share ref-counted pages,
+        with LRU eviction of unreferenced blocks under page pressure.
+        Requires a paged-KV system; off by default — all existing results
+        are bitwise-unchanged.
     """
 
     policy: str = "fcfs"
     chunked_prefill: bool = False
     prefill_chunk_size: int = 512
     preemption: bool = False
+    prefix_caching: bool = False
 
     def build_policy(self) -> SchedulerPolicy:
         return get_policy(self.policy)
@@ -255,4 +293,9 @@ SCHEDULING_PRESETS: Dict[str, SchedulingConfig] = {
     "sjf": SchedulingConfig(policy="sjf"),
     "chunked": SchedulingConfig(chunked_prefill=True),
     "chunked-preempt": SchedulingConfig(chunked_prefill=True, preemption=True),
+    "prefix": SchedulingConfig(chunked_prefill=True, prefix_caching=True),
+    "prefix-aware": SchedulingConfig(chunked_prefill=True, prefix_caching=True,
+                                     policy="cache-aware"),
+    "prefix-preempt": SchedulingConfig(chunked_prefill=True,
+                                       prefix_caching=True, preemption=True),
 }

@@ -1,0 +1,378 @@
+"""Prefix-sharing KV cache: radix-tree block index over ref-counted pages.
+
+Production LLM traffic is dominated by shared prefixes — system prompts,
+few-shot templates, multi-turn chat histories — and modern engines (vLLM's
+automatic prefix caching, SGLang's RadixAttention) skip the prefill of any
+prompt prefix whose KV state is already resident.  This module brings that
+reuse to the simulator:
+
+* Prompts carry *content* as ``Request.prompt_segments`` — a sequence of
+  ``(content_id, length)`` pairs.  :func:`prompt_block_keys` folds them into
+  one chained hash per complete ``page_size``-token block, so two prompts
+  that share an identical token prefix share identical leading block keys
+  (and requests without segments never alias each other).
+* :class:`PrefixCache` keeps a radix tree of those blocks.  Each node is one
+  KV page held in the :class:`~repro.serving.kv_cache_manager.\
+PagedKVCacheManager`'s *shared pool*: a shared page counts once toward
+  capacity no matter how many requests reference it, and carries a refcount
+  so reclamation can never pull a page out from under a running request.
+* Cached-but-unreferenced blocks are reclaimed **LRU, leaves first** under
+  page pressure (:meth:`PrefixCache.evict`), which preserves the radix
+  invariant that every cached block's prefix chain is also cached.
+
+Lifecycle, as driven by the scheduler:
+
+1. *Admission* — :meth:`match` walks the tree for the request's longest
+   cached prefix (capped at ``prompt_len - 1``: the final prompt token is
+   always recomputed to produce the first output logits), and
+   :meth:`acquire` pins the matched blocks.  Only the cold suffix is
+   prefilled and only its pages are privately allocated.
+2. *Prefill completion* — :meth:`insert` publishes the request's complete
+   prompt blocks into the tree, converting private pages to shared ones (or
+   deduplicating against blocks another request published first).
+3. *Finish / preemption* — :meth:`release` drops the request's references.
+   The blocks stay cached for future hits; preemption therefore reclaims
+   only private pages and can never free a block another request still
+   references.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.serving.kv_cache_manager import PagedKVCacheManager
+from repro.serving.request import Request
+
+__all__ = ["prompt_block_keys", "PrefixCacheStats", "PrefixCache"]
+
+#: Hash-chain seed for the first block of every prompt (the radix root).
+_ROOT_KEY = 0
+
+
+def prompt_block_keys(request: Request, page_size: int) -> List[int]:
+    """Chained content hashes of the request's *complete* prompt blocks.
+
+    Block ``i`` covers prompt tokens ``[i * page_size, (i + 1) * page_size)``
+    and its key hashes the block's content slices together with the previous
+    block's key, so equal keys imply equal full prefixes (vLLM-style chained
+    block hashing).  The trailing partial block, and requests without
+    ``prompt_segments``, produce no keys — their KV state is never shared.
+    Content ids and offsets are plain integers, so keys are deterministic
+    across processes (no string-hash randomization).
+    """
+    if request.prompt_segments is None:
+        return []
+    n_complete = request.prompt_len // page_size
+    if n_complete == 0:
+        return []
+    blocks: List[Tuple[Tuple[int, int, int], ...]] = []
+    current: List[Tuple[int, int, int]] = []
+    filled = 0
+    for content_id, length in request.prompt_segments:
+        offset = 0
+        while offset < length and len(blocks) < n_complete:
+            take = min(page_size - filled, length - offset)
+            current.append((content_id, offset, offset + take))
+            filled += take
+            offset += take
+            if filled == page_size:
+                blocks.append(tuple(current))
+                current = []
+                filled = 0
+        if len(blocks) >= n_complete:
+            break
+    keys: List[int] = []
+    parent = _ROOT_KEY
+    for block in blocks:
+        parent = hash((parent, block))
+        keys.append(parent)
+    return keys
+
+
+@dataclass
+class PrefixCacheStats:
+    """Counters of one serving run's prefix-cache behaviour.
+
+    ``hit_tokens`` / ``miss_tokens`` partition every admitted prompt's tokens
+    into served-from-cache and cold-prefilled (recompute of generated tokens
+    after a preemption is not cache-eligible and is excluded); the ratio is
+    the token hit rate.  ``inserted`` / ``deduped`` / ``evicted_pages`` trace
+    the shared pool's churn.
+    """
+
+    lookups: int = 0
+    hit_tokens: int = 0
+    miss_tokens: int = 0
+    inserted_pages: int = 0
+    deduped_pages: int = 0
+    evicted_pages: int = 0
+    peak_cached_pages: int = 0
+
+    @property
+    def saved_prefill_tokens(self) -> int:
+        """Prefill tokens the engine skipped thanks to cache hits."""
+        return self.hit_tokens
+
+    @property
+    def hit_rate(self) -> float:
+        """Token hit rate over all admitted prompt tokens."""
+        total = self.hit_tokens + self.miss_tokens
+        return 0.0 if total == 0 else self.hit_tokens / total
+
+
+class _RadixNode:
+    """One cached KV block: a node of the prefix radix tree."""
+
+    __slots__ = ("key", "parent", "children", "ref_count", "last_used")
+
+    def __init__(self, key: Optional[int], parent: Optional["_RadixNode"]) -> None:
+        self.key = key
+        self.parent = parent
+        self.children: Dict[int, "_RadixNode"] = {}
+        self.ref_count = 0
+        self.last_used = 0
+
+
+class PrefixCache:
+    """Radix-tree index of shared KV blocks over one paged KV manager.
+
+    The cache and the scheduler share one
+    :class:`~repro.serving.kv_cache_manager.PagedKVCacheManager`: shared
+    pages live in the manager's shared pool and private (per-request) pages
+    keep their existing semantics, so ``used_pages`` and the lifetime
+    conservation counters cover both populations at all times.
+    """
+
+    def __init__(self, kv_manager: PagedKVCacheManager) -> None:
+        self.kv_manager = kv_manager
+        self.page_size = kv_manager.page_size
+        self._root = _RadixNode(key=None, parent=None)
+        self._nodes: Dict[int, _RadixNode] = {}
+        self._request_blocks: Dict[int, List[_RadixNode]] = {}
+        self._tick = 0
+        self.stats = PrefixCacheStats()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def cached_pages(self) -> int:
+        """Blocks currently cached (referenced or not)."""
+        return len(self._nodes)
+
+    @property
+    def unreferenced_pages(self) -> int:
+        """Cached blocks no running request references (eviction candidates)."""
+        return sum(1 for node in self._nodes.values() if node.ref_count == 0)
+
+    def evictable_pages(self, protect: Iterable["_RadixNode"] = ()) -> int:
+        """Pages :meth:`evict` could reclaim right now, leaves-first.
+
+        A block is reclaimable only if its entire subtree is unreferenced
+        (and unprotected) — evicting it must not orphan a referenced
+        descendant.  Callers use this to avoid flushing the cache for a
+        request that could not be admitted even after a full eviction pass.
+        """
+        protected = {id(node) for node in protect}
+
+        def count(node: _RadixNode) -> Tuple[int, bool]:
+            # (reclaimable pages in subtree, whole subtree reclaimable?)
+            total, all_free = 0, True
+            for child in node.children.values():
+                below, free = count(child)
+                total += below
+                all_free = all_free and free
+            pinned = node.ref_count > 0 or id(node) in protected
+            if pinned or not all_free:
+                return total, False
+            return total + 1, True
+
+        return sum(count(child)[0] for child in self._root.children.values())
+
+    @property
+    def total_ref_count(self) -> int:
+        """Sum of all block refcounts; zero once every request drained."""
+        return sum(node.ref_count for node in self._nodes.values())
+
+    def _touch(self, node: _RadixNode) -> None:
+        self._tick += 1
+        node.last_used = self._tick
+
+    def _keys(self, request: Request) -> List[int]:
+        """Block keys of ``request``, memoized on the request object.
+
+        ``prompt_segments`` is immutable after construction, so the chain
+        only needs hashing once per request — cache-aware admission and the
+        affinity router probe the same request many times per run.
+        """
+        cached = getattr(request, "_block_keys_cache", None)
+        if cached is not None and cached[0] == self.page_size:
+            return cached[1]
+        keys = prompt_block_keys(request, self.page_size)
+        request._block_keys_cache = (self.page_size, keys)
+        return keys
+
+    def _walk(self, keys: List[int]) -> List[_RadixNode]:
+        nodes: List[_RadixNode] = []
+        node = self._root
+        for key in keys:
+            child = node.children.get(key)
+            if child is None:
+                break
+            nodes.append(child)
+            node = child
+        return nodes
+
+    @staticmethod
+    def _cap_full_match(nodes: List[_RadixNode], prompt_len: int,
+                        page_size: int) -> List[_RadixNode]:
+        # Never serve the entire prompt from cache: the final prompt token
+        # must be recomputed to produce the first output logits, so a fully
+        # block-aligned full match gives back its last block.
+        while nodes and len(nodes) * page_size >= prompt_len:
+            nodes = nodes[:-1]
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def match(self, request: Request) -> Tuple[List[_RadixNode], int]:
+        """Longest cached prefix of ``request``: (blocks, covered tokens).
+
+        Marks the matched blocks as recently used.  The caller must
+        :meth:`acquire` (or abandon) the returned blocks before any eviction
+        it triggers itself — :meth:`evict` takes a ``protect`` list for the
+        window between match and acquire.
+        """
+        keys = self._keys(request)
+        nodes = self._cap_full_match(self._walk(keys), request.prompt_len,
+                                     self.page_size)
+        for node in nodes:
+            self._touch(node)
+        return nodes, len(nodes) * self.page_size
+
+    def lookup_tokens(self, request: Request) -> int:
+        """Non-mutating probe: cached prefix tokens a request would hit now.
+
+        Used by the cache-aware admission policy and the prefix-affinity
+        router; does not update recency.
+        """
+        keys = self._keys(request)
+        nodes = self._cap_full_match(self._walk(keys), request.prompt_len,
+                                     self.page_size)
+        return len(nodes) * self.page_size
+
+    # ------------------------------------------------------------------
+    # Reference lifecycle
+    # ------------------------------------------------------------------
+    def acquire(self, request: Request, nodes: List[_RadixNode]) -> None:
+        """Pin ``nodes`` (the blocks :meth:`match` returned) for ``request``.
+
+        Records the admission in the hit/miss token statistics and stamps the
+        request's ``cached_tokens`` / ``shared_kv_pages`` bookkeeping fields.
+        """
+        for node in nodes:
+            node.ref_count += 1
+        self._request_blocks[request.request_id] = list(nodes)
+        request.cached_tokens = len(nodes) * self.page_size
+        request.shared_kv_pages = len(nodes)
+        self.stats.lookups += 1
+        self.stats.hit_tokens += request.cached_tokens
+        self.stats.miss_tokens += request.prompt_len - request.cached_tokens
+
+    def insert(self, request: Request) -> int:
+        """Publish the request's (fully prefilled) complete prompt blocks.
+
+        Each block beyond the request's matched prefix either becomes a new
+        tree node — one of the request's private pages converts into a shared
+        page — or already exists because another request published the same
+        content first, in which case the private duplicate page is dropped
+        and the shared copy referenced (``deduped_pages``).  Returns the
+        number of blocks newly referenced.
+        """
+        keys = self._keys(request)
+        if not keys:
+            return 0
+        refs = self._request_blocks.setdefault(request.request_id, [])
+        node = refs[-1] if refs else self._root
+        published = 0
+        for index in range(len(refs), len(keys)):
+            key = keys[index]
+            child = node.children.get(key)
+            if child is not None:
+                self.kv_manager.drop_private_page(request.request_id)
+                self.stats.deduped_pages += 1
+            else:
+                child = _RadixNode(key=key, parent=node)
+                node.children[key] = child
+                self._nodes[key] = child
+                self.kv_manager.convert_private_to_shared(request.request_id)
+                self.stats.inserted_pages += 1
+            child.ref_count += 1
+            self._touch(child)
+            refs.append(child)
+            node = child
+            published += 1
+        request.shared_kv_pages = len(refs)
+        self.stats.peak_cached_pages = max(self.stats.peak_cached_pages,
+                                           len(self._nodes))
+        return published
+
+    def release(self, request_id: int) -> None:
+        """Drop the request's block references (finish or preemption).
+
+        The blocks stay cached — unreferenced blocks are exactly the LRU
+        eviction candidates — so a departing request costs nothing to its
+        prefix siblings.
+        """
+        for node in self._request_blocks.pop(request_id, []):
+            node.ref_count -= 1
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def evict(self, pages_needed: int,
+              protect: Iterable[_RadixNode] = ()) -> int:
+        """Reclaim up to ``pages_needed`` unreferenced blocks, LRU first.
+
+        Only childless nodes are evictable (radix invariant: a cached block's
+        whole prefix chain stays cached); evicting a leaf may expose its
+        parent, which joins the candidate heap with its own recency.
+        ``protect`` shields blocks matched-but-not-yet-acquired during the
+        current admission.  Returns the number of pages reclaimed.
+        """
+        if pages_needed <= 0:
+            return 0
+        protected = {id(node) for node in protect}
+
+        def evictable(node: _RadixNode) -> bool:
+            return (node.ref_count == 0 and not node.children
+                    and id(node) not in protected)
+
+        heap = [(node.last_used, key) for key, node in self._nodes.items()
+                if evictable(node)]
+        heapq.heapify(heap)
+        evicted = 0
+        while heap and evicted < pages_needed:
+            last_used, key = heapq.heappop(heap)
+            node = self._nodes.get(key)
+            if node is None or node.last_used != last_used or not evictable(node):
+                continue  # stale heap entry
+            parent = node.parent
+            self._evict_node(node)
+            evicted += 1
+            if parent is not None and parent is not self._root and evictable(parent):
+                heapq.heappush(heap, (parent.last_used, parent.key))
+        return evicted
+
+    def _evict_node(self, node: _RadixNode) -> None:
+        node.parent.children.pop(node.key)
+        del self._nodes[node.key]
+        self.kv_manager.release_shared_page()
+        self.stats.evicted_pages += 1
+
+    def clear(self) -> int:
+        """Evict every unreferenced block (e.g. to drain after a run)."""
+        return self.evict(len(self._nodes))

@@ -8,14 +8,28 @@ stress-testing schedulers under realistic traffic:
   and output lengths, optionally with Poisson arrivals;
 * :func:`make_bursty_workload` — on/off (Markov-modulated Poisson) arrivals:
   bursts of traffic at a high rate separated by idle gaps, the pattern that
-  exposes head-of-line blocking and page-pressure preemption.
+  exposes head-of-line blocking and page-pressure preemption;
+* :func:`make_shared_prefix_workload` — requests sharing a long system
+  prompt / few-shot template ahead of a unique suffix;
+* :func:`make_chat_workload` — multi-turn chat sessions whose prompts grow
+  with the conversation history, the workload class prefix caching exists
+  for.
+
+Prompt *content* is modelled by ``Request.prompt_segments``: an optional
+sequence of ``(content_id, length)`` pairs covering the prompt left to
+right.  Equal content ids denote identical token spans, which is what the
+prefix cache (:mod:`repro.serving.prefix_cache`) keys on; requests without
+segments are treated as unique content and never share KV state.  Content
+ids are drawn from a module-global counter, so two separate generator calls
+never alias each other's content by accident.
 """
 
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -27,7 +41,12 @@ __all__ = [
     "make_lognormal_workload",
     "make_bursty_workload",
     "make_router_study_workload",
+    "make_shared_prefix_workload",
+    "make_chat_workload",
 ]
+
+#: Global source of fresh prompt-content ids (see module docstring).
+_CONTENT_IDS = itertools.count(1)
 
 
 class RequestState(str, enum.Enum):
@@ -59,6 +78,9 @@ class Request:
     prompt_len: int
     output_len: int
     arrival_time: float = 0.0
+    #: Prompt content as ``(content_id, length)`` spans (see module
+    #: docstring); ``None`` means unique, never-shared content.
+    prompt_segments: Optional[Tuple[Tuple[int, int], ...]] = None
     state: RequestState = RequestState.WAITING
     generated: int = 0
     prefill_done_time: Optional[float] = None
@@ -66,6 +88,10 @@ class Request:
     # Prefill progress within the current residency (set at admission).
     prefilled: int = 0
     prefill_target: int = 0
+    #: Prompt tokens served from the prefix cache this residency (their
+    #: prefill is skipped) and the shared KV pages currently referenced.
+    cached_tokens: int = 0
+    shared_kv_pages: int = 0
     # Latency bookkeeping.
     first_token_time: Optional[float] = None
     admitted_time: Optional[float] = None
@@ -74,6 +100,11 @@ class Request:
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0:
             raise ValueError("prompt_len and output_len must be positive")
+        if self.prompt_segments is not None:
+            self.prompt_segments = tuple(
+                (int(cid), int(length)) for cid, length in self.prompt_segments)
+            if sum(length for _, length in self.prompt_segments) != self.prompt_len:
+                raise ValueError("prompt_segments lengths must sum to prompt_len")
         if self.prefill_target <= 0:
             self.prefill_target = self.prompt_len
 
@@ -92,9 +123,10 @@ class Request:
         return self.generated >= self.output_len
 
     def copy_fresh(self) -> "Request":
-        """A pristine copy (same id/lengths/arrival, no progress)."""
+        """A pristine copy (same id/lengths/arrival/content, no progress)."""
         return Request(request_id=self.request_id, prompt_len=self.prompt_len,
-                       output_len=self.output_len, arrival_time=self.arrival_time)
+                       output_len=self.output_len, arrival_time=self.arrival_time,
+                       prompt_segments=self.prompt_segments)
 
 
 @dataclass
@@ -259,3 +291,106 @@ def make_router_study_workload(num_requests: int = 120, seed: int = 1) -> Worklo
     return make_bursty_workload(num_requests, burst_rate=24.0, mean_burst_s=6.0,
                                 mean_idle_s=6.0, lognormal_lengths=True,
                                 seed=seed)
+
+
+def make_shared_prefix_workload(num_requests: int,
+                                shared_prefix_len: int = 512,
+                                unique_len: int = 128,
+                                output_len: int = 64,
+                                num_prefix_groups: int = 1,
+                                arrival_rate: Optional[float] = None,
+                                seed: int = 0) -> Workload:
+    """Requests sharing a long common prefix ahead of a unique suffix.
+
+    Models system-prompt / few-shot-template traffic: requests are assigned
+    round-robin to ``num_prefix_groups`` distinct shared prefixes of
+    ``shared_prefix_len`` tokens, each followed by a per-request unique span
+    of ``unique_len`` tokens.  With prefix caching on, every group's prefix
+    is prefilled once and then served from cache.  Arrivals are Poisson at
+    ``arrival_rate`` (requests/second) or all at time zero.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if num_prefix_groups <= 0:
+        raise ValueError("num_prefix_groups must be positive")
+    if shared_prefix_len <= 0 or unique_len <= 0:
+        raise ValueError("shared_prefix_len and unique_len must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = np.zeros(num_requests)
+    if arrival_rate is not None:
+        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=num_requests))
+    group_ids = [next(_CONTENT_IDS) for _ in range(num_prefix_groups)]
+    requests = [
+        Request(request_id=i,
+                prompt_len=shared_prefix_len + unique_len,
+                output_len=output_len,
+                arrival_time=float(arrivals[i]),
+                prompt_segments=((group_ids[i % num_prefix_groups],
+                                  shared_prefix_len),
+                                 (next(_CONTENT_IDS), unique_len)))
+        for i in range(num_requests)
+    ]
+    return Workload(requests=requests)
+
+
+def make_chat_workload(num_sessions: int = 8,
+                       turns_per_session: int = 6,
+                       system_prompt_len: int = 512,
+                       user_len: int = 64,
+                       assistant_len: int = 128,
+                       think_time_s: float = 10.0,
+                       session_rate: Optional[float] = None,
+                       shared_system_prompt: bool = True,
+                       seed: int = 0) -> Workload:
+    """Multi-turn chat sessions with growing conversation histories.
+
+    Each session issues ``turns_per_session`` requests.  Turn ``t``'s prompt
+    is the full history — system prompt, every earlier user message and
+    assistant reply — plus the new user message, so prompts grow linearly
+    with the turn index while all but the latest assistant reply and user
+    message were already prefilled by the previous turn.  With
+    ``shared_system_prompt`` every session opens with the *same* system
+    prompt (cross-session sharing); otherwise each session's is unique.
+
+    Per-turn user/assistant lengths are uniform in ``[len // 2, 2 * len]``
+    (seeded), the assistant reply length doubling as the turn's
+    ``output_len`` — the reply the engine generates is exactly the content
+    the next prompt embeds.  Session start times are Poisson at
+    ``session_rate`` (sessions/second) or all zero; successive turns are
+    separated by an exponential think time with mean ``think_time_s``.  The
+    traffic is open-loop: a turn may arrive while the previous one is still
+    decoding, and generated (decode-time) KV state is not cached, so the
+    cache-hit frontier of turn ``t + 1`` is turn ``t``'s *prompt*, not its
+    reply.
+    """
+    if num_sessions <= 0 or turns_per_session <= 0:
+        raise ValueError("num_sessions and turns_per_session must be positive")
+    if system_prompt_len <= 0 or user_len <= 0 or assistant_len <= 0:
+        raise ValueError("segment lengths must be positive")
+    if think_time_s < 0:
+        raise ValueError("think_time_s must be non-negative")
+    rng = np.random.default_rng(seed)
+    starts = np.zeros(num_sessions)
+    if session_rate is not None:
+        starts = np.cumsum(rng.exponential(1.0 / session_rate, size=num_sessions))
+    shared_system_id = next(_CONTENT_IDS)
+    requests: List[Request] = []
+    for session in range(num_sessions):
+        system_id = shared_system_id if shared_system_prompt else next(_CONTENT_IDS)
+        history: List[Tuple[int, int]] = [(system_id, system_prompt_len)]
+        now = float(starts[session])
+        for _ in range(turns_per_session):
+            u_len = int(rng.integers(max(1, user_len // 2), 2 * user_len + 1))
+            a_len = int(rng.integers(max(1, assistant_len // 2),
+                                     2 * assistant_len + 1))
+            user_segment = (next(_CONTENT_IDS), u_len)
+            segments = tuple(history + [user_segment])
+            requests.append(Request(
+                request_id=len(requests),
+                prompt_len=sum(length for _, length in segments),
+                output_len=a_len,
+                arrival_time=now,
+                prompt_segments=segments))
+            history.extend([user_segment, (next(_CONTENT_IDS), a_len)])
+            now += float(rng.exponential(think_time_s)) if think_time_s > 0 else 0.0
+    return Workload(requests=requests)

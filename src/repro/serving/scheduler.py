@@ -19,6 +19,16 @@ Two admission-reservation modes are supported:
   reclaimed, it returns to the waiting queue in the ``PREEMPTED`` state, and
   on readmission its KV cache is recomputed by re-prefilling
   ``prompt_len + generated`` tokens (vLLM's recompute-style preemption).
+
+With a :class:`~repro.serving.prefix_cache.PrefixCache` attached, admission
+first matches each request's longest cached prompt prefix: the hit tokens
+need no prefill and no private pages (the shared pool covers them), a
+request's freshly prefilled blocks are published to the cache when its
+prefill completes, and page pressure — at admission or when a decode crosses
+a page boundary — evicts cached-but-unreferenced blocks LRU-first *before*
+any running request is preempted.  Preemption and completion release the
+request's block references but never reclaim a shared page outright, so a
+block referenced by any other request always survives.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from typing import List, Optional
 
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
 from repro.serving.policies import FCFSPolicy, SchedulerPolicy
+from repro.serving.prefix_cache import PrefixCache
 from repro.serving.request import Request, RequestState
 
 __all__ = ["ContinuousBatchingScheduler"]
@@ -41,6 +52,7 @@ class ContinuousBatchingScheduler:
     max_num_seqs: int = 256
     policy: SchedulerPolicy = field(default_factory=FCFSPolicy)
     preemption: bool = False
+    prefix_cache: Optional[PrefixCache] = None
     waiting: List[Request] = field(default_factory=list)
     running: List[Request] = field(default_factory=list)
     finished: List[Request] = field(default_factory=list)
@@ -101,8 +113,28 @@ class ContinuousBatchingScheduler:
                     halted = True
                 continue
             tokens = self._reservation_tokens(request)
-            if self.kv_manager.can_allocate(request.request_id, tokens):
-                self.kv_manager.allocate(request.request_id, tokens)
+            cached_nodes: List = []
+            if self.prefix_cache is not None:
+                cached_nodes, _ = self.prefix_cache.match(request)
+                shortfall = (self.kv_manager.pages_needed(
+                    request.request_id, tokens, len(cached_nodes))
+                    - self.kv_manager.free_pages)
+                if (shortfall > 0 and shortfall
+                        <= self.prefix_cache.evictable_pages(cached_nodes)):
+                    # Reclaim unreferenced cached blocks before refusing
+                    # admission, shielding the blocks this request matched.
+                    # When even a full eviction pass could not cover the
+                    # shortfall (e.g. a request larger than the whole cache)
+                    # the shared blocks are left alone: flushing them would
+                    # not admit this request but would destroy every other
+                    # request's reuse.
+                    self.prefix_cache.evict(shortfall, protect=cached_nodes)
+            if self.kv_manager.can_allocate(request.request_id, tokens,
+                                            len(cached_nodes)):
+                self.kv_manager.allocate(request.request_id, tokens,
+                                         len(cached_nodes))
+                if self.prefix_cache is not None:
+                    self.prefix_cache.acquire(request, cached_nodes)
                 self._begin_prefill(request, now)
                 admitted.append(request)
             else:
@@ -115,13 +147,19 @@ class ContinuousBatchingScheduler:
         return admitted
 
     def _begin_prefill(self, request: Request, now: float) -> None:
-        if request.state is RequestState.PREEMPTED:
-            # Recompute-style readmission: the KV cache of the prompt *and*
-            # all previously generated tokens must be rebuilt.
-            self.recomputed_prefill_tokens += request.context_len
+        was_preempted = request.state is RequestState.PREEMPTED
         request.state = RequestState.PREFILLING
-        request.prefill_target = request.context_len
+        # Cache-hit tokens (``cached_tokens``, stamped by the prefix cache at
+        # acquire time; zero without a cache) need no prefill — only the cold
+        # suffix does.  The cap at prompt_len - 1 hit tokens guarantees a
+        # nonzero target.
+        request.prefill_target = request.context_len - request.cached_tokens
         request.prefilled = 0
+        if was_preempted:
+            # Recompute-style readmission: the KV cache of the prompt *and*
+            # all previously generated tokens must be rebuilt (minus whatever
+            # prompt prefix the cache still holds).
+            self.recomputed_prefill_tokens += request.prefill_target
         if request.admitted_time is None:
             request.admitted_time = now
 
@@ -137,6 +175,9 @@ class ContinuousBatchingScheduler:
         if request.prefilled >= request.prefill_target:
             request.state = RequestState.DECODING
             request.prefill_done_time = now
+            if self.prefix_cache is not None:
+                # Publish the freshly prefilled prompt blocks for reuse.
+                self.prefix_cache.insert(request)
 
     def complete_prefill(self, now: float) -> None:
         """Finish the prefill of every prefilling request (legacy stall path)."""
@@ -148,7 +189,16 @@ class ContinuousBatchingScheduler:
     # Preemption
     # ------------------------------------------------------------------
     def _preempt(self, request: Request) -> None:
-        """Reclaim a running request's pages and return it to the queue."""
+        """Reclaim a running request's private pages and return it to the queue.
+
+        Shared blocks are only de-referenced, never freed here: another
+        request may still be reading them, and an unreferenced block stays
+        cached for the victim's own readmission.
+        """
+        if self.prefix_cache is not None:
+            self.prefix_cache.release(request.request_id)
+        request.cached_tokens = 0
+        request.shared_kv_pages = 0
         self.kv_manager.free(request.request_id)
         request.state = RequestState.PREEMPTED
         request.preemptions += 1
@@ -180,7 +230,16 @@ class ContinuousBatchingScheduler:
                 continue  # preempted as a victim earlier in this pass
             preempted_self = False
             while not self.kv_manager.can_allocate(
-                    request.request_id, request.context_len + 1):
+                    request.request_id, request.context_len + 1,
+                    request.shared_kv_pages):
+                deficit = (self.kv_manager.pages_needed(
+                    request.request_id, request.context_len + 1,
+                    request.shared_kv_pages) - self.kv_manager.free_pages)
+                if (self.prefix_cache is not None
+                        and self.prefix_cache.evict(deficit) > 0):
+                    # Unreferenced cached blocks go before any running
+                    # request is preempted.
+                    continue
                 victim = self._pick_victim(protect=survivors + [request])
                 if victim is None:
                     # Nothing lower-priority left to evict.
@@ -196,7 +255,8 @@ class ContinuousBatchingScheduler:
                 self._preempt(victim)
             if not preempted_self:
                 self.kv_manager.allocate(request.request_id,
-                                         request.context_len + 1)
+                                         request.context_len + 1,
+                                         request.shared_kv_pages)
                 survivors.append(request)
         return survivors
 
@@ -224,13 +284,16 @@ class ContinuousBatchingScheduler:
             if request.finished:
                 request.state = RequestState.FINISHED
                 request.finish_time = now
+                if self.prefix_cache is not None:
+                    self.prefix_cache.release(request.request_id)
                 self.kv_manager.free(request.request_id)
                 completed.append(request)
             else:
                 # Grow the allocation to cover the newly generated token (a
                 # no-op under conservative reservation, and pre-claimed by
                 # prepare_decode under preemption).
-                self.kv_manager.allocate(request.request_id, request.context_len)
+                self.kv_manager.allocate(request.request_id, request.context_len,
+                                         request.shared_kv_pages)
                 survivors.append(request)
         self.running = survivors
         self.finished.extend(completed)

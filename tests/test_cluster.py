@@ -223,6 +223,24 @@ def test_serve_loop_livelock_advances_to_next_arrival(llama7b, monkeypatch):
     assert stepper._guard < 100
 
 
+def test_unadmittable_request_strands_only_itself(llama7b, monkeypatch):
+    """Regression: an arrived request that can never be admitted must not
+    terminate the loop while servable requests are still due to arrive."""
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                           max_seq_len=4096)
+    pages200 = 200 * engine.new_kv_manager().bytes_per_page()
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: pages200)
+    requests = [Request(request_id=0, prompt_len=4000, output_len=200,
+                        arrival_time=0.05)]          # footprint > whole cache
+    requests += [Request(request_id=i, prompt_len=256, output_len=32,
+                         arrival_time=1.0 + 0.1 * i) for i in range(1, 9)]
+    result = engine.serve(Workload(requests=requests), max_num_seqs=4)
+    assert result.num_unserved == 1
+    assert result.num_finished == 8
+    assert result.generated_tokens == 8 * 32
+    assert requests[0].state is RequestState.WAITING
+
+
 def test_preemption_chunked_prefill_bursty_conservation(llama7b, monkeypatch):
     """Preemption + chunked prefill under bursty arrivals: every allocated
     page is eventually reclaimed and no request is left in PREEMPTED."""
@@ -313,6 +331,40 @@ def test_router_and_cluster_validation(llama7b):
         get_router("random")
     with pytest.raises(ValueError):
         ClusterEngine(llama7b, A100, SYSTEM_PRESETS["trt-fp16"], num_replicas=0)
+
+
+def test_prefix_affinity_router_keeps_sessions_warm(llama7b):
+    """The prefix-affinity router sends a session's turns to the replica
+    holding its cache, beating load-blind round-robin on cluster hit rate."""
+    from repro.serving import make_chat_workload
+
+    cluster = ClusterEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                            num_replicas=4, max_seq_len=4096)
+    workload = make_chat_workload(num_sessions=8, turns_per_session=4,
+                                  system_prompt_len=256, user_len=48,
+                                  assistant_len=96, think_time_s=6.0, seed=11)
+    results = {router: cluster.serve(workload.copy_fresh(), router=router,
+                                     max_num_seqs=8,
+                                     scheduling=SCHEDULING_PRESETS["prefix"])
+               for router in ("round-robin", "prefix-affinity")}
+    for result in results.values():
+        assert result.num_finished == 32
+        assert result.saved_prefill_tokens > 0
+    assert results["prefix-affinity"].cache_hit_rate > \
+        results["round-robin"].cache_hit_rate
+
+
+def test_prefix_affinity_falls_back_without_caching(llama7b):
+    """With prefix caching off (no probes, no segments) the affinity router
+    degrades to least-outstanding routing and still serves everything."""
+    cluster = ClusterEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                            num_replicas=2, max_seq_len=512)
+    workload = make_uniform_workload(8, prompt_len=128, output_len=16,
+                                     arrival_rate=20.0, seed=6)
+    result = cluster.serve(workload, router="prefix-affinity", max_num_seqs=4)
+    assert result.num_finished == 8
+    assert result.cache_hit_rate == 0.0
+    assert all(n > 0 for n in result.requests_per_replica)
 
 
 def test_cluster_with_tensor_parallel_replicas(llama70b):

@@ -1,0 +1,552 @@
+"""Tests for the prefix-sharing KV cache subsystem: block hashing, the
+radix-tree cache (match/acquire/insert/release/evict), ref-counted shared
+pages in the KV manager, scheduler/engine integration, chat and
+shared-prefix workload generators, cache-aware admission, double-free
+detection, zero-token page probes, and page-conservation invariants under
+alloc/free/evict/preempt interleavings."""
+
+import pytest
+
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    PagedKVCacheManager,
+    PrefixCache,
+    Request,
+    RequestState,
+    SCHEDULING_PRESETS,
+    SchedulingConfig,
+    ServingEngine,
+    SYSTEM_PRESETS,
+    get_policy,
+    get_system,
+    make_chat_workload,
+    make_shared_prefix_workload,
+    make_uniform_workload,
+    prompt_block_keys,
+)
+
+
+@pytest.fixture(scope="module")
+def llama7b():
+    return get_config("llama-2-7b")
+
+
+def _manager(model, system="qserve-w4a8kv4-chn", capacity_gib=10.0,
+             page_size=16):
+    return PagedKVCacheManager(model=model, system=get_system(system),
+                               capacity_bytes=capacity_gib * (1 << 30),
+                               page_size=page_size, max_seq_len=1536)
+
+
+def _request(rid, segments, output_len=8, arrival=0.0):
+    return Request(request_id=rid,
+                   prompt_len=sum(length for _, length in segments),
+                   output_len=output_len, arrival_time=arrival,
+                   prompt_segments=tuple(segments))
+
+
+def _engine(llama7b, **kwargs):
+    return ServingEngine(llama7b, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                         **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Block keys
+# ----------------------------------------------------------------------
+def test_block_keys_shared_prefix_and_divergence():
+    a = _request(0, [(1, 64), (2, 32)])     # 96 tokens = 6 blocks @ 16
+    b = _request(1, [(1, 64), (3, 32)])     # same 64-token prefix, then diverges
+    ka, kb = prompt_block_keys(a, 16), prompt_block_keys(b, 16)
+    assert len(ka) == len(kb) == 6
+    assert ka[:4] == kb[:4]                 # blocks covering content id 1
+    assert ka[4:] != kb[4:]                 # divergent content
+    assert len(set(ka)) == 6                # chained keys are position-unique
+
+
+def test_block_keys_partial_block_and_no_segments():
+    aligned = _request(0, [(1, 32)])
+    ragged = _request(1, [(1, 32), (2, 7)])  # 39 tokens: trailing partial block
+    assert len(prompt_block_keys(aligned, 16)) == 2
+    assert prompt_block_keys(ragged, 16)[:2] == prompt_block_keys(aligned, 16)
+    assert len(prompt_block_keys(ragged, 16)) == 2   # partial block excluded
+    no_segments = Request(request_id=2, prompt_len=64, output_len=4)
+    assert prompt_block_keys(no_segments, 16) == []
+    short = _request(3, [(1, 10)])           # shorter than one block
+    assert prompt_block_keys(short, 16) == []
+
+
+def test_block_keys_offset_sensitive():
+    # The same content id at a different block offset must not collide.
+    a = _request(0, [(1, 32)])
+    b = _request(1, [(2, 16), (1, 16)])
+    assert prompt_block_keys(a, 16)[0] != prompt_block_keys(b, 16)[0]
+
+
+# ----------------------------------------------------------------------
+# KV manager satellites: zero-token probes and double-free detection
+# ----------------------------------------------------------------------
+def test_zero_token_probe_costs_zero_pages(llama7b):
+    paged = _manager(llama7b, "qserve-w4a8kv4-chn")
+    non_paged = _manager(llama7b, "quarot-w4a4")
+    assert paged.pages_for_tokens(0) == 0
+    assert non_paged.pages_for_tokens(0) == 0       # regression: was max_seq_len
+    # Non-zero probes on non-paged systems still reserve the full sequence.
+    assert non_paged.pages_for_tokens(1) == non_paged.pages_for_tokens(1000)
+
+
+def test_free_distinguishes_double_free_from_unknown(llama7b):
+    mgr = _manager(llama7b)
+    mgr.allocate(0, 100)
+    assert mgr.free(0) > 0
+    assert mgr.double_free_count == 0
+    assert mgr.free(0) == 0                     # pages already released
+    assert mgr.double_free_count == 1
+    assert mgr.free(42) == 0                    # never allocated: legitimate
+    assert mgr.double_free_count == 1
+    # Reallocation clears the freed mark (preempt -> readmit -> finish).
+    mgr.allocate(0, 50)
+    assert mgr.free(0) > 0
+    assert mgr.double_free_count == 1
+
+
+def test_shared_page_pool_accounting(llama7b):
+    mgr = _manager(llama7b)
+    mgr.allocate(0, 64)                         # 4 private pages
+    assert mgr.used_pages == 4
+    mgr.convert_private_to_shared(0)
+    mgr.convert_private_to_shared(0)
+    assert mgr.shared_pages == 2
+    assert mgr.used_pages == 4                  # ownership move, not growth
+    assert mgr.pages_allocated_total == 4 and mgr.pages_freed_total == 0
+    # A request whose leading pages are shared allocates only the remainder.
+    assert mgr.pages_needed(1, 64, shared_pages=2) == 2
+    assert mgr.allocate(1, 64, shared_pages=2) == 2
+    mgr.drop_private_page(1)                    # dedup against a shared copy
+    assert mgr.pages_freed_total == 1
+    mgr.release_shared_page()
+    assert mgr.shared_pages == 1
+    assert mgr.pages_allocated_total - mgr.pages_freed_total == mgr.used_pages
+    with pytest.raises(ValueError):
+        mgr.convert_private_to_shared(99)
+    with pytest.raises(ValueError):
+        mgr.drop_private_page(99)
+    empty = _manager(llama7b)
+    with pytest.raises(ValueError):
+        empty.release_shared_page()
+
+
+# ----------------------------------------------------------------------
+# PrefixCache unit behaviour
+# ----------------------------------------------------------------------
+def test_match_insert_reuse_cycle(llama7b):
+    mgr = _manager(llama7b)
+    cache = PrefixCache(mgr)
+    first = _request(0, [(1, 64), (2, 32)])
+    nodes, tokens = cache.match(first)
+    assert nodes == [] and tokens == 0          # cold cache
+    mgr.allocate(0, first.prompt_len)
+    cache.acquire(first, nodes)
+    cache.insert(first)                         # publish all 6 blocks
+    assert cache.cached_pages == 6
+    assert mgr.shared_pages == 6
+    assert first.shared_kv_pages == 6
+    # A same-prefix request hits the 4 blocks of content id 1.
+    second = _request(1, [(1, 64), (3, 32)])
+    nodes, tokens = cache.match(second)
+    assert len(nodes) == 4 and tokens == 64
+    cache.acquire(second, nodes)
+    assert second.cached_tokens == 64
+    assert cache.total_ref_count == 6 + 4
+    cache.release(0)
+    cache.release(1)
+    assert cache.total_ref_count == 0
+    assert cache.cached_pages == 6              # blocks stay for future hits
+
+
+def test_full_aligned_match_recomputes_last_block(llama7b):
+    """A fully cached, block-aligned prompt still prefills its last block:
+    the final prompt token must be computed to produce the first logits."""
+    mgr = _manager(llama7b)
+    cache = PrefixCache(mgr)
+    first = _request(0, [(1, 64)])
+    mgr.allocate(0, 64)
+    cache.acquire(first, [])
+    cache.insert(first)
+    twin = _request(1, [(1, 64)])
+    nodes, tokens = cache.match(twin)
+    assert len(nodes) == 3 and tokens == 48     # 4 cached, 3 served
+    assert cache.lookup_tokens(twin) == 48
+
+
+def test_insert_dedups_concurrent_prefills(llama7b):
+    """Two same-content requests prefilled concurrently: the second insert
+    drops its private duplicate pages and references the published blocks."""
+    mgr = _manager(llama7b)
+    cache = PrefixCache(mgr)
+    a, b = _request(0, [(1, 64)]), _request(1, [(1, 64)])
+    mgr.allocate(0, 64)
+    mgr.allocate(1, 64)
+    cache.acquire(a, [])
+    cache.acquire(b, [])
+    cache.insert(a)
+    used_before = mgr.used_pages
+    cache.insert(b)
+    assert cache.stats.deduped_pages == 4
+    assert cache.cached_pages == 4              # no duplicate nodes
+    assert mgr.used_pages == used_before - 4    # duplicates were freed
+    assert b.shared_kv_pages == 4
+    assert cache.total_ref_count == 8
+
+
+def test_lru_eviction_leaves_first_and_protect(llama7b):
+    mgr = _manager(llama7b)
+    cache = PrefixCache(mgr)
+    old = _request(0, [(1, 32)])
+    new = _request(1, [(2, 32)])
+    for request in (old, new):
+        mgr.allocate(request.request_id, 32)
+        cache.acquire(request, [])
+        cache.insert(request)
+    cache.release(0)
+    cache.release(1)
+    cache.match(new)                            # refresh "new"'s recency
+    assert cache.evict(2) == 2
+    assert cache.lookup_tokens(_request(2, [(1, 32), (3, 16)])) == 0  # old gone
+    assert cache.lookup_tokens(_request(3, [(2, 32), (3, 16)])) == 32  # new kept
+    # Protected nodes survive even as LRU candidates.
+    nodes, _ = cache.match(_request(4, [(2, 32), (3, 16)]))
+    assert cache.evict(10, protect=nodes) == 0
+    assert cache.cached_pages == 2
+
+
+def test_referenced_blocks_never_evicted(llama7b):
+    mgr = _manager(llama7b)
+    cache = PrefixCache(mgr)
+    holder = _request(0, [(1, 64)])
+    mgr.allocate(0, 64)
+    cache.acquire(holder, [])
+    cache.insert(holder)
+    assert cache.evict(100) == 0                # every block referenced
+    cache.release(0)
+    assert cache.evict(100) == 4                # now reclaimable, leaf-first
+    assert cache.cached_pages == 0
+    assert mgr.shared_pages == 0
+
+
+# ----------------------------------------------------------------------
+# Scheduler integration
+# ----------------------------------------------------------------------
+def test_admission_skips_prefill_for_cached_prefix(llama7b):
+    mgr = _manager(llama7b)
+    cache = PrefixCache(mgr)
+    sched = ContinuousBatchingScheduler(kv_manager=mgr, max_num_seqs=8,
+                                        prefix_cache=cache)
+    warm = _request(0, [(1, 64), (2, 32)])
+    sched.submit([warm])
+    sched.admit(now=0.0)
+    assert warm.prefill_target == 96            # cold cache: full prompt
+    sched.complete_prefill(now=1.0)
+    for step in range(warm.output_len):
+        sched.record_decode_step(now=2.0 + step)
+    assert warm.state is RequestState.FINISHED
+    hit = _request(1, [(1, 64), (3, 32)], arrival=5.0)
+    sched.submit([hit])
+    sched.admit(now=5.0)
+    assert hit.cached_tokens == 64
+    assert hit.prefill_target == 32             # only the cold suffix
+    assert hit.shared_kv_pages == 4
+    # Private pages cover just the suffix: 6 total - 4 shared.
+    assert mgr.pages_needed(1, hit.prompt_len + hit.output_len, 4) <= 2
+
+
+def test_preemption_releases_refs_and_rematches(llama7b):
+    mgr = _manager(llama7b)
+    cache = PrefixCache(mgr)
+    sched = ContinuousBatchingScheduler(kv_manager=mgr, max_num_seqs=8,
+                                        policy=get_policy("fcfs"),
+                                        preemption=True, prefix_cache=cache)
+    victim = _request(0, [(1, 64), (2, 32)], output_len=16)
+    sched.submit([victim])
+    sched.admit(now=0.0)
+    sched.complete_prefill(now=1.0)
+    assert victim.shared_kv_pages == 6
+    sched._preempt(victim)
+    assert victim.cached_tokens == 0 and victim.shared_kv_pages == 0
+    assert cache.total_ref_count == 0
+    assert cache.cached_pages == 6              # blocks survive the preemption
+    # Readmission hits its own published prefix; only the cold tail (partial
+    # prompt block + generated tokens) is recomputed.
+    sched.admit(now=2.0)
+    assert victim.state is RequestState.PREFILLING
+    assert victim.cached_tokens == 80           # 5 complete blocks of 6
+    assert victim.prefill_target == victim.context_len - 80
+    assert sched.recomputed_prefill_tokens == victim.prefill_target
+    assert mgr.double_free_count == 0
+
+
+# ----------------------------------------------------------------------
+# Engine-level behaviour
+# ----------------------------------------------------------------------
+def test_shared_prefix_workload_hits_and_improves_ttft(llama7b):
+    engine = _engine(llama7b, max_seq_len=1024)
+    workload = make_shared_prefix_workload(16, shared_prefix_len=512,
+                                           unique_len=96, output_len=32,
+                                           arrival_rate=20.0, seed=2)
+    base = engine.serve(workload.copy_fresh(), max_num_seqs=16,
+                        scheduling=SCHEDULING_PRESETS["chunked"])
+    cached = engine.serve(workload.copy_fresh(), max_num_seqs=16,
+                          scheduling=SCHEDULING_PRESETS["prefix"])
+    assert cached.num_finished == base.num_finished == 16
+    assert cached.generated_tokens == base.generated_tokens
+    assert cached.prefix_stats is not None
+    assert cached.saved_prefill_tokens > 0
+    assert cached.cache_hit_rate > 0.5          # 15 of 16 requests hit 512/608
+    assert cached.metrics.ttft.mean < base.metrics.ttft.mean
+    assert cached.total_time_s < base.total_time_s
+
+
+def test_chat_workload_multi_turn_hit_rate_grows(llama7b):
+    engine = _engine(llama7b, max_seq_len=4096)
+    workload = make_chat_workload(num_sessions=4, turns_per_session=5,
+                                  system_prompt_len=256, user_len=48,
+                                  assistant_len=96, think_time_s=8.0, seed=3)
+    result = engine.serve(workload.copy_fresh(), max_num_seqs=8,
+                          scheduling=SCHEDULING_PRESETS["prefix"])
+    assert result.num_finished == 20
+    assert result.cache_hit_rate > 0.4
+    # Histories grow: each session's last turn dwarfs its first.
+    first_turns = [r for i, r in enumerate(workload.requests) if i % 5 == 0]
+    assert all(r.prompt_len < workload.requests[i * 5 + 4].prompt_len
+               for i, r in enumerate(first_turns))
+
+
+def test_prefix_caching_off_is_bitwise_identical(llama7b):
+    """Acceptance: with prefix caching disabled (default presets) the serving
+    loop's outputs are bitwise-identical to the pre-cache code paths, and a
+    cache enabled on segment-less prompts changes nothing either."""
+    engine = _engine(llama7b, max_seq_len=1536)
+    workload = make_uniform_workload(8, prompt_len=512, output_len=64,
+                                     arrival_rate=30.0, seed=7)
+    off = engine.serve(workload.copy_fresh(), max_num_seqs=8,
+                       scheduling=SCHEDULING_PRESETS["chunked"])
+    on_no_segments = engine.serve(workload.copy_fresh(), max_num_seqs=8,
+                                  scheduling=SCHEDULING_PRESETS["prefix"])
+    assert on_no_segments.total_time_s == off.total_time_s
+    assert on_no_segments.num_iterations == off.num_iterations
+    assert on_no_segments.generated_tokens == off.generated_tokens
+    assert on_no_segments.metrics.ttft.p95 == off.metrics.ttft.p95
+    assert on_no_segments.saved_prefill_tokens == 0
+
+
+def test_prefix_caching_requires_paged_kv(llama7b):
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["quarot-w4a4"],
+                           max_seq_len=1536)
+    with pytest.raises(ValueError, match="paged"):
+        engine.serve(make_uniform_workload(1, 64, 8),
+                     scheduling=SCHEDULING_PRESETS["prefix"])
+
+
+def test_cache_aware_policy_prioritizes_warm_requests(llama7b):
+    mgr = _manager(llama7b)
+    cache = PrefixCache(mgr)
+    warm_content = _request(0, [(1, 64), (2, 32)])
+    mgr.allocate(0, 96)
+    cache.acquire(warm_content, [])
+    cache.insert(warm_content)
+    cache.release(0)
+    mgr.free(0)
+    policy = get_policy("cache-aware")
+    policy.prefix_cache = cache
+    cold = _request(1, [(3, 64), (4, 32)], arrival=0.0)
+    warm = _request(2, [(1, 64), (5, 32)], arrival=1.0)   # later but cached
+    assert [r.request_id
+            for r in policy.admission_order([cold, warm])] == [2, 1]
+    # Victim order evicts the least-cached request first.
+    assert policy.victim_order([cold, warm])[0] is cold
+
+
+def test_eviction_under_page_pressure_end_to_end(llama7b, monkeypatch):
+    """Under a tight page budget, cached-but-unreferenced blocks are evicted
+    (LRU) to admit new prefixes instead of blocking or preempting."""
+    engine = _engine(llama7b, max_seq_len=1024)
+    pages = 64 * engine.new_kv_manager().bytes_per_page()
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: pages)
+    workload = make_shared_prefix_workload(12, shared_prefix_len=256,
+                                           unique_len=64, output_len=16,
+                                           num_prefix_groups=6,
+                                           arrival_rate=2.0, seed=4)
+    result = engine.serve(workload, max_num_seqs=2,
+                          scheduling=SCHEDULING_PRESETS["prefix"])
+    assert result.num_finished == 12
+    assert result.prefix_stats.evicted_pages > 0
+    assert result.kv_utilization_peak > 0.5
+
+
+# ----------------------------------------------------------------------
+# Conservation under the full lifecycle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("preset,pages,max_seqs,think_s", [
+    ("prefix", 160, 4, 4.0),
+    ("prefix-aware", 160, 4, 4.0),
+    # Optimistic admission + a tight budget: evictions *and* preemptions.
+    ("prefix-preempt", 120, 12, 0.5),
+])
+def test_page_conservation_through_full_lifecycle(llama7b, monkeypatch, preset,
+                                                  pages, max_seqs, think_s):
+    """Acceptance: alloc/free/evict/preempt interleavings end with
+    ``pages_allocated_total - pages_freed_total == used_pages`` and every
+    block refcount at zero after drain."""
+    from repro.serving import EngineStepper
+
+    engine = _engine(llama7b, max_seq_len=4096)
+    # The budget admits every request alone, but the sessions' cached
+    # histories (~560 distinct blocks) cannot all stay resident — the run
+    # must evict, and under the preempt preset also preempt.
+    capacity = pages * engine.new_kv_manager().bytes_per_page()
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: capacity)
+    workload = make_chat_workload(num_sessions=6, turns_per_session=4,
+                                  system_prompt_len=256, user_len=48,
+                                  assistant_len=96, think_time_s=think_s,
+                                  seed=5)
+    stepper = EngineStepper(engine, scheduling=SCHEDULING_PRESETS[preset],
+                            max_num_seqs=max_seqs)
+    stepper.submit(workload.requests)
+    stepper.run()
+    result = stepper.result(workload)
+    assert result.num_finished == 24
+    assert result.prefix_stats.evicted_pages > 0
+    if preset == "prefix-preempt":
+        assert result.num_preemptions > 0
+    kv = stepper.scheduler.kv_manager
+    cache = stepper.prefix_cache
+    # Conservation: what is still allocated is exactly the cached blocks.
+    assert kv.pages_allocated_total - kv.pages_freed_total == kv.used_pages
+    assert kv.used_pages == kv.shared_pages == cache.cached_pages
+    assert cache.total_ref_count == 0
+    assert kv.double_free_count == 0
+    # Draining the cache returns the manager to empty, counters balanced.
+    cache.clear()
+    assert kv.used_pages == 0
+    assert kv.pages_allocated_total == kv.pages_freed_total > 0
+
+
+def test_hopeless_request_does_not_flush_cache(llama7b, monkeypatch):
+    """Regression: a request that could never be admitted (footprint larger
+    than the whole KV cache) must not trigger eviction of shared blocks on
+    every admit pass — that would destroy reuse for everyone else."""
+    engine = _engine(llama7b, max_seq_len=4096)
+    pages = 200 * engine.new_kv_manager().bytes_per_page()
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: pages)
+    workload = make_shared_prefix_workload(16, shared_prefix_len=512,
+                                           unique_len=96, output_len=32,
+                                           arrival_rate=5.0, seed=8)
+    baseline = engine.serve(workload.copy_fresh(), max_num_seqs=4,
+                            scheduling=SCHEDULING_PRESETS["prefix"])
+    # Same traffic plus one hopeless request arriving early.
+    poisoned = workload.copy_fresh()
+    poisoned.requests.append(
+        Request(request_id=99, prompt_len=4000, output_len=200,
+                arrival_time=0.05))
+    result = engine.serve(poisoned, max_num_seqs=4,
+                          scheduling=SCHEDULING_PRESETS["prefix"])
+    assert result.num_unserved == 1
+    assert result.num_finished == 16
+    # Reuse survives: hit rate within noise of the clean run.
+    assert result.cache_hit_rate > 0.9 * baseline.cache_hit_rate > 0
+
+
+def test_evictable_pages_respects_pins(llama7b):
+    mgr = _manager(llama7b)
+    cache = PrefixCache(mgr)
+    base = _request(0, [(1, 32)])                 # 2 blocks: A -> B
+    extended = _request(1, [(1, 32), (2, 32)])    # 4 blocks: A -> B -> C -> D
+    for request in (base, extended):
+        mgr.allocate(request.request_id, request.prompt_len)
+        cache.acquire(request, cache.match(request)[0])
+        cache.insert(request)
+    cache.release(1)
+    # Request 0 still pins A and B; only the C -> D tail is reclaimable.
+    assert cache.evictable_pages() == 2
+    protect = cache._request_blocks[0]
+    assert cache.evictable_pages(protect) == 2
+    cache.release(0)
+    assert cache.evictable_pages() == 4
+    # Protecting the matched A -> B -> C chain leaves only the D leaf.
+    assert cache.evictable_pages(cache.match(extended)[0]) == 1
+
+
+def test_summary_text_reports_gauges(llama7b):
+    engine = _engine(llama7b, max_seq_len=1024)
+    workload = make_shared_prefix_workload(6, shared_prefix_len=256,
+                                           unique_len=64, output_len=16)
+    result = engine.serve(workload, max_num_seqs=6,
+                          scheduling=SCHEDULING_PRESETS["prefix"])
+    text = result.summary_text()
+    assert "KV utilization" in text
+    assert "prefix cache: hit rate" in text
+    assert "TTFT" in text and "TPOT" in text
+    # Without caching the hit-rate gauge is absent but KV utilization stays.
+    plain = engine.serve(workload.copy_fresh(), max_num_seqs=6)
+    plain_text = plain.summary_text()
+    assert "KV utilization" in plain_text
+    assert "prefix cache" not in plain_text
+
+
+# ----------------------------------------------------------------------
+# Workload generators
+# ----------------------------------------------------------------------
+def test_shared_prefix_workload_structure():
+    wl = make_shared_prefix_workload(8, shared_prefix_len=128, unique_len=32,
+                                     num_prefix_groups=2, seed=1)
+    assert len(wl) == 8
+    groups = {r.prompt_segments[0][0] for r in wl.requests}
+    assert len(groups) == 2
+    uniques = [r.prompt_segments[1][0] for r in wl.requests]
+    assert len(set(uniques)) == 8               # suffixes never collide
+    for request in wl.requests:
+        assert request.prompt_len == 160
+        assert sum(length for _, length in request.prompt_segments) == 160
+
+
+def test_chat_workload_structure():
+    wl = make_chat_workload(num_sessions=3, turns_per_session=4,
+                            system_prompt_len=128, user_len=32,
+                            assistant_len=64, think_time_s=5.0, seed=9)
+    assert len(wl) == 12
+    for s in range(3):
+        turns = wl.requests[s * 4:(s + 1) * 4]
+        arrivals = [r.arrival_time for r in turns]
+        assert arrivals == sorted(arrivals)
+        lengths = [r.prompt_len for r in turns]
+        assert lengths == sorted(lengths) and lengths[0] < lengths[-1]
+        # Every turn's prompt extends the previous turn's prompt segments.
+        for prev, cur in zip(turns, turns[1:]):
+            assert cur.prompt_segments[:len(prev.prompt_segments)] == \
+                prev.prompt_segments
+        # All sessions share one system prompt segment.
+        assert turns[0].prompt_segments[0] == wl.requests[0].prompt_segments[0]
+    unique_systems = make_chat_workload(num_sessions=2, turns_per_session=1,
+                                        shared_system_prompt=False, seed=1)
+    first, second = unique_systems.requests
+    assert first.prompt_segments[0][0] != second.prompt_segments[0][0]
+
+
+def test_chat_workload_copy_fresh_preserves_segments():
+    wl = make_chat_workload(num_sessions=1, turns_per_session=2, seed=0)
+    copy = wl.copy_fresh()
+    assert [r.prompt_segments for r in copy.requests] == \
+        [r.prompt_segments for r in wl.requests]
+
+
+def test_request_segment_validation():
+    with pytest.raises(ValueError, match="sum to prompt_len"):
+        Request(request_id=0, prompt_len=100, output_len=4,
+                prompt_segments=((1, 64),))
+    with pytest.raises(ValueError):
+        make_shared_prefix_workload(0)
+    with pytest.raises(ValueError):
+        make_chat_workload(num_sessions=0)
+    with pytest.raises(ValueError):
+        make_chat_workload(think_time_s=-1.0)
