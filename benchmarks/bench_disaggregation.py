@@ -1,0 +1,101 @@
+"""Benchmark for disaggregated prefill/decode serving.
+
+Sweeps prefill:decode replica ratios at a fixed GPU count against the
+all-mixed baseline on the canonical bursty heavy-tailed workload
+(``make_router_study_workload``): ``test_ratio_sweep`` records per-ratio
+throughput, TTFT/TPOT percentiles, migration counts and the exposed
+KV-transfer delay — the headline being that pure decode replicas never share
+an iteration with prompt chunks, so the split cuts the TPOT tail at the cost
+of TTFT (fewer prefill engines plus the transfer hop).
+``test_transfer_link_overhead`` isolates the handoff's price by serving the
+same split over NVLink vs PCIe with and without layer-by-layer overlap.
+"""
+
+from repro.gpu import A100, NVLINK, PCIE_GEN4
+from repro.model import get_config
+from repro.serving import (
+    ClusterEngine,
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    make_router_study_workload,
+)
+
+#: Role assignments compared at equal GPU count (4 replicas).
+RATIOS = {
+    "mixed-4": ["mixed"] * 4,
+    "1p-3d": ["prefill"] + ["decode"] * 3,
+    "2p-2d": ["prefill"] * 2 + ["decode"] * 2,
+    "3p-1d": ["prefill"] * 3 + ["decode"],
+}
+
+
+def _cluster(roles, **kwargs):
+    return ClusterEngine(get_config("llama-2-7b"), A100,
+                         SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                         num_replicas=len(roles), max_seq_len=4096,
+                         roles=roles, **kwargs)
+
+
+def _serve(cluster, workload):
+    router = "disaggregated" if cluster.disaggregated else "least-outstanding"
+    return cluster.serve(workload.copy_fresh(), router=router, max_num_seqs=6,
+                         scheduling=SCHEDULING_PRESETS["chunked"])
+
+
+def test_ratio_sweep(benchmark):
+    """Prefill:decode ratio sweep vs mixed replicas at equal GPU count."""
+    workload = make_router_study_workload()
+
+    def run():
+        return {name: _serve(_cluster(roles), workload)
+                for name, roles in RATIOS.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, result in results.items():
+        m = result.metrics
+        xfer = result.transfer_delay
+        print(f"{name:8s} {result.generation_throughput:7.1f} tok/s  "
+              f"TTFT p95 {m.ttft.p95 * 1e3:8.1f} ms  "
+              f"TPOT p95/p99 {m.tpot.p95 * 1e3:5.2f}/{m.tpot.p99 * 1e3:5.2f} ms  "
+              f"migr {result.num_migrations:3d}  "
+              f"xfer p95 {xfer.p95 * 1e6:6.1f} us  "
+              f"util {result.role_utilization()}")
+    mixed = results["mixed-4"]
+    assert all(r.num_finished == 120 for r in results.values())
+    # Acceptance: a split beats mixed on the TPOT tail at equal GPU count,
+    # and its handoff overhead is recorded.
+    best_split = min((r for name, r in results.items() if name != "mixed-4"),
+                     key=lambda r: r.metrics.tpot.p95)
+    assert best_split.metrics.tpot.p95 < mixed.metrics.tpot.p95
+    assert best_split.num_migrations == 120
+    assert best_split.transfer_delay.mean > 0.0
+    assert mixed.num_migrations == 0
+
+
+def test_transfer_link_overhead(benchmark):
+    """The same 1:3 split over NVLink vs PCIe, with/without overlap."""
+    workload = make_router_study_workload()
+    roles = RATIOS["1p-3d"]
+    links = {
+        "nvlink+overlap": dict(transfer_link=NVLINK, transfer_overlap=True),
+        "pcie+overlap": dict(transfer_link=PCIE_GEN4, transfer_overlap=True),
+        "pcie-no-overlap": dict(transfer_link=PCIE_GEN4,
+                                transfer_overlap=False),
+    }
+
+    def run():
+        return {name: _serve(_cluster(roles, **kwargs), workload)
+                for name, kwargs in links.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, result in results.items():
+        xfer = result.transfer_delay
+        print(f"{name:16s} TTFT p95 {result.metrics.ttft.p95 * 1e3:8.1f} ms  "
+              f"xfer mean/p95 {xfer.mean * 1e6:7.1f}/{xfer.p95 * 1e6:7.1f} us")
+    nv = results["nvlink+overlap"].transfer_delay.mean
+    pcie = results["pcie+overlap"].transfer_delay.mean
+    raw = results["pcie-no-overlap"].transfer_delay.mean
+    assert nv < pcie < raw          # slower link and no overlap both cost more
+    assert all(r.num_finished == 120 for r in results.values())

@@ -1,0 +1,132 @@
+"""Disaggregated prefill/decode serving walkthrough.
+
+Production fleets (DistServe, Splitwise, Mooncake) split prompt processing
+and token generation onto separate replicas so that bursty prefill work
+cannot inflate inter-token latency: a decode replica's iterations never
+share the GPU with prompt chunks.  The price is a KV-state handoff — the
+finished prefill's KV cache crosses an interconnect to the decode replica —
+plus a replica-count split that must match the workload's prefill:decode
+compute ratio.
+
+Three sections, all on the bursty heavy-tailed router-study workload:
+
+1. **Ratio sweep** — all prefill:decode splits of 4 replicas vs 4 mixed
+   replicas: throughput, TTFT/TPOT tails, migrations and per-role
+   utilization.  Mixed wins raw throughput and TTFT; every split wins the
+   TPOT tail; utilization shows which ratio the workload actually supports.
+2. **Transfer pricing** — the same split over NVLink vs PCIe, with and
+   without layer-by-layer overlap of the transfer behind the first decode
+   iteration.
+3. **SLO view** — goodput under a tight TPOT SLO, where the split's steady
+   decode cadence pays off.
+
+Run with:  python examples/disaggregated_serving.py [model-name]
+"""
+
+import sys
+
+from repro.experiments.runner import format_table
+from repro.gpu import A100, NVLINK, PCIE_GEN4
+from repro.model import get_config
+from repro.serving import (
+    ClusterEngine,
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    make_router_study_workload,
+)
+
+#: Latency SLO: generous TTFT (the split trades TTFT away), tight TPOT.
+TTFT_SLO_S, TPOT_SLO_S = 2.5, 0.0045
+
+RATIOS = {
+    "mixed x4": ["mixed"] * 4,
+    "1 prefill : 3 decode": ["prefill"] + ["decode"] * 3,
+    "2 prefill : 2 decode": ["prefill"] * 2 + ["decode"] * 2,
+    "3 prefill : 1 decode": ["prefill"] * 3 + ["decode"],
+}
+
+
+def _serve(cluster, workload):
+    router = "disaggregated" if cluster.disaggregated else "least-outstanding"
+    return cluster.serve(workload.copy_fresh(), router=router, max_num_seqs=6,
+                         scheduling=SCHEDULING_PRESETS["chunked"])
+
+
+def ratio_study(model_name: str) -> dict:
+    cfg = get_config(model_name)
+    workload = make_router_study_workload()
+    results, rows = {}, []
+    for name, roles in RATIOS.items():
+        cluster = ClusterEngine(cfg, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                                num_replicas=len(roles), max_seq_len=4096,
+                                roles=roles)
+        result = _serve(cluster, workload)
+        results[name] = result
+        m = result.metrics
+        util = result.role_utilization()
+        rows.append([name,
+                     round(result.generation_throughput, 1),
+                     round(m.ttft.p95 * 1e3, 1),
+                     round(m.tpot.p95 * 1e3, 2),
+                     round(m.tpot.p99 * 1e3, 2),
+                     result.num_migrations,
+                     f"{util.get('prefill', util.get('mixed', 0.0)):.2f}",
+                     f"{util.get('decode', util.get('mixed', 0.0)):.2f}"])
+    print(f"Prefill:decode ratio sweep for {model_name} on 4x A100 "
+          f"(QServe W4A8KV4, bursty heavy-tailed traffic):\n")
+    print(format_table(
+        ["Configuration", "Tok/s", "TTFT p95 (ms)", "TPOT p95 (ms)",
+         "TPOT p99 (ms)", "Migrations", "Prefill util", "Decode util"], rows))
+    print("\nEvery split beats mixed on the TPOT tail (decode iterations "
+          "never share the GPU\nwith prompt chunks); mixed keeps the edge on "
+          "TTFT and raw throughput.  Role\nutilization exposes the right "
+          "ratio: prefill is the minority of this workload's\ncompute, so a "
+          "single prefill replica suffices and 1:3 is the efficient split —\n"
+          "every extra prefill replica idles while the decode tier saturates.")
+    return results
+
+
+def transfer_study(model_name: str) -> None:
+    cfg = get_config(model_name)
+    workload = make_router_study_workload()
+    roles = RATIOS["1 prefill : 3 decode"]
+    rows = []
+    for name, link, overlap in (("NVLink, overlapped", NVLINK, True),
+                                ("PCIe Gen4, overlapped", PCIE_GEN4, True),
+                                ("PCIe Gen4, no overlap", PCIE_GEN4, False)):
+        cluster = ClusterEngine(cfg, A100, SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                                num_replicas=len(roles), max_seq_len=4096,
+                                roles=roles, transfer_link=link,
+                                transfer_overlap=overlap)
+        result = _serve(cluster, workload)
+        xfer = result.transfer_delay
+        rows.append([name,
+                     round(xfer.mean * 1e6, 1), round(xfer.p95 * 1e6, 1),
+                     round(result.metrics.ttft.p95 * 1e3, 1)])
+    print(f"\nKV-transfer pricing (1:3 split, {model_name}): the prompt's KV "
+          f"bytes cross the link;\nlayer-by-layer streaming hides them "
+          f"behind the first decode iteration:\n")
+    print(format_table(
+        ["Transfer link", "Delay mean (us)", "Delay p95 (us)",
+         "TTFT p95 (ms)"], rows))
+
+
+def slo_study(results: dict) -> None:
+    rows = [[name,
+             round(result.metrics.slo_attainment(TTFT_SLO_S, TPOT_SLO_S) * 100, 1),
+             round(result.slo_goodput(TTFT_SLO_S, TPOT_SLO_S), 2)]
+            for name, result in results.items()]
+    print(f"\nSLO view (TTFT < {TTFT_SLO_S:.1f} s, TPOT < "
+          f"{TPOT_SLO_S * 1e3:.1f} ms/token):\n")
+    print(format_table(["Configuration", "SLO attainment (%)",
+                        "Goodput (req/s)"], rows))
+
+
+def main(model_name: str = "llama-2-7b") -> None:
+    results = ratio_study(model_name)
+    transfer_study(model_name)
+    slo_study(results)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama-2-7b")

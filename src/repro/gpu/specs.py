@@ -155,6 +155,15 @@ class InterconnectSpec:
     def latency_s(self) -> float:
         return self.latency_us * 1e-6
 
+    def transfer_latency(self, payload_bytes: float) -> float:
+        """Point-to-point transfer time for ``payload_bytes`` over this link.
+
+        One bandwidth term plus one message latency — the cost model for
+        bulk KV-state movement between replicas (disaggregated
+        prefill→decode handoffs), as opposed to the collective cost below.
+        """
+        return payload_bytes / self.bandwidth_bytes_per_s + self.latency_s
+
     def allreduce_latency(self, payload_bytes: float, world_size: int) -> float:
         """Ring all-reduce time for ``payload_bytes`` across ``world_size`` GPUs.
 

@@ -30,7 +30,9 @@ goodput) under pluggable scheduling policies:
 * :mod:`repro.serving.parallel` — tensor-parallel sharding + all-reduce cost
   model (:class:`ParallelConfig`);
 * :mod:`repro.serving.cluster` — multi-replica cluster simulation behind
-  pluggable routers (round-robin, least-outstanding, shortest-queue);
+  pluggable routers (round-robin, least-outstanding, shortest-queue,
+  prefix-affinity, disaggregated), including role-specialised
+  prefill/decode replicas with priced KV-state migration;
 * :mod:`repro.serving.throughput` — memory-budgeted maximum-batch search,
   throughput measurement and tensor-parallel sweeps.
 """
@@ -84,8 +86,10 @@ from repro.serving.cluster import (
     LeastOutstandingRouter,
     ShortestQueueRouter,
     PrefixAffinityRouter,
+    DisaggregatedRouter,
     ROUTERS,
     get_router,
+    REPLICA_ROLES,
     ClusterResult,
     ClusterEngine,
 )
@@ -115,7 +119,8 @@ __all__ = [
     "ParallelConfig",
     "EngineStepper", "ServingEngine", "ServingResult", "StepBreakdown",
     "Router", "RoundRobinRouter", "LeastOutstandingRouter",
-    "ShortestQueueRouter", "PrefixAffinityRouter", "ROUTERS", "get_router",
+    "ShortestQueueRouter", "PrefixAffinityRouter", "DisaggregatedRouter",
+    "ROUTERS", "get_router", "REPLICA_ROLES",
     "ClusterResult", "ClusterEngine",
     "ThroughputResult", "max_achievable_batch", "measure_throughput",
     "max_achievable_throughput", "tp_sweep",

@@ -24,22 +24,40 @@ Routers shipped by default:
   warmest one (load-penalized), keeping same-prefix sessions on the replica
   that already holds their KV blocks; cold requests stick by session so a
   conversation lands on one replica from its first turn.
+* ``disaggregated`` — the prefill/decode split's router: arrivals go to the
+  prefill-capable replica owing the fewest pending prefill tokens, and on
+  prefill completion the request migrates to the least-loaded decode
+  replica.
+
+**Disaggregated serving** (DistServe/Splitwise-style) gives each replica a
+*role*: ``prefill`` replicas run prompt processing only and export every
+request the instant its prefill completes, ``decode`` replicas adopt the
+transferred KV state and generate tokens, and ``mixed`` replicas (the
+default) do both — a cluster of only mixed replicas is bitwise-identical to
+the pre-disaggregation engine.  The handoff is priced by a KV-transfer cost
+model: the prompt's KV bytes (minus whatever prefix the target replica
+already caches) cross an :class:`~repro.gpu.specs.InterconnectSpec` link,
+overlappable with the first decode iteration (layer-by-layer streaming), and
+the exposed delay lands on the request's TTFT and is reported per request.
 
 Per-replica :class:`~repro.serving.engine.ServingResult`s are aggregated
 into a :class:`ClusterResult` with cluster-level throughput (makespan-based),
-merged latency percentiles and SLO goodput.
+merged latency percentiles, SLO goodput and — for disaggregated runs —
+per-role utilization, migration counts and transfer-delay percentiles.
 """
 
 from __future__ import annotations
 
 import abc
+import heapq
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Type, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
-from repro.gpu.specs import GPUSpec
+from repro.gpu.specs import GPUSpec, InterconnectSpec, NVLINK
 from repro.model.config import ModelConfig
 from repro.serving.engine import EngineStepper, ServingEngine, ServingResult
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import LatencySummary, ServingMetrics
 from repro.serving.parallel import ParallelConfig
 from repro.serving.policies import SchedulingConfig
 from repro.serving.precision import SystemConfig
@@ -51,11 +69,16 @@ __all__ = [
     "LeastOutstandingRouter",
     "ShortestQueueRouter",
     "PrefixAffinityRouter",
+    "DisaggregatedRouter",
     "ROUTERS",
     "get_router",
+    "REPLICA_ROLES",
     "ClusterResult",
     "ClusterEngine",
 ]
+
+#: Valid replica roles for disaggregated serving.
+REPLICA_ROLES = ("prefill", "decode", "mixed")
 
 
 # ----------------------------------------------------------------------
@@ -169,10 +192,38 @@ class PrefixAffinityRouter(Router):
         return index
 
 
+class DisaggregatedRouter(Router):
+    """Router for prefill/decode-split clusters.
+
+    ``route`` places *arrivals*: it sees only the prefill-capable replicas
+    (roles ``prefill`` and ``mixed``) and picks the one owing the fewest
+    pending prefill tokens — prompt work is what a prefill tier queues on.
+    ``route_decode`` places *migrations*: among the decode-role replicas it
+    picks the least-loaded one (fewest outstanding requests, pending-token
+    tiebreak), counting in-flight transfers already bound for a replica so a
+    burst of simultaneous prefill completions cannot dogpile one target.
+    Outside a disaggregated cluster it degrades to shortest-queue routing.
+    """
+
+    name = "disaggregated"
+
+    def route(self, request: Request, replicas: Sequence[EngineStepper]) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].pending_prefill_tokens,
+                                  replicas[i].outstanding_requests, i))
+
+    def route_decode(self, request: Request,
+                     replicas: Sequence[EngineStepper]) -> int:
+        """Index of the decode replica a finished prefill should migrate to."""
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].outstanding_requests,
+                                  replicas[i].pending_prefill_tokens, i))
+
+
 ROUTERS: Dict[str, Type[Router]] = {
     cls.name: cls
     for cls in (RoundRobinRouter, LeastOutstandingRouter, ShortestQueueRouter,
-                PrefixAffinityRouter)
+                PrefixAffinityRouter, DisaggregatedRouter)
 }
 
 
@@ -193,14 +244,46 @@ class ClusterResult:
     """Aggregate outcome of serving one workload on an N-replica cluster."""
 
     replica_results: List[ServingResult]
-    #: Number of requests each replica was routed.
+    #: Number of requests each replica was routed (arrivals; migrated
+    #: requests stay attributed to the prefill replica that admitted them).
     requests_per_replica: List[int]
     #: Cluster-wide latency metrics (union of all replicas' finished requests).
     metrics: ServingMetrics = field(default_factory=ServingMetrics)
+    #: Role of each replica ("prefill" / "decode" / "mixed"); empty for
+    #: results predating disaggregation.
+    replica_roles: List[str] = field(default_factory=list)
+    #: Migrated requests each replica *received* (all-zero without roles).
+    migrations_per_replica: List[int] = field(default_factory=list)
 
     @property
     def num_replicas(self) -> int:
         return len(self.replica_results)
+
+    @property
+    def num_migrations(self) -> int:
+        """Prefill→decode handoffs performed during the run."""
+        return sum(self.migrations_per_replica)
+
+    @property
+    def transfer_delay(self) -> LatencySummary:
+        """Exposed KV-transfer delay percentiles over migrated requests."""
+        return self.metrics.transfer_delay
+
+    def role_utilization(self) -> Dict[str, float]:
+        """Busy-time fraction of each role's replicas over the makespan.
+
+        The quantity disaggregation tuning stares at: a prefill:decode ratio
+        is right when neither role sits idle while the other saturates.
+        """
+        roles = self.replica_roles or ["mixed"] * self.num_replicas
+        total = self.total_time_s
+        out: Dict[str, float] = {}
+        for role in sorted(set(roles)):
+            members = [r for r, ro in zip(self.replica_results, roles)
+                       if ro == role]
+            busy = sum(r.busy_time_s for r in members)
+            out[role] = 0.0 if total == 0 else busy / (len(members) * total)
+        return out
 
     @property
     def total_time_s(self) -> float:
@@ -266,16 +349,64 @@ class ClusterEngine:
     shared-clock simulation only has to synchronise at routing decisions:
     before each dispatch all replicas advance to the request's arrival time,
     giving the router an honest view of queue depths at that instant.
+
+    ``roles`` turns on disaggregated serving: one role per replica, from
+    :data:`REPLICA_ROLES`.  ``prefill`` replicas export each request the
+    moment its prefill completes; the request's KV state is transferred over
+    ``transfer_link`` to a ``decode`` replica, which adopts the pages and
+    generates every output token.  ``mixed`` replicas (the default when
+    ``roles`` is omitted) serve requests end to end exactly as before.  With
+    ``transfer_overlap`` (layer-by-layer streaming, DistServe-style) the
+    transfer hides behind one decode iteration's worth of time and only the
+    remainder — floored at the link's message latency — is exposed as delay.
     """
 
     def __init__(self, model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
                  num_replicas: int, max_seq_len: int = 2048,
-                 parallel: Optional[ParallelConfig] = None) -> None:
+                 parallel: Optional[ParallelConfig] = None,
+                 roles: Optional[Sequence[str]] = None,
+                 transfer_link: InterconnectSpec = NVLINK,
+                 transfer_overlap: bool = True) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
         self.num_replicas = num_replicas
         self.engine = ServingEngine(model, gpu, system, max_seq_len=max_seq_len,
                                     parallel=parallel)
+        self.roles = list(roles) if roles is not None else \
+            ["mixed"] * num_replicas
+        if len(self.roles) != num_replicas:
+            raise ValueError(
+                f"roles has {len(self.roles)} entries for "
+                f"{num_replicas} replicas")
+        unknown = sorted(set(self.roles) - set(REPLICA_ROLES))
+        if unknown:
+            raise ValueError(f"unknown replica roles {unknown}; "
+                             f"valid: {', '.join(REPLICA_ROLES)}")
+        if self.disaggregated:
+            if not any(r in ("prefill", "mixed") for r in self.roles):
+                raise ValueError(
+                    "disaggregated cluster has no prefill-capable replica")
+            if "prefill" in self.roles and "decode" not in self.roles:
+                raise ValueError(
+                    "prefill-role replicas need at least one decode replica "
+                    "to migrate to")
+            if "decode" in self.roles and "prefill" not in self.roles:
+                # Only prefill-role replicas export; mixed replicas serve
+                # end to end, so a decode replica without a prefill feeder
+                # would idle for the whole run.
+                raise ValueError(
+                    "decode-role replicas need at least one prefill replica "
+                    "to receive migrations from")
+        self.transfer_link = transfer_link
+        self.transfer_overlap = transfer_overlap
+        #: KV bytes per cached token under this system's KV precision — the
+        #: payload density of a prefill→decode transfer.
+        self.kv_bytes_per_token = self.engine.new_kv_manager().bytes_per_token()
+
+    @property
+    def disaggregated(self) -> bool:
+        """Whether any replica is role-specialised (prefill or decode)."""
+        return any(role != "mixed" for role in self.roles)
 
     @property
     def total_gpus(self) -> int:
@@ -291,10 +422,16 @@ class ClusterEngine:
         ``router`` is a registry name or a :class:`Router` instance (fresh
         instances keep round-robin state per run).  ``max_num_seqs`` and
         ``scheduling`` apply per replica, exactly as in
-        :meth:`ServingEngine.serve`.
+        :meth:`ServingEngine.serve`.  In a disaggregated cluster the router
+        sees only the prefill-capable replicas; migration targets are picked
+        by :meth:`DisaggregatedRouter.route_decode` (least-loaded fallback
+        for routers without one).
         """
         if isinstance(router, str):
             router = get_router(router)
+        if self.disaggregated:
+            return self._serve_disaggregated(workload, router, max_num_seqs,
+                                             scheduling)
         replicas = [EngineStepper(self.engine, scheduling=scheduling,
                                   max_num_seqs=max_num_seqs)
                     for _ in range(self.num_replicas)]
@@ -310,6 +447,12 @@ class ClusterEngine:
         for replica in replicas:
             replica.run()
 
+        return self._assemble(replicas, assignments,
+                              [0] * self.num_replicas)
+
+    def _assemble(self, replicas: List[EngineStepper],
+                  assignments: List[List[Request]],
+                  migrations_in: List[int]) -> ClusterResult:
         results = [replica.result(Workload(requests=assigned))
                    for replica, assigned in zip(replicas, assignments)]
         merged = ServingMetrics(
@@ -319,4 +462,140 @@ class ClusterEngine:
             replica_results=results,
             requests_per_replica=[len(a) for a in assignments],
             metrics=merged,
+            replica_roles=list(self.roles),
+            migrations_per_replica=list(migrations_in),
         )
+
+    # ------------------------------------------------------------------
+    # Disaggregated serving
+    # ------------------------------------------------------------------
+    def transfer_delay(self, request: Request, cached_tokens: int = 0) -> float:
+        """Exposed delay of shipping ``request``'s KV state to a decode replica.
+
+        The payload is the KV bytes of the prompt's context minus
+        ``cached_tokens`` the target replica already holds in its prefix
+        cache (those blocks need no transfer).  It crosses ``transfer_link``
+        as one point-to-point message; with ``transfer_overlap`` the
+        layer-by-layer stream hides behind one decode iteration at the
+        request's context length and only the remainder — never less than
+        the link's message latency — is exposed on the critical path.
+        """
+        cold_tokens = max(0, request.context_len - cached_tokens)
+        raw = self.transfer_link.transfer_latency(
+            self.kv_bytes_per_token * cold_tokens)
+        if not self.transfer_overlap:
+            return raw
+        overlap = self.engine.decode_step(1, request.context_len).total
+        return max(self.transfer_link.latency_s, raw - overlap)
+
+    def _serve_disaggregated(self, workload: Workload, router: Router,
+                             max_num_seqs: Optional[int],
+                             scheduling: Optional[SchedulingConfig]
+                             ) -> ClusterResult:
+        """Event-driven serving loop with prefill→decode migrations.
+
+        Two event streams interleave in time order: workload arrivals (routed
+        among the prefill-capable replicas) and prefill completions (each
+        migrating its request to a decode replica).  Before every routing
+        decision all replicas advance to the event instant, so both the
+        arrival router and the migration target choice observe live queue
+        state.  The migrated request is submitted with its
+        ``migration_ready_time`` set to completion + exposed transfer delay;
+        the target's scheduler admits it no earlier (the transfer occupies
+        the interconnect, not the GPU, so other decodes proceed meanwhile).
+        """
+        replicas = [EngineStepper(self.engine, scheduling=scheduling,
+                                  max_num_seqs=max_num_seqs,
+                                  migrate_out=(role == "prefill"))
+                    for role in self.roles]
+        prefill_idx = [i for i, role in enumerate(self.roles)
+                       if role in ("prefill", "mixed")]
+        decode_idx = [i for i, role in enumerate(self.roles)
+                      if role == "decode"]
+        prefill_replicas = [replicas[i] for i in prefill_idx]
+        decode_replicas = [replicas[i] for i in decode_idx]
+        assignments: List[List[Request]] = [[] for _ in replicas]
+        migrations_in = [0] * self.num_replicas
+        arrivals = sorted(workload.requests,
+                          key=lambda r: (r.arrival_time, r.request_id))
+        arrival_pos = 0
+        #: (prefill completion time, tiebreak, request) — min-heap of
+        #: finished prefills awaiting migration routing.
+        handoffs: List[Tuple[float, int, Request]] = []
+        tiebreak = itertools.count()
+
+        def drain_outboxes() -> None:
+            for replica in replicas:
+                while replica.outbox:
+                    request = replica.outbox.pop(0)
+                    heapq.heappush(handoffs, (request.prefill_done_time,
+                                              next(tiebreak), request))
+
+        decode_router = (router if isinstance(router, DisaggregatedRouter)
+                         else DisaggregatedRouter())
+
+        def migrate(done_time: float, request: Request) -> None:
+            target = decode_idx[decode_router.route_decode(request,
+                                                           decode_replicas)]
+            # Pinning the target's matched prefix keeps the priced payload
+            # honest: the credited blocks cannot be evicted mid-transfer.
+            delay = self.transfer_delay(
+                request, replicas[target].pin_for_import(request))
+            request.migrations += 1
+            request.transfer_delay_s += delay
+            request.migration_ready_time = done_time + delay
+            replicas[target].submit(request)
+            migrations_in[target] += 1
+
+        while True:
+            drain_outboxes()
+            next_arrival = (arrivals[arrival_pos].arrival_time
+                            if arrival_pos < len(arrivals) else None)
+            next_handoff = handoffs[0][0] if handoffs else None
+            if next_handoff is not None and (next_arrival is None
+                                             or next_handoff <= next_arrival):
+                done_time, order, request = heapq.heappop(handoffs)
+                for replica in replicas:
+                    replica.run_until(done_time)
+                drain_outboxes()
+                if handoffs and handoffs[0][0] < done_time:
+                    # Advancing uncovered an earlier completion; keep the
+                    # event order honest and route that one first.
+                    heapq.heappush(handoffs, (done_time, order, request))
+                    continue
+                migrate(done_time, request)
+            elif next_arrival is not None:
+                request = arrivals[arrival_pos]
+                for replica in replicas:
+                    replica.run_until(request.arrival_time)
+                drain_outboxes()
+                if handoffs and handoffs[0][0] <= request.arrival_time:
+                    continue  # advancing uncovered an earlier completion
+                arrival_pos += 1
+                index = prefill_idx[router.route(request, prefill_replicas)]
+                replicas[index].submit(request)
+                assignments[index].append(request)
+            else:
+                # No queued events: step the busy replicas to surface the
+                # remaining prefill completions, or finish.  Replicas with
+                # running work go first — they are the only possible source
+                # of new events — so an idle replica does not leap to its
+                # own next availability past a completion still being
+                # computed elsewhere.
+                busy = [r for r in replicas if not r.done]
+                if not busy:
+                    break
+                active = [r for r in busy if r.scheduler.running]
+                progressed = False
+                for replica in (active or busy):
+                    progressed = replica.step() or progressed
+                if not progressed and active and len(active) < len(busy):
+                    # The active set stalled; let the idle replicas advance
+                    # to their own next availability.
+                    for replica in busy:
+                        progressed = replica.step() or progressed
+                if not progressed:
+                    drain_outboxes()
+                    if not handoffs:
+                        break  # only never-admittable requests remain
+        return self._assemble(replicas, assignments, migrations_in)

@@ -104,6 +104,10 @@ class ServingResult:
     num_unserved: int = 0
     num_preemptions: int = 0
     recomputed_prefill_tokens: int = 0
+    #: Simulated seconds the GPU spent executing iterations (excludes idle
+    #: gaps between arrivals); ``busy_time_s / total_time_s`` is the
+    #: replica's utilization over the run.
+    busy_time_s: float = 0.0
     metrics: Optional[ServingMetrics] = None
     #: Peak KV-page utilization observed across the run's iterations.
     kv_utilization_peak: float = 0.0
@@ -389,8 +393,15 @@ class EngineStepper:
 
     def __init__(self, engine: ServingEngine,
                  scheduling: Optional[SchedulingConfig] = None,
-                 max_num_seqs: Optional[int] = None) -> None:
+                 max_num_seqs: Optional[int] = None,
+                 migrate_out: bool = False) -> None:
         self.engine = engine
+        #: Prefill-role behaviour (disaggregated serving): the instant a
+        #: request completes its prefill it is exported from the scheduler
+        #: and parked in :attr:`outbox` for the cluster to migrate, so this
+        #: replica never runs a decode iteration.
+        self.migrate_out = migrate_out
+        self.outbox: List[Request] = []
         self.scheduling = scheduling or LEGACY_SCHEDULING
         self.planner = self.scheduling.build_planner()
         kv_manager = engine.new_kv_manager()
@@ -415,6 +426,7 @@ class EngineStepper:
         self.iterations = 0
         self.peak_batch = 0
         self.generated = 0
+        self.busy_s = 0.0
         self.kv_utilization_peak = 0.0
         self._guard = 0
 
@@ -453,13 +465,37 @@ class EngineStepper:
             return 0
         return self.prefix_cache.lookup_tokens(request)
 
+    def pin_for_import(self, request: Request) -> int:
+        """Pin the cached prefix an incoming migration will reuse; returns
+        its token count.
+
+        Called by the cluster when it routes a prefill→decode handoff here:
+        the KV-transfer payload is priced minus these tokens, so the blocks
+        are referenced immediately — eviction cannot pull them out while the
+        transfer is in flight, keeping the priced payload and the pages
+        adopted at admission consistent.  Admission detects the existing
+        references and skips re-matching.
+        """
+        if self.prefix_cache is None:
+            return 0
+        nodes, tokens = self.prefix_cache.match(request)
+        self.prefix_cache.acquire(request, nodes, count_stats=False)
+        return tokens
+
     # ------------------------------------------------------------------
-    def step(self) -> bool:
+    def step(self, horizon: Optional[float] = None) -> bool:
         """Run one pass of the serving-loop body.
 
         Returns ``False`` once no further progress is possible with the
         requests submitted so far: everything finished, or the remaining
         requests can never be admitted (they stay unserved).
+
+        ``horizon`` bounds the idle jump: an idle replica never advances its
+        clock past it to a strictly-later availability.  The cluster's event
+        loop passes the current event time so that a replica waiting only on
+        an in-flight KV transfer does not leap over events (arrivals,
+        earlier migrations) the cluster has yet to deliver.  Iterations
+        themselves stay atomic and may still overshoot.
         """
         scheduler = self.scheduler
         if scheduler.all_done:
@@ -477,13 +513,16 @@ class EngineStepper:
                         if r.state is RequestState.PREFILLING]
         plan = self.planner.plan(scheduler, admitted)
         if plan.is_empty:
-            # Nothing runnable: jump to the next arrival, or stop if the
+            # Nothing runnable: jump to the next arrival (for migrated
+            # requests, the instant their KV transfer lands), or stop if the
             # remaining requests can never be admitted.
-            future = [r.arrival_time for r in scheduler.waiting]
+            future = [r.available_time for r in scheduler.waiting]
             if not future:
                 return False
             next_arrival = min(future)
             if next_arrival > self.now:
+                if horizon is not None and next_arrival > horizon:
+                    return False  # nothing more can happen before the horizon
                 self.now = next_arrival
                 return True
             # Admission, preemption and planning all made no progress at
@@ -498,11 +537,16 @@ class EngineStepper:
             upcoming = [t for t in future if t > self.now]
             if not upcoming:
                 return False
-            self.now = min(upcoming)
+            jump = min(upcoming)
+            if horizon is not None and jump > horizon:
+                return False
+            self.now = jump
             return True
         self.kv_utilization_peak = max(self.kv_utilization_peak,
                                        self.scheduler.kv_manager.utilization())
-        self.now += self.engine._plan_latency(plan)
+        latency = self.engine._plan_latency(plan)
+        self.now += latency
+        self.busy_s += latency
         self.iterations += 1
         if plan.decode:
             self.peak_batch = max(self.peak_batch, len(plan.decode))
@@ -510,6 +554,14 @@ class EngineStepper:
             scheduler.record_decode_step(self.now)
         for request, tokens in plan.prefill_chunks:
             scheduler.record_prefill(request, tokens, self.now)
+        if self.migrate_out:
+            # Prefill role: anything that just completed its prefill (state
+            # DECODING, before any decode step could be planned for it) is
+            # exported for migration to a decode replica.
+            for request in list(scheduler.running):
+                if request.state is RequestState.DECODING:
+                    scheduler.export_request(request)
+                    self.outbox.append(request)
         return True
 
     def run(self) -> None:
@@ -520,11 +572,13 @@ class EngineStepper:
     def run_until(self, t: float) -> None:
         """Advance the clock to (at least) ``t`` or until progress stops.
 
-        The clock may overshoot ``t``: iterations are atomic, and an idle
-        replica jumps straight to its next arrival.
+        The clock may overshoot ``t`` because iterations are atomic, but an
+        idle replica never *jumps* past it: a replica whose only pending
+        work becomes available after ``t`` (e.g. a migrated request with an
+        in-flight KV transfer) keeps its clock and waits for a later call.
         """
         while not self.done and self.now < t:
-            if not self.step():
+            if not self.step(horizon=t):
                 break
 
     # ------------------------------------------------------------------
@@ -554,6 +608,7 @@ class EngineStepper:
             num_unserved=len(workload.requests) - len(finished),
             num_preemptions=scheduler.num_preemptions,
             recomputed_prefill_tokens=scheduler.recomputed_prefill_tokens,
+            busy_time_s=self.busy_s,
             metrics=ServingMetrics.from_requests(finished),
             kv_utilization_peak=self.kv_utilization_peak,
             prefix_stats=(None if self.prefix_cache is None

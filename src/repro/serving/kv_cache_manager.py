@@ -75,6 +75,10 @@ class PagedKVCacheManager:
     #: clean run ends with ``pages_allocated_total == pages_freed_total``.
     pages_allocated_total: int = field(default=0, init=False)
     pages_freed_total: int = field(default=0, init=False)
+    #: Of the pages ever allocated, how many were filled by a KV transfer
+    #: from another replica (disaggregated prefill→decode handoff) rather
+    #: than by local prefill.  Subset of ``pages_allocated_total``.
+    pages_transferred_in_total: int = field(default=0, init=False)
     #: Debug counter: frees of an id whose pages were already released.  A
     #: correct scheduler never double-frees; the counter exists so refcount
     #: bugs can't hide inside the conservation accounting.
@@ -165,6 +169,19 @@ class PagedKVCacheManager:
         self._freed_ids.discard(request_id)
         self.pages_allocated_total += needed
         return needed
+
+    def adopt(self, request_id: int, num_tokens: int,
+              shared_pages: int = 0) -> int:
+        """Allocate pages whose contents arrive via KV transfer, not prefill.
+
+        Identical to :meth:`allocate` — the pages live, count and free the
+        same way — but the newly granted pages are additionally tallied in
+        ``pages_transferred_in_total`` so a disaggregated run can report how
+        much of its KV footprint was imported rather than computed locally.
+        """
+        adopted = self.allocate(request_id, num_tokens, shared_pages)
+        self.pages_transferred_in_total += adopted
+        return adopted
 
     def free(self, request_id: int) -> int:
         """Release all private pages of a finished request; returns pages freed.

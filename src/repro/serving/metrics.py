@@ -40,6 +40,10 @@ class RequestMetrics:
     finish_time: float
     admitted_time: Optional[float] = None
     preemptions: int = 0
+    #: Disaggregated serving: prefill→decode handoffs this request went
+    #: through, and the exposed KV-transfer delay they added to its TTFT.
+    migrations: int = 0
+    transfer_delay_s: float = 0.0
 
     @property
     def ttft(self) -> float:
@@ -99,6 +103,8 @@ class RequestMetrics:
             finish_time=request.finish_time,
             admitted_time=request.admitted_time,
             preemptions=request.preemptions,
+            migrations=request.migrations,
+            transfer_delay_s=request.transfer_delay_s,
         )
 
 
@@ -164,6 +170,22 @@ class ServingMetrics:
     @property
     def total_preemptions(self) -> int:
         return sum(r.preemptions for r in self.requests)
+
+    @property
+    def total_migrations(self) -> int:
+        """Prefill→decode handoffs across all finished requests."""
+        return sum(r.migrations for r in self.requests)
+
+    @property
+    def transfer_delay(self) -> LatencySummary:
+        """Exposed KV-transfer delay percentiles over *migrated* requests.
+
+        Never-migrated requests are excluded rather than counted as zero —
+        in a mixed cluster they would otherwise drown out the delay the
+        handoffs actually paid.  All-zero when nothing migrated.
+        """
+        return LatencySummary.from_values(
+            [r.transfer_delay_s for r in self.requests if r.migrations > 0])
 
     # ------------------------------------------------------------------
     def slo_attainment(self, ttft_slo_s: float, tpot_slo_s: float) -> float:

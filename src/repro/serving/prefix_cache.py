@@ -267,20 +267,26 @@ class PrefixCache:
     # ------------------------------------------------------------------
     # Reference lifecycle
     # ------------------------------------------------------------------
-    def acquire(self, request: Request, nodes: List[_RadixNode]) -> None:
+    def acquire(self, request: Request, nodes: List[_RadixNode],
+                count_stats: bool = True) -> None:
         """Pin ``nodes`` (the blocks :meth:`match` returned) for ``request``.
 
         Records the admission in the hit/miss token statistics and stamps the
         request's ``cached_tokens`` / ``shared_kv_pages`` bookkeeping fields.
+        ``count_stats=False`` pins without touching the hit/miss counters —
+        used for migrated requests, whose uncached tokens arrive via KV
+        transfer rather than a cold local prefill and would otherwise skew
+        the replica's hit rate.
         """
         for node in nodes:
             node.ref_count += 1
         self._request_blocks[request.request_id] = list(nodes)
         request.cached_tokens = len(nodes) * self.page_size
         request.shared_kv_pages = len(nodes)
-        self.stats.lookups += 1
-        self.stats.hit_tokens += request.cached_tokens
-        self.stats.miss_tokens += request.prompt_len - request.cached_tokens
+        if count_stats:
+            self.stats.lookups += 1
+            self.stats.hit_tokens += request.cached_tokens
+            self.stats.miss_tokens += request.prompt_len - request.cached_tokens
 
     def insert(self, request: Request) -> int:
         """Publish the request's (fully prefilled) complete prompt blocks.
@@ -319,6 +325,15 @@ class PrefixCache:
         self.stats.peak_cached_pages = max(self.stats.peak_cached_pages,
                                            len(self._nodes))
         return published
+
+    def is_pinned(self, request_id: int) -> bool:
+        """Whether ``request_id`` already holds block references.
+
+        True for requests whose prefix was pinned ahead of admission (an
+        in-flight migration); admission must then reuse those references
+        instead of matching again, or the refcounts would double.
+        """
+        return request_id in self._request_blocks
 
     def release(self, request_id: int) -> None:
         """Drop the request's block references (finish or preemption).

@@ -50,12 +50,19 @@ _CONTENT_IDS = itertools.count(1)
 
 
 class RequestState(str, enum.Enum):
-    """Lifecycle of a request inside the serving engine."""
+    """Lifecycle of a request inside the serving engine.
+
+    ``MIGRATING`` is the disaggregated-serving handoff state: the request's
+    prefill finished on a prefill-role replica, its KV state is in flight to
+    a decode replica, and it re-enters a scheduler's waiting queue there
+    (with ``kv_ready`` set) until the transfer lands.
+    """
 
     WAITING = "waiting"
     PREFILLING = "prefilling"
     DECODING = "decoding"
     PREEMPTED = "preempted"
+    MIGRATING = "migrating"
     FINISHED = "finished"
 
 
@@ -96,6 +103,17 @@ class Request:
     first_token_time: Optional[float] = None
     admitted_time: Optional[float] = None
     preemptions: int = 0
+    #: Disaggregated serving: the request's KV state arrived via transfer, so
+    #: admission adopts the pages and skips prefill entirely.  Cleared on
+    #: preemption — reclaimed transferred pages must be recomputed locally.
+    kv_ready: bool = False
+    #: Simulation time the transferred KV state lands on the target replica;
+    #: admission may not precede it.  ``None`` for never-migrated requests.
+    migration_ready_time: Optional[float] = None
+    #: Prefill→decode handoffs this request went through, and the exposed
+    #: (non-overlapped) KV-transfer delay they added to its critical path.
+    migrations: int = 0
+    transfer_delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0:
@@ -112,6 +130,17 @@ class Request:
     def context_len(self) -> int:
         """Tokens currently occupying KV cache (prompt + generated)."""
         return self.prompt_len + self.generated
+
+    @property
+    def available_time(self) -> float:
+        """Earliest time a scheduler may admit this request.
+
+        The arrival time, except for migrated requests, which additionally
+        wait for their KV transfer to land on the target replica.
+        """
+        if self.migration_ready_time is None:
+            return self.arrival_time
+        return max(self.arrival_time, self.migration_ready_time)
 
     @property
     def prefill_remaining(self) -> int:

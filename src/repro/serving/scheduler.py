@@ -29,6 +29,14 @@ a page boundary — evicts cached-but-unreferenced blocks LRU-first *before*
 any running request is preempted.  Preemption and completion release the
 request's block references but never reclaim a shared page outright, so a
 block referenced by any other request always survives.
+
+Disaggregated serving adds one more flow through the same machinery: a
+prefill-role replica calls :meth:`ContinuousBatchingScheduler.export_request`
+the moment a prefill completes (the request leaves in the ``MIGRATING`` state
+and its pages are reclaimed), and the decode replica's scheduler admits the
+arriving request with ``kv_ready`` set — pages are *adopted* for the
+transferred KV state, no prefill is planned, and the request joins the decode
+batch directly.  See :mod:`repro.serving.cluster` for the transfer pricing.
 """
 
 from __future__ import annotations
@@ -60,9 +68,14 @@ class ContinuousBatchingScheduler:
     recomputed_prefill_tokens: int = 0
 
     def submit(self, requests: List[Request]) -> None:
-        """Add requests to the waiting queue (sorted by arrival time)."""
+        """Add requests to the waiting queue (sorted by availability time).
+
+        For ordinary requests availability is the arrival time; migrated
+        requests additionally wait for their KV transfer to land
+        (:attr:`Request.available_time`).
+        """
         self.waiting.extend(requests)
-        self.waiting.sort(key=lambda r: (r.arrival_time, r.request_id))
+        self.waiting.sort(key=lambda r: (r.available_time, r.request_id))
 
     # ------------------------------------------------------------------
     # Admission
@@ -77,17 +90,22 @@ class ContinuousBatchingScheduler:
         return request.prompt_len + request.output_len
 
     def admit(self, now: float) -> List[Request]:
-        """Admit waiting requests in policy order; returns the new admits.
+        """Admit waiting requests in policy order; returns the new prefills.
 
         With ``policy.allow_bypass`` (plain FCFS, SJF) a request blocked on
         pages or the sequence cap is skipped and later requests may still be
         admitted.  Under ``strict-fcfs`` admission halts at the first blocked
         request so that arrival order is never violated.
+
+        The returned list feeds the iteration planner, so it contains only
+        requests that actually need prefill work: a migrated request
+        (``kv_ready``) adopts its transferred pages and enters the running
+        batch directly in the decoding state.
         """
         arrived: List[Request] = []
         pending: List[Request] = []
         for request in self.waiting:
-            (arrived if request.arrival_time <= now else pending).append(request)
+            (arrived if request.available_time <= now else pending).append(request)
 
         admitted: List[Request] = []
         blocked: List[Request] = []
@@ -114,10 +132,21 @@ class ContinuousBatchingScheduler:
                 continue
             tokens = self._reservation_tokens(request)
             cached_nodes: List = []
+            shared_pages = 0
+            pinned = False
             if self.prefix_cache is not None:
-                cached_nodes, _ = self.prefix_cache.match(request)
+                pinned = self.prefix_cache.is_pinned(request.request_id)
+                if pinned:
+                    # An in-flight migration pinned its prefix when the
+                    # transfer was priced; reuse those references (matching
+                    # again would double-count them).  The pinned blocks are
+                    # referenced, so the eviction pass cannot touch them.
+                    shared_pages = request.shared_kv_pages
+                else:
+                    cached_nodes, _ = self.prefix_cache.match(request)
+                    shared_pages = len(cached_nodes)
                 shortfall = (self.kv_manager.pages_needed(
-                    request.request_id, tokens, len(cached_nodes))
+                    request.request_id, tokens, shared_pages)
                     - self.kv_manager.free_pages)
                 if (shortfall > 0 and shortfall
                         <= self.prefix_cache.evictable_pages(cached_nodes)):
@@ -130,11 +159,17 @@ class ContinuousBatchingScheduler:
                     # request's reuse.
                     self.prefix_cache.evict(shortfall, protect=cached_nodes)
             if self.kv_manager.can_allocate(request.request_id, tokens,
-                                            len(cached_nodes)):
-                self.kv_manager.allocate(request.request_id, tokens,
-                                         len(cached_nodes))
-                if self.prefix_cache is not None:
-                    self.prefix_cache.acquire(request, cached_nodes)
+                                            shared_pages):
+                if request.kv_ready:
+                    # The uncached pages' contents arrive via KV transfer.
+                    self.kv_manager.adopt(request.request_id, tokens,
+                                          shared_pages)
+                else:
+                    self.kv_manager.allocate(request.request_id, tokens,
+                                             shared_pages)
+                if self.prefix_cache is not None and not pinned:
+                    self.prefix_cache.acquire(request, cached_nodes,
+                                              count_stats=not request.kv_ready)
                 self._begin_prefill(request, now)
                 admitted.append(request)
             else:
@@ -142,11 +177,26 @@ class ContinuousBatchingScheduler:
                 if not self.policy.allow_bypass:
                     halted = True
         self.waiting = blocked + pending
-        self.waiting.sort(key=lambda r: (r.arrival_time, r.request_id))
+        self.waiting.sort(key=lambda r: (r.available_time, r.request_id))
         self.running.extend(admitted)
-        return admitted
+        return [r for r in admitted if r.state is RequestState.PREFILLING]
 
     def _begin_prefill(self, request: Request, now: float) -> None:
+        if request.kv_ready:
+            # Disaggregated handoff: the full context's KV state was
+            # transferred from the prefill replica, so the request skips
+            # prefill and joins the decode batch directly.  Its complete
+            # prompt blocks are published to this replica's prefix cache so
+            # later same-prefix arrivals (and future migrations, which then
+            # transfer only their cold suffix) reuse them.
+            request.state = RequestState.DECODING
+            request.prefill_target = 0
+            request.prefilled = 0
+            if self.prefix_cache is not None:
+                self.prefix_cache.insert(request)
+            if request.admitted_time is None:
+                request.admitted_time = now
+            return
         was_preempted = request.state is RequestState.PREEMPTED
         request.state = RequestState.PREFILLING
         # Cache-hit tokens (``cached_tokens``, stamped by the prefix cache at
@@ -188,6 +238,21 @@ class ContinuousBatchingScheduler:
     # ------------------------------------------------------------------
     # Preemption
     # ------------------------------------------------------------------
+    def _release_kv_residency(self, request: Request) -> None:
+        """Drop a running request's KV residency on this device.
+
+        Prefix references are released (the shared blocks stay cached for
+        other requests), private pages are reclaimed, and the request leaves
+        the running batch — the teardown shared by preemption and the
+        disaggregated export.
+        """
+        if self.prefix_cache is not None:
+            self.prefix_cache.release(request.request_id)
+        request.cached_tokens = 0
+        request.shared_kv_pages = 0
+        self.kv_manager.free(request.request_id)
+        self.running.remove(request)
+
     def _preempt(self, request: Request) -> None:
         """Reclaim a running request's private pages and return it to the queue.
 
@@ -195,22 +260,41 @@ class ContinuousBatchingScheduler:
         request may still be reading them, and an unreferenced block stays
         cached for the victim's own readmission.
         """
-        if self.prefix_cache is not None:
-            self.prefix_cache.release(request.request_id)
-        request.cached_tokens = 0
-        request.shared_kv_pages = 0
-        self.kv_manager.free(request.request_id)
+        self._release_kv_residency(request)
         request.state = RequestState.PREEMPTED
         request.preemptions += 1
         request.prefilled = 0
         # The whole context must be re-prefilled on readmission; keep the
         # target current so prefill_remaining (and SJF ordering) reflect the
-        # true recompute cost while the request sits in the queue.
+        # true recompute cost while the request sits in the queue.  A
+        # preempted *migrated* request loses its transferred pages with the
+        # rest, so it falls back to local recompute like any other victim.
         request.prefill_target = request.context_len
-        self.running.remove(request)
+        request.kv_ready = False
         self.waiting.append(request)
-        self.waiting.sort(key=lambda r: (r.arrival_time, r.request_id))
+        self.waiting.sort(key=lambda r: (r.available_time, r.request_id))
         self.num_preemptions += 1
+
+    # ------------------------------------------------------------------
+    # Disaggregated handoff
+    # ------------------------------------------------------------------
+    def export_request(self, request: Request) -> None:
+        """Hand an in-flight request off to another replica (prefill→decode).
+
+        Called by a prefill-role replica the instant a prefill completes: the
+        request leaves the running batch in the ``MIGRATING`` state and its
+        local KV pages are reclaimed — the KV *state* travels to the decode
+        replica as a priced transfer, not as pages on this device.  Prefix
+        references are only dropped, so blocks the prefill published stay
+        cached here for future same-prefix arrivals.
+        """
+        if request.state is not RequestState.DECODING:
+            raise ValueError(
+                f"request {request.request_id} has not completed prefill; "
+                f"only prefill-complete requests migrate")
+        self._release_kv_residency(request)
+        request.state = RequestState.MIGRATING
+        request.kv_ready = True
 
     def prepare_decode(self) -> List[Request]:
         """Guarantee every decoding request can append one token.

@@ -1,0 +1,150 @@
+"""Direct coverage for the reporting helpers that examples/benchmarks lean
+on: ``ServingResult.summary_text()``, ``LatencySummary`` percentile math,
+``ServingMetrics`` summaries and the SLO attainment/goodput helpers — all of
+which were previously exercised only through end-to-end runs."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    LatencySummary,
+    Request,
+    RequestMetrics,
+    ServingMetrics,
+    ServingResult,
+)
+from repro.serving.prefix_cache import PrefixCacheStats
+
+
+def _metric(request_id=0, output_len=10, arrival=0.0, first=1.0, finish=2.0,
+            **kwargs):
+    return RequestMetrics(request_id=request_id, prompt_len=100,
+                          output_len=output_len, arrival_time=arrival,
+                          first_token_time=first, finish_time=finish, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# LatencySummary
+# ----------------------------------------------------------------------
+def test_latency_summary_percentiles_match_numpy():
+    values = [0.1 * i for i in range(1, 101)]
+    summary = LatencySummary.from_values(values)
+    assert summary.mean == pytest.approx(np.mean(values))
+    assert summary.p50 == pytest.approx(np.percentile(values, 50))
+    assert summary.p95 == pytest.approx(np.percentile(values, 95))
+    assert summary.p99 == pytest.approx(np.percentile(values, 99))
+    assert summary.maximum == pytest.approx(10.0)
+
+
+def test_latency_summary_empty_and_singleton():
+    assert LatencySummary.from_values([]) == LatencySummary(0, 0, 0, 0, 0)
+    single = LatencySummary.from_values([0.25])
+    assert single.mean == single.p50 == single.p99 == single.maximum == 0.25
+
+
+# ----------------------------------------------------------------------
+# ServingMetrics summaries
+# ----------------------------------------------------------------------
+def test_serving_metrics_distributions():
+    metrics = ServingMetrics(requests=[
+        _metric(0, output_len=11, arrival=0.0, first=1.0, finish=2.0),
+        _metric(1, output_len=11, arrival=1.0, first=4.0, finish=6.0),
+    ])
+    assert len(metrics) == 2
+    assert metrics.ttft.mean == pytest.approx((1.0 + 3.0) / 2)
+    assert metrics.e2e.maximum == pytest.approx(5.0)
+    # TPOT: (finish - first) / (output_len - 1) per request.
+    assert metrics.tpot.mean == pytest.approx((0.1 + 0.2) / 2)
+
+
+def test_serving_metrics_from_requests_skips_unfinished():
+    done = Request(request_id=0, prompt_len=16, output_len=4)
+    done.first_token_time, done.finish_time = 1.0, 2.0
+    pending = Request(request_id=1, prompt_len=16, output_len=4)
+    metrics = ServingMetrics.from_requests([done, pending])
+    assert [m.request_id for m in metrics.requests] == [0]
+    with pytest.raises(ValueError):
+        RequestMetrics.from_request(pending)
+
+
+def test_slo_attainment_and_goodput():
+    metrics = ServingMetrics(requests=[
+        _metric(0, output_len=11, first=0.2, finish=0.7),    # meets both
+        _metric(1, output_len=11, first=2.0, finish=2.5),    # TTFT miss
+        _metric(2, output_len=11, first=0.2, finish=5.0),    # TPOT miss
+        _metric(3, output_len=1, first=0.2, finish=0.2),     # 1-token: TTFT only
+    ])
+    assert metrics.slo_attainment(1.0, 0.1) == pytest.approx(0.5)
+    # Goodput = attainment * finished / wall time.
+    assert metrics.slo_goodput(1.0, 0.1, total_time_s=10.0) == \
+        pytest.approx(0.5 * 4 / 10.0)
+    assert metrics.slo_goodput(1.0, 0.1, total_time_s=0.0) == 0.0
+    assert ServingMetrics().slo_attainment(1.0, 0.1) == 0.0
+
+
+def test_transfer_delay_summary_covers_migrated_only():
+    metrics = ServingMetrics(requests=[
+        _metric(0, migrations=1, transfer_delay_s=0.004),
+        _metric(1, migrations=0, transfer_delay_s=0.0),
+        _metric(2, migrations=1, transfer_delay_s=0.008),
+    ])
+    assert metrics.total_migrations == 2
+    # Never-migrated requests don't drag the summary toward zero.
+    assert metrics.transfer_delay.mean == pytest.approx(0.006)
+    assert ServingMetrics(requests=[_metric(0)]).transfer_delay == \
+        LatencySummary.from_values([])
+
+
+def test_serving_metrics_summary_text():
+    metrics = ServingMetrics(requests=[
+        _metric(0, output_len=11, preemptions=2),
+        _metric(1, output_len=11),
+    ])
+    text = metrics.summary_text()
+    assert "requests: 2" in text
+    assert "preemptions: 2" in text
+    for line in ("TTFT", "TPOT", "E2E"):
+        assert line in text
+
+
+# ----------------------------------------------------------------------
+# ServingResult.summary_text
+# ----------------------------------------------------------------------
+def test_serving_result_summary_text_minimal():
+    result = ServingResult(total_time_s=2.0, generated_tokens=500,
+                           prompt_tokens=1000, peak_batch=8,
+                           num_iterations=100, num_finished=5,
+                           num_unserved=1, kv_utilization_peak=0.42)
+    text = result.summary_text()
+    assert "throughput: 250.0 tok/s" in text
+    assert "(5 finished, 1 unserved)" in text
+    assert "KV utilization: peak 42.0%" in text
+    assert "prefix cache" not in text                # stats absent => no line
+    assert "TTFT" not in text                        # no metrics attached
+
+
+def test_serving_result_summary_text_full():
+    stats = PrefixCacheStats(lookups=4, hit_tokens=300, miss_tokens=100,
+                             inserted_pages=10, evicted_pages=3)
+    metrics = ServingMetrics(requests=[_metric(0, output_len=11)])
+    result = ServingResult(total_time_s=1.0, generated_tokens=100,
+                           prompt_tokens=400, peak_batch=4, num_iterations=50,
+                           num_finished=1, metrics=metrics,
+                           kv_utilization_peak=0.805, prefix_stats=stats)
+    text = result.summary_text()
+    assert "hit rate 75.0%" in text
+    assert "300 prefill tokens saved" in text
+    assert "3 pages evicted" in text
+    assert "TPOT" in text                            # metrics block included
+    # Derived gauges agree with the stats object.
+    assert result.cache_hit_rate == pytest.approx(0.75)
+    assert result.saved_prefill_tokens == 300
+
+
+def test_serving_result_zero_time_throughput():
+    result = ServingResult(total_time_s=0.0, generated_tokens=0,
+                           prompt_tokens=0, peak_batch=0, num_iterations=0)
+    assert result.generation_throughput == 0.0
+    assert result.cache_hit_rate == 0.0
+    assert result.saved_prefill_tokens == 0
+    assert "throughput: 0.0 tok/s" in result.summary_text()

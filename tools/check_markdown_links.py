@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links resolve.
+
+Walks every ``*.md`` file in the repository, extracts inline links
+(``[text](target)``), and verifies that each relative target exists on disk
+and — for ``path#anchor`` / ``#anchor`` targets — that the referenced
+heading exists in the target file (GitHub-style slugs). External links
+(``http(s)://``, ``mailto:``) are ignored; this is a docs-consistency
+check, not a crawler.
+
+Usage:  python tools/check_markdown_links.py [repo_root]
+Exit status is non-zero when any link is broken, listing every failure.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline markdown links; images share the syntax modulo a leading ``!``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".benchmarks"}
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, spaces to hyphens,
+    punctuation dropped (backticks and emphasis markers are stripped first)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> List[str]:
+    slugs: List[str] = []
+    without_code = _CODE_FENCE_RE.sub("", markdown)
+    for match in _HEADING_RE.finditer(without_code):
+        slug = github_slug(match.group(1))
+        # GitHub deduplicates repeated headings with -1, -2, ... suffixes.
+        if slug in slugs:
+            suffix = 1
+            while f"{slug}-{suffix}" in slugs:
+                suffix += 1
+            slug = f"{slug}-{suffix}"
+        slugs.append(slug)
+    return slugs
+
+
+def markdown_files(root: Path) -> List[Path]:
+    return sorted(path for path in root.rglob("*.md")
+                  if not any(part in _SKIP_DIRS for part in path.parts))
+
+
+def check_file(path: Path, root: Path) -> List[Tuple[str, str]]:
+    """Broken links in one file as (target, reason) pairs."""
+    text = path.read_text(encoding="utf-8")
+    problems: List[Tuple[str, str]] = []
+    for target in _LINK_RE.findall(_CODE_FENCE_RE.sub("", text)):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                problems.append((target, "escapes the repository"))
+                continue
+            if not resolved.exists():
+                problems.append((target, "file does not exist"))
+                continue
+        else:
+            resolved = path
+        if anchor:
+            if resolved.suffix.lower() != ".md":
+                continue  # anchors into non-markdown files: out of scope
+            slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
+            if anchor not in slugs:
+                problems.append((target, f"no heading #{anchor} in "
+                                 f"{resolved.relative_to(root.resolve())}"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    files = markdown_files(root)
+    broken = 0
+    for path in files:
+        for target, reason in check_file(path, root):
+            print(f"{path.relative_to(root)}: broken link "
+                  f"'{target}' ({reason})")
+            broken += 1
+    checked = len(files)
+    if broken:
+        print(f"\n{broken} broken link(s) across {checked} markdown files")
+        return 1
+    print(f"OK: all intra-repo links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
