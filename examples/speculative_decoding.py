@@ -1,0 +1,136 @@
+"""Speculative decoding walkthrough.
+
+Decode is memory-bound: every iteration re-reads all the weights to emit one
+token per sequence, so the serialized iteration count — not FLOPs — bounds
+inter-token latency.  Speculative decoding breaks that bound: a small draft
+model proposes ``k`` tokens, the target verifies all ``k + 1`` positions in
+one batched step (priced through the chunked-prefill GEMM path plus a
+full-width LM head), and the accepted prefix commits at once.  Everything is
+modeled from first principles through the GPU cost model; only *acceptance*
+— a property of the traffic, not the hardware — is sampled from seeded
+per-request streams under a workload profile.
+
+Three sections on a Llama-2-7B target (QServe W4A8KV4, one A100):
+
+1. **Lookahead sweep** — k = 2/4/8 with a llama-160m draft on predictable
+   (low-entropy) traffic, against the non-speculative baseline: TPOT drops
+   ~3x because one verification step commits ~4 tokens.
+2. **Draft size** — llama-68m vs llama-160m vs tinyllama-1.1b at k = 4: a
+   bigger draft proposes no better here (acceptance is the workload's), so
+   its extra decode cost and KV/weight reservation are pure overhead.
+3. **Acceptance profiles** — the same stack across code/chat/high-entropy
+   traffic at a compute-bound batch: speedup degrades gracefully as
+   acceptance falls, deep static lookahead goes *negative* on hard traffic,
+   and acceptance-aware adaptive lookahead wins it back.
+
+Run with:  python examples/speculative_decoding.py [model-name]
+"""
+
+import sys
+
+from repro.experiments.runner import format_table
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import (
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    ServingEngine,
+    SpeculativeConfig,
+    make_uniform_workload,
+)
+
+
+def _engine(model_name):
+    return ServingEngine(get_config(model_name), A100,
+                         SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                         max_seq_len=1024)
+
+
+def _serve(engine, workload, max_num_seqs, spec=None):
+    return engine.serve(workload.copy_fresh(), max_num_seqs=max_num_seqs,
+                        scheduling=SCHEDULING_PRESETS["chunked"],
+                        speculative=spec)
+
+
+def _rows(results):
+    return [[name,
+             round(r.generation_throughput, 1),
+             round(r.metrics.tpot.mean * 1e3, 2),
+             round(r.metrics.tpot.p95 * 1e3, 2),
+             round(r.tokens_per_iteration, 2),
+             f"{r.acceptance_rate * 100:.1f}",
+             f"{r.speculation_speedup:.2f}"]
+            for name, r in results.items()]
+
+
+_HEADER = ["Configuration", "Tok/s", "TPOT mean (ms)", "TPOT p95 (ms)",
+           "Tok/iter", "Accept (%)", "Speedup"]
+
+
+def lookahead_study(model_name: str) -> None:
+    engine = _engine(model_name)
+    workload = make_uniform_workload(24, prompt_len=512, output_len=256)
+    draft = get_config("llama-160m")
+    results = {"baseline (no speculation)": _serve(engine, workload, 8)}
+    for k in (2, 4, 8):
+        spec = SpeculativeConfig(draft, lookahead=k, profile="low-entropy")
+        results[f"k={k}, llama-160m draft"] = _serve(engine, workload, 8, spec)
+    print(f"Lookahead sweep for {model_name} on A100 (QServe W4A8KV4, "
+          f"batch 8, low-entropy traffic):\n")
+    print(format_table(_HEADER, _rows(results)))
+    print("\nOne verification step commits ~4 tokens at this acceptance, so "
+          "mean TPOT falls ~3x.\nDeeper lookahead has diminishing returns: "
+          "late draft positions are accepted less\noften but still cost "
+          "draft decode steps.")
+
+
+def draft_size_study(model_name: str) -> None:
+    engine = _engine(model_name)
+    workload = make_uniform_workload(24, prompt_len=512, output_len=256)
+    results = {}
+    for name in ("llama-68m", "llama-160m", "tinyllama-1.1b"):
+        spec = SpeculativeConfig(get_config(name), lookahead=4,
+                                 profile="low-entropy")
+        results[f"{name} draft"] = _serve(engine, workload, 8, spec)
+    print(f"\nDraft size at k=4 (acceptance fixed by the workload profile):\n")
+    print(format_table(_HEADER, _rows(results)))
+    print("\nAcceptance is a property of the traffic here, so the smallest "
+          "draft wins: the\nbigger drafts pay more per proposal step and "
+          "reserve more of the GPU's KV budget\nfor their weights and shadow "
+          "KV cache.  (In reality a bigger draft buys some\nacceptance back "
+          "— model that by pairing it with a stronger profile.)")
+
+
+def acceptance_study(model_name: str) -> None:
+    engine = _engine(model_name)
+    workload = make_uniform_workload(48, prompt_len=512, output_len=256)
+    draft = get_config("llama-160m")
+    results = {"baseline (no speculation)": _serve(engine, workload, 48)}
+    for profile in ("code", "chat", "high-entropy"):
+        spec = SpeculativeConfig(draft, lookahead=4, profile=profile)
+        results[f"{profile}, k=4"] = _serve(engine, workload, 48, spec)
+    results["high-entropy, k=8 static"] = _serve(
+        engine, workload, 48,
+        SpeculativeConfig(draft, lookahead=8, profile="high-entropy"))
+    results["high-entropy, k=8 adaptive"] = _serve(
+        engine, workload, 48,
+        SpeculativeConfig(draft, lookahead=8, adaptive=True,
+                          profile="high-entropy"))
+    print(f"\nAcceptance profiles at batch 48 (compute-bound — verification "
+          f"FLOPs now cost):\n")
+    print(format_table(_HEADER, _rows(results)))
+    print("\nSpeedup degrades gracefully as traffic gets harder to draft.  "
+          "Over-speculating\n(k=8 static on high-entropy) is slower than not "
+          "speculating at all — every\nrejected token still paid "
+          "verification FLOPs — while the adaptive lookahead\nshrinks k on "
+          "requests whose drafts keep missing and recovers the win.")
+
+
+def main(model_name: str = "llama-2-7b") -> None:
+    lookahead_study(model_name)
+    draft_size_study(model_name)
+    acceptance_study(model_name)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama-2-7b")

@@ -168,6 +168,26 @@ register_config(ModelConfig(
 ))
 
 # ----------------------------------------------------------------------
+# Draft models for speculative decoding (cost model / serving simulator).
+# The small Llama-architecture checkpoints the speculative-decoding
+# literature drafts with (JackFram/llama-68m, llama-160m, TinyLlama-1.1B):
+# same tokenizer family as the Llama targets, 1-2 orders of magnitude
+# fewer parameters, so a draft decode step is weight-traffic-cheap.
+# ----------------------------------------------------------------------
+register_config(ModelConfig(
+    name="llama-68m", hidden_size=768, intermediate_size=3072, num_layers=2,
+    num_heads=12, num_kv_heads=12, vocab_size=32000, max_seq_len=2048,
+))
+register_config(ModelConfig(
+    name="llama-160m", hidden_size=768, intermediate_size=3072, num_layers=12,
+    num_heads=12, num_kv_heads=12, vocab_size=32000, max_seq_len=2048,
+))
+register_config(ModelConfig(
+    name="tinyllama-1.1b", hidden_size=2048, intermediate_size=5632,
+    num_layers=22, num_heads=32, num_kv_heads=4, vocab_size=32000,
+))
+
+# ----------------------------------------------------------------------
 # CPU-scale presets for accuracy experiments.
 # ----------------------------------------------------------------------
 register_config(ModelConfig(

@@ -29,6 +29,9 @@ goodput) under pluggable scheduling policies:
   iteration-level :class:`EngineStepper`);
 * :mod:`repro.serving.parallel` — tensor-parallel sharding + all-reduce cost
   model (:class:`ParallelConfig`);
+* :mod:`repro.serving.speculative` — speculative decoding: draft-model cost
+  modeling, seeded per-request acceptance sampling under workload profiles,
+  acceptance-aware adaptive lookahead (:class:`SpeculativeConfig`);
 * :mod:`repro.serving.cluster` — multi-replica cluster simulation behind
   pluggable routers (round-robin, least-outstanding, shortest-queue,
   prefix-affinity, disaggregated), including role-specialised
@@ -74,6 +77,15 @@ from repro.serving.policies import (
 from repro.serving.metrics import RequestMetrics, LatencySummary, ServingMetrics
 from repro.serving.scheduler import ContinuousBatchingScheduler
 from repro.serving.parallel import ParallelConfig
+from repro.serving.speculative import (
+    AcceptanceProfile,
+    ACCEPTANCE_PROFILES,
+    get_acceptance_profile,
+    AcceptanceSampler,
+    SpeculativeConfig,
+    SpeculationStats,
+    SpeculativeDecoder,
+)
 from repro.serving.engine import (
     EngineStepper,
     ServingEngine,
@@ -117,6 +129,9 @@ __all__ = [
     "RequestMetrics", "LatencySummary", "ServingMetrics",
     "ContinuousBatchingScheduler",
     "ParallelConfig",
+    "AcceptanceProfile", "ACCEPTANCE_PROFILES", "get_acceptance_profile",
+    "AcceptanceSampler", "SpeculativeConfig", "SpeculationStats",
+    "SpeculativeDecoder",
     "EngineStepper", "ServingEngine", "ServingResult", "StepBreakdown",
     "Router", "RoundRobinRouter", "LeastOutstandingRouter",
     "ShortestQueueRouter", "PrefixAffinityRouter", "DisaggregatedRouter",

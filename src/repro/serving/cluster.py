@@ -62,6 +62,7 @@ from repro.serving.parallel import ParallelConfig
 from repro.serving.policies import SchedulingConfig
 from repro.serving.precision import SystemConfig
 from repro.serving.request import Request, Workload
+from repro.serving.speculative import SpeculativeConfig
 
 __all__ = [
     "Router",
@@ -322,6 +323,19 @@ class ClusterResult:
         return sum(r.saved_prefill_tokens for r in self.replica_results)
 
     @property
+    def acceptance_rate(self) -> float:
+        """Cluster-wide draft-token acceptance rate (0 when speculation is off).
+
+        Aggregated over the replicas that ran speculative decoding — in a
+        disaggregated cluster, the decode tier.
+        """
+        proposed = sum(r.spec_stats.proposed_tokens for r in self.replica_results
+                       if r.spec_stats is not None)
+        accepted = sum(r.spec_stats.accepted_tokens for r in self.replica_results
+                       if r.spec_stats is not None)
+        return 0.0 if proposed == 0 else accepted / proposed
+
+    @property
     def cache_hit_rate(self) -> float:
         """Cluster-wide prefix-cache token hit rate (0 when caching is off)."""
         hits = sum(r.prefix_stats.hit_tokens for r in self.replica_results
@@ -416,24 +430,29 @@ class ClusterEngine:
     def serve(self, workload: Workload,
               router: Union[str, Router] = "least-outstanding",
               max_num_seqs: Optional[int] = None,
-              scheduling: Optional[SchedulingConfig] = None) -> ClusterResult:
+              scheduling: Optional[SchedulingConfig] = None,
+              speculative: Optional[SpeculativeConfig] = None) -> ClusterResult:
         """Serve ``workload`` across the cluster and aggregate the results.
 
         ``router`` is a registry name or a :class:`Router` instance (fresh
         instances keep round-robin state per run).  ``max_num_seqs`` and
         ``scheduling`` apply per replica, exactly as in
-        :meth:`ServingEngine.serve`.  In a disaggregated cluster the router
-        sees only the prefill-capable replicas; migration targets are picked
-        by :meth:`DisaggregatedRouter.route_decode` (least-loaded fallback
-        for routers without one).
+        :meth:`ServingEngine.serve`.  ``speculative`` enables speculative
+        decoding on every decode-capable replica (``decode`` and ``mixed``
+        roles; prefill-role replicas never decode, so they keep their full
+        KV budget instead of hosting a draft model).  In a disaggregated
+        cluster the router sees only the prefill-capable replicas; migration
+        targets are picked by :meth:`DisaggregatedRouter.route_decode`
+        (least-loaded fallback for routers without one).
         """
         if isinstance(router, str):
             router = get_router(router)
         if self.disaggregated:
             return self._serve_disaggregated(workload, router, max_num_seqs,
-                                             scheduling)
+                                             scheduling, speculative)
         replicas = [EngineStepper(self.engine, scheduling=scheduling,
-                                  max_num_seqs=max_num_seqs)
+                                  max_num_seqs=max_num_seqs,
+                                  speculative=speculative)
                     for _ in range(self.num_replicas)]
         assignments: List[List[Request]] = [[] for _ in replicas]
 
@@ -490,7 +509,8 @@ class ClusterEngine:
 
     def _serve_disaggregated(self, workload: Workload, router: Router,
                              max_num_seqs: Optional[int],
-                             scheduling: Optional[SchedulingConfig]
+                             scheduling: Optional[SchedulingConfig],
+                             speculative: Optional[SpeculativeConfig] = None
                              ) -> ClusterResult:
         """Event-driven serving loop with prefill→decode migrations.
 
@@ -506,7 +526,9 @@ class ClusterEngine:
         """
         replicas = [EngineStepper(self.engine, scheduling=scheduling,
                                   max_num_seqs=max_num_seqs,
-                                  migrate_out=(role == "prefill"))
+                                  migrate_out=(role == "prefill"),
+                                  speculative=(None if role == "prefill"
+                                               else speculative))
                     for role in self.roles]
         prefill_idx = [i for i, role in enumerate(self.roles)
                        if role in ("prefill", "mixed")]

@@ -35,6 +35,15 @@ The loop is exposed at two granularities: :meth:`ServingEngine.serve` runs a
 workload to completion, while :class:`EngineStepper` advances the same loop
 one iteration at a time — the hook :class:`repro.serving.cluster.ClusterEngine`
 uses to run several replica engines against one shared clock.
+
+With a :class:`repro.serving.speculative.SpeculativeConfig` attached, decode
+iterations run speculatively: a draft engine proposes ``k`` tokens per
+request (priced as ``k`` real draft decode steps), the target verifies all
+``k + 1`` positions in one batched step (:meth:`speculative_verify_step`,
+which reuses the chunked-prefill GEMM/attention path plus a full-width LM
+head), and the accepted prefix commits in a single multi-token scheduler
+step.  ``speculative=None`` (the default) leaves every existing result
+bitwise-identical.
 """
 
 from __future__ import annotations
@@ -58,6 +67,11 @@ from repro.serving.policies import (
 from repro.serving.precision import SystemConfig
 from repro.serving.request import Request, RequestState, Workload
 from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.speculative import (
+    SpeculationStats,
+    SpeculativeConfig,
+    SpeculativeDecoder,
+)
 
 __all__ = ["StepBreakdown", "ServingResult", "ServingEngine", "EngineStepper"]
 
@@ -113,11 +127,34 @@ class ServingResult:
     kv_utilization_peak: float = 0.0
     #: Prefix-cache counters; ``None`` unless prefix caching was enabled.
     prefix_stats: Optional[PrefixCacheStats] = None
+    #: Speculative-decoding counters; ``None`` unless speculation was enabled.
+    spec_stats: Optional[SpeculationStats] = None
 
     @property
     def generation_throughput(self) -> float:
         """Generated tokens per second — the paper's headline metric."""
         return 0.0 if self.total_time_s == 0 else self.generated_tokens / self.total_time_s
+
+    @property
+    def tokens_per_iteration(self) -> float:
+        """Mean generated tokens committed per executed iteration.
+
+        Plain decoding commits at most one token per running sequence per
+        iteration, so the decode batch size caps this gauge; speculative
+        decoding is the only way past that cap.
+        """
+        return (0.0 if self.num_iterations == 0
+                else self.generated_tokens / self.num_iterations)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Draft-token acceptance rate (0 when speculation was off)."""
+        return 0.0 if self.spec_stats is None else self.spec_stats.acceptance_rate
+
+    @property
+    def speculation_speedup(self) -> float:
+        """Estimated decode speedup vs. one-token iterations (0 when off)."""
+        return 0.0 if self.spec_stats is None else self.spec_stats.speedup
 
     @property
     def cache_hit_rate(self) -> float:
@@ -138,6 +175,13 @@ class ServingResult:
         if self.metrics is not None and len(self.metrics):
             lines.append(self.metrics.summary_text())
         lines.append(f"KV utilization: peak {self.kv_utilization_peak * 100:.1f}%")
+        lines.append(f"tokens/iteration: {self.tokens_per_iteration:.2f}")
+        if self.spec_stats is not None:
+            s = self.spec_stats
+            lines.append(
+                f"speculation: acceptance {s.acceptance_rate * 100:.1f}%, "
+                f"{s.mean_accepted_per_step:.2f} accepted tokens/step, "
+                f"est. speedup {s.speedup:.2f}x")
         if self.prefix_stats is not None:
             s = self.prefix_stats
             lines.append(
@@ -194,10 +238,15 @@ class ServingEngine:
         per_gpu = max(0.0, self.gpu.memory_bytes - weights - workspace)
         return per_gpu * self.parallel.tp_degree
 
-    def new_kv_manager(self) -> PagedKVCacheManager:
+    def new_kv_manager(self, capacity_bytes: Optional[float] = None
+                       ) -> PagedKVCacheManager:
+        """A fresh KV manager; ``capacity_bytes`` overrides the memory-model
+        capacity (speculative decoding reserves part of it for the draft)."""
+        if capacity_bytes is None:
+            capacity_bytes = self.kv_capacity_bytes()
         return PagedKVCacheManager(
             model=self.model, system=self.system,
-            capacity_bytes=self.kv_capacity_bytes(),
+            capacity_bytes=capacity_bytes,
             max_seq_len=self.max_seq_len)
 
     # ------------------------------------------------------------------
@@ -323,6 +372,32 @@ class ServingEngine:
                              other=_STEP_OVERHEAD_S / eff,
                              comm=self._comm_latency(tokens))
 
+    def speculative_verify_step(self, verify_chunks: List[Tuple[int, int]],
+                                prefill_chunks: List[Tuple[int, int]] = (),
+                                decode_batch: int = 0,
+                                decode_context: int = 0) -> StepBreakdown:
+        """Latency of one speculative verification iteration.
+
+        ``verify_chunks`` holds one ``(tokens, context)`` pair per
+        speculating request: the ``k + 1`` candidate positions (drafted
+        tokens plus the bonus position) score against ``context`` tokens of
+        KV state plus the block itself — the same GEMM/attention shape as a
+        chunked-prefill chunk, so verification reuses :meth:`mixed_step`'s
+        cost path and shares its projection GEMMs with any ``prefill_chunks``
+        and plain decodes riding the iteration.  The one difference from a
+        prefill chunk: *every* verified position needs logits to compare
+        against the draft, so the LM head covers all verify tokens instead
+        of being skipped for mid-chunk positions.
+        """
+        if not verify_chunks:
+            raise ValueError("speculative_verify_step needs >= 1 verify chunk")
+        chunks = list(prefill_chunks) + list(verify_chunks)
+        base = self.mixed_step(chunks, decode_batch, decode_context)
+        lm = self._lm_head_latency(sum(t for t, _ in verify_chunks))
+        eff = self.system.runtime_efficiency
+        return StepBreakdown(gemm=base.gemm + lm / eff, attention=base.attention,
+                             other=base.other, comm=base.comm)
+
     # ------------------------------------------------------------------
     # System-level serving loop
     # ------------------------------------------------------------------
@@ -351,26 +426,30 @@ class ServingEngine:
             batch = len(decode)
             context = int(sum(r.context_len for r in decode) / batch)
             return self.decode_step(batch, context).total
-        chunks = [(tokens, r.cached_tokens + r.prefilled)
-                  for r, tokens in plan.prefill_chunks]
         decode_context = 0
         if decode:
             decode_context = int(sum(r.context_len for r in decode) / len(decode))
-        return self.mixed_step(chunks, len(decode), decode_context).total
+        return self.mixed_step(plan.chunk_pairs(), len(decode),
+                               decode_context).total
 
     def serve(self, workload: Workload, max_num_seqs: Optional[int] = None,
-              scheduling: Optional[SchedulingConfig] = None) -> ServingResult:
+              scheduling: Optional[SchedulingConfig] = None,
+              speculative: Optional[SpeculativeConfig] = None) -> ServingResult:
         """Run the continuous-batching loop over ``workload`` on a simulated clock.
 
         ``scheduling`` selects the policy/planner/preemption preset; the
         default :data:`LEGACY_SCHEDULING` reproduces the seed engine exactly.
+        ``speculative`` turns decode iterations into draft-and-verify steps
+        (see :mod:`repro.serving.speculative`); ``None`` keeps every result
+        bitwise-identical to the non-speculative engine.
         Requests a configuration can never admit (e.g. a context larger than
         the whole KV cache under conservative reservation) are left unserved
         and counted in ``ServingResult.num_unserved`` rather than hanging the
         loop.
         """
         stepper = EngineStepper(self, scheduling=scheduling,
-                                max_num_seqs=max_num_seqs)
+                                max_num_seqs=max_num_seqs,
+                                speculative=speculative)
         stepper.submit(list(workload.requests))
         stepper.run()
         return stepper.result(workload)
@@ -394,7 +473,8 @@ class EngineStepper:
     def __init__(self, engine: ServingEngine,
                  scheduling: Optional[SchedulingConfig] = None,
                  max_num_seqs: Optional[int] = None,
-                 migrate_out: bool = False) -> None:
+                 migrate_out: bool = False,
+                 speculative: Optional[SpeculativeConfig] = None) -> None:
         self.engine = engine
         #: Prefill-role behaviour (disaggregated serving): the instant a
         #: request completes its prefill it is exported from the scheduler
@@ -404,7 +484,23 @@ class EngineStepper:
         self.outbox: List[Request] = []
         self.scheduling = scheduling or LEGACY_SCHEDULING
         self.planner = self.scheduling.build_planner()
-        kv_manager = engine.new_kv_manager()
+        #: Speculative-decoding runtime; ``None`` runs plain decode
+        #: iterations.  The draft model's weights and shadow KV cache come
+        #: out of this replica's KV budget, so the page pool shrinks.
+        self.spec: Optional[SpeculativeDecoder] = None
+        kv_capacity: Optional[float] = None
+        if speculative is not None:
+            self.spec = SpeculativeDecoder(engine, speculative)
+            kv_capacity = self.spec.usable_kv_capacity(engine.kv_capacity_bytes())
+            if hasattr(self.planner, "decode_token_weight"):
+                # A speculating request consumes lookahead + 1 iteration
+                # tokens (its verified block), so the chunked planner's
+                # per-iteration token budget must charge it accordingly —
+                # otherwise speculation would silently blow the cap the
+                # budget exists to enforce.
+                self.planner.decode_token_weight = \
+                    lambda r: self.spec.lookahead_for(r) + 1
+        kv_manager = engine.new_kv_manager(capacity_bytes=kv_capacity)
         self.prefix_cache: Optional[PrefixCache] = None
         if self.scheduling.prefix_caching:
             if not engine.system.paged_kv:
@@ -507,8 +603,11 @@ class EngineStepper:
         if self.scheduling.preemption:
             # Claim pages for every decode before planning; may preempt
             # any running request — including one admitted just above, so
-            # drop evictees from the admitted list before planning.
-            scheduler.prepare_decode()
+            # drop evictees from the admitted list before planning.  With
+            # speculation the claim covers the whole drafted block
+            # (rejected tokens are trimmed back after verification).
+            scheduler.prepare_decode(
+                lookahead=None if self.spec is None else self.spec.lookahead_for)
             admitted = [r for r in admitted
                         if r.state is RequestState.PREFILLING]
         plan = self.planner.plan(scheduler, admitted)
@@ -544,14 +643,23 @@ class EngineStepper:
             return True
         self.kv_utilization_peak = max(self.kv_utilization_peak,
                                        self.scheduler.kv_manager.utilization())
-        latency = self.engine._plan_latency(plan)
+        outcome = None
+        if self.spec is not None and plan.decode:
+            outcome = self.spec.run_iteration(plan.decode, plan.chunk_pairs())
+            latency = outcome.latency_s
+        else:
+            latency = self.engine._plan_latency(plan)
         self.now += latency
         self.busy_s += latency
         self.iterations += 1
         if plan.decode:
             self.peak_batch = max(self.peak_batch, len(plan.decode))
-            self.generated += len(plan.decode)
-            scheduler.record_decode_step(self.now)
+            if outcome is not None:
+                self.generated += outcome.committed_tokens
+                scheduler.record_decode_step(self.now, commits=outcome.commits)
+            else:
+                self.generated += len(plan.decode)
+                scheduler.record_decode_step(self.now)
         for request, tokens in plan.prefill_chunks:
             scheduler.record_prefill(request, tokens, self.now)
         if self.migrate_out:
@@ -613,4 +721,5 @@ class EngineStepper:
             kv_utilization_peak=self.kv_utilization_peak,
             prefix_stats=(None if self.prefix_cache is None
                           else self.prefix_cache.stats),
+            spec_stats=None if self.spec is None else self.spec.stats,
         )

@@ -183,6 +183,29 @@ class PagedKVCacheManager:
         self.pages_transferred_in_total += adopted
         return adopted
 
+    def trim(self, request_id: int, num_tokens: int,
+             shared_pages: int = 0) -> int:
+        """Shrink ``request_id``'s allocation to cover ``num_tokens`` tokens.
+
+        Speculative decoding's rollback: pages claimed optimistically for a
+        drafted block are released again for the tokens verification
+        rejected.  Never grows an allocation, and a request already at or
+        below the target is untouched; returns the pages freed (tallied in
+        ``pages_freed_total``, so conservation accounting stays exact).
+        """
+        target = max(0, self.pages_for_tokens(num_tokens) - shared_pages)
+        current = self._allocated.get(request_id, 0)
+        if current <= target:
+            return 0
+        freed = current - target
+        if target == 0:
+            self._allocated.pop(request_id)
+            self._freed_ids.add(request_id)
+        else:
+            self._allocated[request_id] = target
+        self.pages_freed_total += freed
+        return freed
+
     def free(self, request_id: int) -> int:
         """Release all private pages of a finished request; returns pages freed.
 

@@ -44,6 +44,11 @@ class RequestMetrics:
     #: through, and the exposed KV-transfer delay they added to its TTFT.
     migrations: int = 0
     transfer_delay_s: float = 0.0
+    #: Speculative decoding: draft-and-verify iterations, draft tokens
+    #: proposed and accepted for this request (all zero when off).
+    spec_steps: int = 0
+    draft_proposed: int = 0
+    draft_accepted: int = 0
 
     @property
     def ttft(self) -> float:
@@ -105,6 +110,9 @@ class RequestMetrics:
             preemptions=request.preemptions,
             migrations=request.migrations,
             transfer_delay_s=request.transfer_delay_s,
+            spec_steps=request.spec_steps,
+            draft_proposed=request.draft_proposed,
+            draft_accepted=request.draft_accepted,
         )
 
 
@@ -175,6 +183,26 @@ class ServingMetrics:
     def total_migrations(self) -> int:
         """Prefill→decode handoffs across all finished requests."""
         return sum(r.migrations for r in self.requests)
+
+    @property
+    def draft_proposed_tokens(self) -> int:
+        """Draft tokens proposed across all finished requests."""
+        return sum(r.draft_proposed for r in self.requests)
+
+    @property
+    def draft_accepted_tokens(self) -> int:
+        """Draft tokens that survived verification across finished requests."""
+        return sum(r.draft_accepted for r in self.requests)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Draft-token acceptance rate over finished requests.
+
+        Zero when speculation was off (no tokens were ever proposed), so the
+        gauge is safe to read unconditionally.
+        """
+        proposed = self.draft_proposed_tokens
+        return 0.0 if proposed == 0 else self.draft_accepted_tokens / proposed
 
     @property
     def transfer_delay(self) -> LatencySummary:

@@ -186,6 +186,17 @@ class IterationPlan:
     def is_empty(self) -> bool:
         return not self.prefill_chunks and not self.decode
 
+    def chunk_pairs(self) -> List[Tuple[int, int]]:
+        """Each prefill chunk as the ``(tokens, kv_offset)`` pair the
+        engine's mixed-step cost path consumes: a chunk's queries attend to
+        the request's cached prefix plus whatever it already prefilled.
+        The single source of that mapping — the plain and the speculative
+        iteration paths both price chunks through it, so they can never
+        drift apart.
+        """
+        return [(tokens, r.cached_tokens + r.prefilled)
+                for r, tokens in self.prefill_chunks]
+
 
 class IterationPlanner(abc.ABC):
     """Chooses each iteration's prefill/decode composition."""
@@ -220,11 +231,20 @@ class ChunkedPrefillPlanner(IterationPlanner):
         if token_budget <= 0:
             raise ValueError("token_budget must be positive")
         self.token_budget = token_budget
+        #: Iteration tokens one decoding request will consume; bound by the
+        #: engine stepper when speculative decoding is on (a speculating
+        #: request verifies ``lookahead + 1`` rows, not 1), ``None`` counts
+        #: each decode as a single token.
+        self.decode_token_weight = None
 
     def plan(self, scheduler: "ContinuousBatchingScheduler",
              admitted: List[Request]) -> IterationPlan:
         decode = scheduler.decoding_requests()
-        budget = max(0, self.token_budget - len(decode))
+        if self.decode_token_weight is None:
+            decode_tokens = len(decode)
+        else:
+            decode_tokens = sum(self.decode_token_weight(r) for r in decode)
+        budget = max(0, self.token_budget - decode_tokens)
         chunks: List[Tuple[Request, int]] = []
         for request in scheduler.prefilling_requests():
             if budget <= 0:

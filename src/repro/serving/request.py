@@ -114,6 +114,13 @@ class Request:
     #: (non-overlapped) KV-transfer delay they added to its critical path.
     migrations: int = 0
     transfer_delay_s: float = 0.0
+    #: Speculative decoding: draft-and-verify iterations this request took
+    #: part in, draft tokens proposed for it, and how many survived
+    #: verification.  All zero when speculation is off (or the request only
+    #: ever decoded plainly, e.g. a single-token output).
+    spec_steps: int = 0
+    draft_proposed: int = 0
+    draft_accepted: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0:

@@ -42,7 +42,7 @@ batch directly.  See :mod:`repro.serving.cluster` for the transfer pricing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
 from repro.serving.policies import FCFSPolicy, SchedulerPolicy
@@ -296,14 +296,21 @@ class ContinuousBatchingScheduler:
         request.state = RequestState.MIGRATING
         request.kv_ready = True
 
-    def prepare_decode(self) -> List[Request]:
-        """Guarantee every decoding request can append one token.
+    def prepare_decode(self, lookahead: Optional[Callable[[Request], int]] = None
+                       ) -> List[Request]:
+        """Guarantee every decoding request can append its next token(s).
 
         Under optimistic admission a decode step may need a fresh page for a
         request whose context crosses a page boundary.  Pages are claimed here,
         highest-priority request first; when the cache is exhausted the
         policy's lowest-priority *running* request (decoding or prefilling) is
         preempted until the claim fits.  Returns the surviving decode batch.
+
+        ``lookahead`` (speculative decoding) returns the extra draft tokens a
+        request will verify beyond its next token, so the claim covers the
+        whole speculated block optimistically; tokens rejected at
+        verification are trimmed back by :meth:`record_decode_step`, keeping
+        page conservation exact.
         """
         decoding = self.decoding_requests()
         if not self.preemption or not decoding:
@@ -312,12 +319,14 @@ class ContinuousBatchingScheduler:
         for request in self.policy.admission_order(decoding):
             if request.state is not RequestState.DECODING:
                 continue  # preempted as a victim earlier in this pass
+            claim = request.context_len + 1
+            if lookahead is not None:
+                claim += lookahead(request)
             preempted_self = False
             while not self.kv_manager.can_allocate(
-                    request.request_id, request.context_len + 1,
-                    request.shared_kv_pages):
+                    request.request_id, claim, request.shared_kv_pages):
                 deficit = (self.kv_manager.pages_needed(
-                    request.request_id, request.context_len + 1,
+                    request.request_id, claim,
                     request.shared_kv_pages) - self.kv_manager.free_pages)
                 if (self.prefix_cache is not None
                         and self.prefix_cache.evict(deficit) > 0):
@@ -333,13 +342,12 @@ class ContinuousBatchingScheduler:
                         break
                     raise PageAllocationError(
                         f"request {request.request_id} needs "
-                        f"{request.context_len + 1} tokens of KV cache but the "
+                        f"{claim} tokens of KV cache but the "
                         f"device holds only "
                         f"{self.kv_manager.total_pages * self.kv_manager.page_size}")
                 self._preempt(victim)
             if not preempted_self:
-                self.kv_manager.allocate(request.request_id,
-                                         request.context_len + 1,
+                self.kv_manager.allocate(request.request_id, claim,
                                          request.shared_kv_pages)
                 survivors.append(request)
         return survivors
@@ -354,15 +362,35 @@ class ContinuousBatchingScheduler:
     # ------------------------------------------------------------------
     # Decode accounting
     # ------------------------------------------------------------------
-    def record_decode_step(self, now: float) -> List[Request]:
-        """Account one generated token per decoding request; retire finished ones."""
+    def record_decode_step(self, now: float,
+                           commits: Optional[Dict[int, int]] = None
+                           ) -> List[Request]:
+        """Account generated tokens per decoding request; retire finished ones.
+
+        Without ``commits`` every decoding request advances by one token (the
+        plain decode step).  With ``commits`` (speculative decoding) each
+        request advances by its committed token count — accepted draft tokens
+        plus the bonus token, so always >= 1 for participants; requests absent
+        from the mapping are left untouched.  Under optimistic reservation the
+        speculative page claim made by :meth:`prepare_decode` is trimmed back
+        to the tokens actually kept, releasing the rejected tokens' pages
+        (conservative reservation never allocated them in the first place).
+        """
         completed: List[Request] = []
         survivors: List[Request] = []
         for request in self.running:
             if request.state is not RequestState.DECODING:
                 survivors.append(request)
                 continue
-            request.generated += 1
+            if commits is None:
+                tokens = 1
+            else:
+                tokens = commits.get(request.request_id, 0)
+                if tokens <= 0:
+                    survivors.append(request)
+                    continue
+            request.generated = min(request.output_len,
+                                    request.generated + tokens)
             if request.first_token_time is None:
                 request.first_token_time = now
             if request.finished:
@@ -373,10 +401,16 @@ class ContinuousBatchingScheduler:
                 self.kv_manager.free(request.request_id)
                 completed.append(request)
             else:
-                # Grow the allocation to cover the newly generated token (a
+                # Grow the allocation to cover the newly generated token(s) (a
                 # no-op under conservative reservation, and pre-claimed by
                 # prepare_decode under preemption).
                 self.kv_manager.allocate(request.request_id, request.context_len,
+                                         request.shared_kv_pages)
+                if commits is not None and self.preemption:
+                    # Roll back the optimistic speculative claim: pages held
+                    # for drafted-but-rejected tokens are released again.
+                    self.kv_manager.trim(request.request_id,
+                                         request.context_len,
                                          request.shared_kv_pages)
                 survivors.append(request)
         self.running = survivors

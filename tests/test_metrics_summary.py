@@ -12,6 +12,7 @@ from repro.serving import (
     RequestMetrics,
     ServingMetrics,
     ServingResult,
+    SpeculationStats,
 )
 from repro.serving.prefix_cache import PrefixCacheStats
 
@@ -119,7 +120,9 @@ def test_serving_result_summary_text_minimal():
     assert "throughput: 250.0 tok/s" in text
     assert "(5 finished, 1 unserved)" in text
     assert "KV utilization: peak 42.0%" in text
+    assert "tokens/iteration: 5.00" in text          # 500 tokens / 100 iters
     assert "prefix cache" not in text                # stats absent => no line
+    assert "speculation" not in text                 # stats absent => no line
     assert "TTFT" not in text                        # no metrics attached
 
 
@@ -147,4 +150,54 @@ def test_serving_result_zero_time_throughput():
     assert result.generation_throughput == 0.0
     assert result.cache_hit_rate == 0.0
     assert result.saved_prefill_tokens == 0
+    assert result.tokens_per_iteration == 0.0        # no division by zero
+    assert result.acceptance_rate == 0.0
+    assert result.speculation_speedup == 0.0
     assert "throughput: 0.0 tok/s" in result.summary_text()
+
+
+# ----------------------------------------------------------------------
+# Speculative-decoding gauges
+# ----------------------------------------------------------------------
+def test_speculation_stats_properties():
+    empty = SpeculationStats()
+    assert empty.acceptance_rate == 0.0
+    assert empty.mean_accepted_per_step == 0.0
+    assert empty.speedup == 0.0                      # no pure-decode samples
+    stats = SpeculationStats(spec_steps=10, proposed_tokens=40,
+                             accepted_tokens=30, committed_tokens=40,
+                             spec_time_s=2.0, baseline_time_s=5.0)
+    assert stats.acceptance_rate == pytest.approx(0.75)
+    assert stats.mean_accepted_per_step == pytest.approx(3.0)
+    assert stats.mean_committed_per_request_step == pytest.approx(4.0)
+    assert stats.speedup == pytest.approx(2.5)
+
+
+def test_serving_result_summary_text_speculation_gauges():
+    stats = SpeculationStats(spec_steps=50, proposed_tokens=200,
+                             accepted_tokens=150, committed_tokens=200,
+                             spec_time_s=1.0, baseline_time_s=2.5)
+    result = ServingResult(total_time_s=1.0, generated_tokens=400,
+                           prompt_tokens=800, peak_batch=4,
+                           num_iterations=100, num_finished=4,
+                           spec_stats=stats)
+    text = result.summary_text()
+    assert "tokens/iteration: 4.00" in text
+    assert "speculation: acceptance 75.0%" in text
+    assert "3.00 accepted tokens/step" in text
+    assert "est. speedup 2.50x" in text
+    assert result.acceptance_rate == pytest.approx(0.75)
+    assert result.speculation_speedup == pytest.approx(2.5)
+
+
+def test_serving_metrics_acceptance_rate():
+    metrics = ServingMetrics(requests=[
+        _metric(0, spec_steps=5, draft_proposed=20, draft_accepted=16),
+        _metric(1, spec_steps=2, draft_proposed=10, draft_accepted=2),
+        _metric(2),                                  # plain-decoded request
+    ])
+    assert metrics.draft_proposed_tokens == 30
+    assert metrics.draft_accepted_tokens == 18
+    assert metrics.acceptance_rate == pytest.approx(0.6)
+    # Speculation off: no proposals anywhere, the gauge reads 0 safely.
+    assert ServingMetrics(requests=[_metric(0)]).acceptance_rate == 0.0
