@@ -12,6 +12,8 @@ goodput) under pluggable scheduling policies:
   GPU cost model's GEMM/attention kernels;
 * :mod:`repro.serving.request` — request and workload definitions, including
   ShareGPT-like lognormal and bursty on/off workload generators;
+* :mod:`repro.serving.cost_cache` — per-engine memoization of the pure
+  cost-model latencies, keyed on batch shape (bitwise-identical hits);
 * :mod:`repro.serving.kv_cache_manager` — paged KV cache with per-head scale
   storage, whole-request page reclamation and a ref-counted shared-page pool;
 * :mod:`repro.serving.prefix_cache` — radix-tree prefix sharing: prompt
@@ -52,6 +54,7 @@ from repro.serving.request import (
     make_shared_prefix_workload,
     make_chat_workload,
 )
+from repro.serving.cost_cache import CostModelCache, cache_enabled_default
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
 from repro.serving.prefix_cache import (
     PrefixCache,
@@ -119,6 +122,7 @@ __all__ = [
     "make_lognormal_workload", "make_bursty_workload",
     "make_router_study_workload", "make_shared_prefix_workload",
     "make_chat_workload",
+    "CostModelCache", "cache_enabled_default",
     "PagedKVCacheManager", "PageAllocationError",
     "PrefixCache", "PrefixCacheStats", "prompt_block_keys",
     "SchedulerPolicy", "FCFSPolicy", "StrictFCFSPolicy",

@@ -1,0 +1,84 @@
+"""Memoization layer for the engine's pure cost-model evaluations.
+
+The serving loop re-prices identical kernel shapes relentlessly: every decode
+iteration at batch ``b`` runs the same four projection GEMMs, every chunked
+prefill re-evaluates the same LM-head and all-reduce shapes, and a 100k
+-request trace asks the GEMM model the same ``(m, n, k, precision)`` question
+millions of times.  All of those calls are *pure* — the engine's model
+geometry, GPU spec, precision preset and parallel plan are fixed at
+construction — so each engine owns a :class:`CostModelCache` and keys its
+hot-path latencies on the only thing that varies: the batch shape.
+
+Correctness is trivial by construction: a hit returns the exact float the
+miss computed, so cached and uncached runs are bitwise-identical (the
+contract ``tests/test_perf_core.py`` locks in across schedulers, prefix
+caching and speculation).  Invalidation is equally simple: there is none.
+The cache never observes a key whose value could change, because everything
+else that feeds the latency formulas is immutable for the engine's lifetime;
+anything that *does* vary (context length, chunk boundaries, decode batch)
+must be part of the key.  Code that mutates an engine's model/GPU/system in
+place (no in-tree code does) must call :meth:`CostModelCache.clear`.
+
+The cache can be disabled per engine (``ServingEngine(cost_cache=False)``)
+or process-wide via ``REPRO_COST_CACHE=0`` — the A/B switch the equivalence
+tests and the perf benchmark's ``--no-cost-cache`` flag use.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+__all__ = ["CostModelCache", "cache_enabled_default"]
+
+
+def cache_enabled_default() -> bool:
+    """Process-wide default for new engines (``REPRO_COST_CACHE``, on unless
+    set to ``0``/``false``/``off``)."""
+    return os.environ.get("REPRO_COST_CACHE", "1").lower() not in (
+        "0", "false", "off")
+
+
+class CostModelCache:
+    """Hit-counted memo table for one engine's cost-model evaluations.
+
+    Keys are ``(kind, *shape)`` tuples — e.g. ``("gemm", tokens)`` for one
+    transformer block's projection GEMMs or ``("attn", batch, context)`` for
+    the decode-attention kernel — and values are latencies in seconds.  The
+    engine consults :attr:`store` directly on the hot path (a dict probe is
+    the whole point; wrapping it in a method call would give back a third of
+    the win) and uses :meth:`record_hit`/:meth:`record_miss` only to keep the
+    hit-rate gauge honest.
+    """
+
+    __slots__ = ("enabled", "hits", "misses", "store")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.store: Dict[Tuple, float] = {}
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never probed)."""
+        total = self.hits + self.misses
+        return 0.0 if total == 0 else self.hits / total
+
+    def clear(self) -> None:
+        """Drop every memoised value (counters included)."""
+        self.store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "on" if self.enabled else "off"
+        return (f"CostModelCache({state}, {len(self.store)} entries, "
+                f"hit rate {self.hit_rate * 100:.1f}%)")

@@ -48,6 +48,7 @@ bitwise-identical.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -55,6 +56,7 @@ from repro.gpu.attention_kernel import KV_KERNELS, attention_decode_latency
 from repro.gpu.gemm import GEMM_PRECISIONS, gemm_latency
 from repro.gpu.specs import GPUSpec
 from repro.model.config import ModelConfig
+from repro.serving.cost_cache import CostModelCache, cache_enabled_default
 from repro.serving.kv_cache_manager import PagedKVCacheManager
 from repro.serving.metrics import ServingMetrics
 from repro.serving.parallel import ParallelConfig
@@ -201,7 +203,8 @@ class ServingEngine:
 
     def __init__(self, model: ModelConfig, gpu: GPUSpec, system: SystemConfig,
                  max_seq_len: int = 2048,
-                 parallel: Optional[ParallelConfig] = None) -> None:
+                 parallel: Optional[ParallelConfig] = None,
+                 cost_cache: Optional[bool] = None) -> None:
         self.model = model
         self.gpu = gpu
         self.system = system
@@ -210,6 +213,13 @@ class ServingEngine:
         self.parallel.validate_for(model)
         self.gemm_precision = GEMM_PRECISIONS[system.gemm_precision]
         self.attention_kernel = KV_KERNELS[system.attention_kernel]
+        #: Memoises the pure per-shape latency evaluations below (see
+        #: :mod:`repro.serving.cost_cache`).  Everything that feeds the
+        #: latency formulas besides the batch shape is fixed at construction,
+        #: so hits are bitwise-identical to recomputation.  ``cost_cache``
+        #: overrides the process-wide ``REPRO_COST_CACHE`` default.
+        self.cost_cache = CostModelCache(
+            enabled=cache_enabled_default() if cost_cache is None else cost_cache)
 
     @property
     def tp_degree(self) -> int:
@@ -259,7 +269,17 @@ class ServingEngine:
         output dimension and the output/down projections shard their
         reduction dimension (Megatron column/row parallelism), so each GPU
         runs the same four GEMMs at ``1/tp`` of one matrix dimension.
+        Memoised on ``tokens`` — a serving loop prices the same row counts
+        (the decode batch sizes and chunk budgets in flight) thousands of
+        times per run.
         """
+        cache = self.cost_cache
+        if cache.enabled:
+            value = cache.store.get(("gemm", tokens))
+            if value is not None:
+                cache.hits += 1
+                return value
+            cache.misses += 1
         h = self.model.hidden_size
         kv = self.model.kv_dim
         inter = self.model.intermediate_size
@@ -282,6 +302,8 @@ class ServingEngine:
             ffn = (gemm_latency(self.gpu, tokens, 2 * inter // tp, h, p).total
                    + gemm_latency(self.gpu, tokens, h, inter // tp, p).total)
             total += ffn * (moe_factor - 1)
+        if cache.enabled:
+            cache.store[("gemm", tokens)] = total
         return total
 
     def _prefill_attention_latency(self, macs: float) -> float:
@@ -291,26 +313,64 @@ class ServingEngine:
 
     def _lm_head_latency(self, batch: int) -> float:
         """Latency of the (vocab-sharded) FP16 LM head for ``batch`` tokens."""
+        cache = self.cost_cache
+        if cache.enabled:
+            value = cache.store.get(("lm_head", batch))
+            if value is not None:
+                cache.hits += 1
+                return value
+            cache.misses += 1
         vocab = self.parallel.shard_ceil(self.model.vocab_size)
-        return gemm_latency(self.gpu, batch, vocab, self.model.hidden_size,
-                            GEMM_PRECISIONS["fp16"]).total
+        value = gemm_latency(self.gpu, batch, vocab, self.model.hidden_size,
+                             GEMM_PRECISIONS["fp16"]).total
+        if cache.enabled:
+            cache.store[("lm_head", batch)] = value
+        return value
 
     def _comm_latency(self, tokens: int) -> float:
         """Tensor-parallel all-reduce time of one iteration over ``tokens`` rows."""
-        return self.parallel.block_comm_latency(
+        if not self.parallel.is_parallel:
+            return 0.0
+        cache = self.cost_cache
+        if cache.enabled:
+            value = cache.store.get(("comm", tokens))
+            if value is not None:
+                cache.hits += 1
+                return value
+            cache.misses += 1
+        value = self.parallel.block_comm_latency(
             tokens, self.model.hidden_size, self.model.num_layers)
+        if cache.enabled:
+            cache.store[("comm", tokens)] = value
+        return value
+
+    def _decode_attention_latency(self, batch: int, context_len: int) -> float:
+        """All-layer decode-attention latency for ``batch`` sequences over
+        ``context_len`` cached tokens (memoised on the ``(batch, context)``
+        shape — the pair a steady decode batch repeats step after step)."""
+        cache = self.cost_cache
+        if cache.enabled:
+            value = cache.store.get(("attn", batch, context_len))
+            if value is not None:
+                cache.hits += 1
+                return value
+            cache.misses += 1
+        tp = self.parallel.tp_degree
+        value = attention_decode_latency(
+            self.gpu, self.attention_kernel, batch, max(1, context_len),
+            self.model.num_heads // tp, self.model.num_kv_heads // tp,
+            self.model.head_dim,
+        ).total * self.model.num_layers
+        if cache.enabled:
+            cache.store[("attn", batch, context_len)] = value
+        return value
 
     def decode_step(self, batch: int, context_len: int) -> StepBreakdown:
         """Latency of one decoding iteration for ``batch`` sequences."""
         if batch <= 0:
             raise ValueError("batch must be positive")
-        tp = self.parallel.tp_degree
         gemm = self._block_gemm_latency(batch) * self.model.num_layers
-        attn = attention_decode_latency(
-            self.gpu, self.attention_kernel, batch, max(1, context_len),
-            self.model.num_heads // tp, self.model.num_kv_heads // tp,
-            self.model.head_dim,
-        ).total * self.model.num_layers
+        attn = self._decode_attention_latency(batch, context_len)
         # LM head (kept in FP16 by every system).
         lm = self._lm_head_latency(batch)
         eff = self.system.runtime_efficiency
@@ -358,11 +418,7 @@ class ServingEngine:
                 self.model.num_heads * self.model.head_dim
         attn = self._prefill_attention_latency(macs / tp) if macs else 0.0
         if decode_batch > 0:
-            attn += attention_decode_latency(
-                self.gpu, self.attention_kernel, decode_batch,
-                max(1, decode_context), self.model.num_heads // tp,
-                self.model.num_kv_heads // tp, self.model.head_dim,
-            ).total * self.model.num_layers
+            attn += self._decode_attention_latency(decode_batch, decode_context)
         # LM head only for the decode tokens; mid-prompt logits are discarded.
         lm = 0.0
         if decode_batch > 0:
@@ -614,11 +670,14 @@ class EngineStepper:
         if plan.is_empty:
             # Nothing runnable: jump to the next arrival (for migrated
             # requests, the instant their KV transfer lands), or stop if the
-            # remaining requests can never be admitted.
-            future = [r.available_time for r in scheduler.waiting]
-            if not future:
+            # remaining requests can never be admitted.  The scheduler keeps
+            # ``waiting`` sorted by availability, so the next arrival is the
+            # queue head and the first strictly-future one a bisect away —
+            # no full-queue scan.
+            waiting = scheduler.waiting
+            if not waiting:
                 return False
-            next_arrival = min(future)
+            next_arrival = waiting[0].available_time
             if next_arrival > self.now:
                 if horizon is not None and next_arrival > horizon:
                     return False  # nothing more can happen before the horizon
@@ -633,10 +692,11 @@ class EngineStepper:
             # This applies with or without a running batch: an arrived
             # request that can never be admitted (larger than the whole KV
             # cache) must strand only itself, not every later arrival.
-            upcoming = [t for t in future if t > self.now]
-            if not upcoming:
+            index = bisect_right(waiting, self.now,
+                                 key=lambda r: r.available_time)
+            if index == len(waiting):
                 return False
-            jump = min(upcoming)
+            jump = waiting[index].available_time
             if horizon is not None and jump > horizon:
                 return False
             self.now = jump

@@ -84,36 +84,47 @@ class PagedKVCacheManager:
     #: bugs can't hide inside the conservation accounting.
     double_free_count: int = field(default=0, init=False)
     _freed_ids: Set[int] = field(default_factory=set, init=False)
+    #: Running sum of privately allocated pages; kept in lockstep with
+    #: ``_allocated`` so ``used_pages``/``free_pages`` are O(1) instead of
+    #: re-summing the allocation table on every admission probe.
+    _private_pages: int = field(default=0, init=False)
+    _bytes_per_token: float = field(default=0.0, init=False)
+    _total_pages: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.page_size <= 0:
             raise ValueError("page_size must be positive")
         if self.capacity_bytes < 0:
             raise ValueError("capacity_bytes must be non-negative")
+        # Model geometry, KV precision and capacity are all fixed for the
+        # manager's lifetime, so the page geometry is computed exactly once.
+        payload = 2 * self.model.num_layers * self.model.kv_dim * self.system.kv_bits / 8.0
+        params = self.model.num_layers * self.model.num_kv_heads * self.system.kv_param_overhead
+        self._bytes_per_token = payload + params
+        self._total_pages = int(self.capacity_bytes
+                                // (self._bytes_per_token * self.page_size))
 
     # ------------------------------------------------------------------
     # Byte accounting
     # ------------------------------------------------------------------
     def bytes_per_token(self) -> float:
         """KV bytes per token across all layers, including dynamic parameters."""
-        payload = 2 * self.model.num_layers * self.model.kv_dim * self.system.kv_bits / 8.0
-        params = self.model.num_layers * self.model.num_kv_heads * self.system.kv_param_overhead
-        return payload + params
+        return self._bytes_per_token
 
     def bytes_per_page(self) -> float:
-        return self.bytes_per_token() * self.page_size
+        return self._bytes_per_token * self.page_size
 
     @property
     def total_pages(self) -> int:
-        return int(self.capacity_bytes // self.bytes_per_page())
+        return self._total_pages
 
     @property
     def used_pages(self) -> int:
-        return sum(self._allocated.values()) + self.shared_pages
+        return self._private_pages + self.shared_pages
 
     @property
     def free_pages(self) -> int:
-        return self.total_pages - self.used_pages
+        return self._total_pages - self._private_pages - self.shared_pages
 
     def pages_for_tokens(self, num_tokens: int) -> int:
         """Pages needed to hold ``num_tokens`` tokens of KV state.
@@ -147,6 +158,23 @@ class PagedKVCacheManager:
         return self.pages_needed(request_id, num_tokens,
                                  shared_pages) <= self.free_pages
 
+    def needs_pages(self, request_id: int, num_tokens: int,
+                    shared_pages: int = 0) -> bool:
+        """Whether growing to ``num_tokens`` needs at least one fresh page.
+
+        Exactly ``pages_needed(...) > 0``, flattened into one call — this is
+        the probe the decode loops make for every running request on every
+        iteration, and almost always answer "no" (a decode crosses a page
+        boundary once every ``page_size`` steps).
+        """
+        if num_tokens <= 0:
+            target = 0
+        elif self.system.paged_kv:
+            target = -(-num_tokens // self.page_size)
+        else:
+            target = -(-self.max_seq_len // self.page_size)
+        return target - shared_pages > self._allocated.get(request_id, 0)
+
     def allocate(self, request_id: int, num_tokens: int,
                  shared_pages: int = 0) -> int:
         """Grow the allocation of ``request_id`` to cover ``num_tokens`` tokens.
@@ -167,6 +195,7 @@ class PagedKVCacheManager:
                 f"{self.free_pages} free")
         self._allocated[request_id] = target
         self._freed_ids.discard(request_id)
+        self._private_pages += needed
         self.pages_allocated_total += needed
         return needed
 
@@ -203,6 +232,7 @@ class PagedKVCacheManager:
             self._freed_ids.add(request_id)
         else:
             self._allocated[request_id] = target
+        self._private_pages -= freed
         self.pages_freed_total += freed
         return freed
 
@@ -217,6 +247,7 @@ class PagedKVCacheManager:
         if request_id in self._allocated:
             freed = self._allocated.pop(request_id)
             self._freed_ids.add(request_id)
+            self._private_pages -= freed
             self.pages_freed_total += freed
             return freed
         if request_id in self._freed_ids:
@@ -237,6 +268,7 @@ class PagedKVCacheManager:
             raise ValueError(
                 f"request {request_id} has no private page to share")
         self._allocated[request_id] -= 1
+        self._private_pages -= 1
         self.shared_pages += 1
 
     def drop_private_page(self, request_id: int) -> None:
@@ -245,6 +277,7 @@ class PagedKVCacheManager:
             raise ValueError(
                 f"request {request_id} has no private page to drop")
         self._allocated[request_id] -= 1
+        self._private_pages -= 1
         self.pages_freed_total += 1
 
     def release_shared_page(self) -> None:

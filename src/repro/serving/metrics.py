@@ -19,7 +19,7 @@ travels on :class:`repro.serving.engine.ServingResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -140,11 +140,66 @@ class LatencySummary:
                 f"p95 {self.p95 * 1e3:.1f} / p99 {self.p99 * 1e3:.1f} ms")
 
 
+@dataclass(frozen=True)
+class _MetricColumns:
+    """Column-major float64 views of one run's finished-request records.
+
+    Built in one pass so every summary property reads a ready array instead
+    of re-walking the request list through Python-level property calls.  The
+    derived columns are elementwise IEEE-754 double operations on the same
+    values the scalar properties use, so every percentile/mean computed from
+    them is bitwise-identical to the per-request path.
+    """
+
+    ttft: np.ndarray
+    tpot: np.ndarray
+    e2e: np.ndarray
+    output_len: np.ndarray
+    #: Queue delays of the requests whose admission time is known (others
+    #: are excluded, matching :attr:`RequestMetrics.queue_delay`).
+    queue_delay: np.ndarray
+    #: Exposed KV-transfer delays of the migrated requests only.
+    transfer_delay: np.ndarray
+
+
+def _build_columns(requests: Sequence[RequestMetrics]) -> _MetricColumns:
+    n = len(requests)
+    arrival = np.fromiter((r.arrival_time for r in requests), np.float64, n)
+    first = np.fromiter((r.first_token_time for r in requests), np.float64, n)
+    finish = np.fromiter((r.finish_time for r in requests), np.float64, n)
+    out_len = np.fromiter((r.output_len for r in requests), np.float64, n)
+    admitted = np.fromiter(
+        (np.nan if r.admitted_time is None else r.admitted_time
+         for r in requests), np.float64, n)
+    migrations = np.fromiter((r.migrations for r in requests), np.int64, n)
+    transfer = np.fromiter((r.transfer_delay_s for r in requests),
+                           np.float64, n)
+    single = out_len <= 1.0
+    # Guard the denominator so the masked-out single-token rows never divide
+    # by zero; their quotient is discarded by the mask anyway.
+    gaps = np.maximum(out_len - 1.0, 1.0)
+    known = ~np.isnan(admitted)
+    return _MetricColumns(
+        ttft=first - arrival,
+        tpot=np.where(single, 0.0, (finish - first) / gaps),
+        e2e=finish - arrival,
+        output_len=out_len,
+        queue_delay=admitted[known] - arrival[known],
+        transfer_delay=transfer[migrations > 0],
+    )
+
+
 @dataclass
 class ServingMetrics:
     """Latency metrics over all finished requests of one serving run."""
 
     requests: List[RequestMetrics] = field(default_factory=list)
+    #: Lazily built column arrays, keyed on the request count so a metrics
+    #: object extended after a summary was read rebuilds them (no in-tree
+    #: code mutates ``requests`` post-construction, but correctness must not
+    #: depend on that).
+    _columns_cache: Optional[Tuple[int, _MetricColumns]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     @classmethod
     def from_requests(cls, requests: Sequence[Request]) -> "ServingMetrics":
@@ -156,24 +211,31 @@ class ServingMetrics:
     def __len__(self) -> int:
         return len(self.requests)
 
+    def _columns(self) -> _MetricColumns:
+        cached = self._columns_cache
+        if cached is not None and cached[0] == len(self.requests):
+            return cached[1]
+        columns = _build_columns(self.requests)
+        self._columns_cache = (len(self.requests), columns)
+        return columns
+
     # ------------------------------------------------------------------
     @property
     def ttft(self) -> LatencySummary:
-        return LatencySummary.from_values([r.ttft for r in self.requests])
+        return LatencySummary.from_values(self._columns().ttft)
 
     @property
     def tpot(self) -> LatencySummary:
-        return LatencySummary.from_values([r.tpot for r in self.requests])
+        return LatencySummary.from_values(self._columns().tpot)
 
     @property
     def e2e(self) -> LatencySummary:
-        return LatencySummary.from_values([r.e2e_latency for r in self.requests])
+        return LatencySummary.from_values(self._columns().e2e)
 
     @property
     def queue_delay(self) -> LatencySummary:
         """Queue-delay percentiles over requests whose admission time is known."""
-        return LatencySummary.from_values(
-            [r.queue_delay for r in self.requests if r.queue_delay is not None])
+        return LatencySummary.from_values(self._columns().queue_delay)
 
     @property
     def total_preemptions(self) -> int:
@@ -212,8 +274,7 @@ class ServingMetrics:
         in a mixed cluster they would otherwise drown out the delay the
         handoffs actually paid.  All-zero when nothing migrated.
         """
-        return LatencySummary.from_values(
-            [r.transfer_delay_s for r in self.requests if r.migrations > 0])
+        return LatencySummary.from_values(self._columns().transfer_delay)
 
     # ------------------------------------------------------------------
     def slo_attainment(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
@@ -225,8 +286,10 @@ class ServingMetrics:
         """
         if not self.requests:
             return 0.0
-        good = sum(1 for r in self.requests
-                   if r.meets_slo(ttft_slo_s, tpot_slo_s))
+        cols = self._columns()
+        good = int(np.count_nonzero(
+            (cols.ttft <= ttft_slo_s)
+            & ((cols.output_len <= 1.0) | (cols.tpot <= tpot_slo_s))))
         return good / len(self.requests)
 
     def slo_goodput(self, ttft_slo_s: float, tpot_slo_s: float,

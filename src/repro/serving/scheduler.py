@@ -41,6 +41,7 @@ batch directly.  See :mod:`repro.serving.cluster` for the transfer pricing.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -50,6 +51,15 @@ from repro.serving.prefix_cache import PrefixCache
 from repro.serving.request import Request, RequestState
 
 __all__ = ["ContinuousBatchingScheduler"]
+
+
+def _availability(request: Request) -> float:
+    """Sort key component shared by every waiting-queue ordering."""
+    return request.available_time
+
+
+def _waiting_key(request: Request):
+    return (request.available_time, request.request_id)
 
 
 @dataclass
@@ -66,6 +76,15 @@ class ContinuousBatchingScheduler:
     finished: List[Request] = field(default_factory=list)
     num_preemptions: int = 0
     recomputed_prefill_tokens: int = 0
+    #: Admission-scan instrumentation: requests actually examined by
+    #: :meth:`admit`'s scan loop across the run, and admit() calls resolved
+    #: by a constant-time fast path (sequence cap reached, nothing arrived,
+    #: or a provably full KV cache) without touching the queue.  Together
+    #: they pin down the scheduler's admission work: a run whose queue never
+    #: drains should resolve almost every step through the fast path instead
+    #: of rescanning the whole waiting list.
+    admission_scanned_requests: int = 0
+    admission_fast_skips: int = 0
 
     def submit(self, requests: List[Request]) -> None:
         """Add requests to the waiting queue (sorted by availability time).
@@ -74,8 +93,13 @@ class ContinuousBatchingScheduler:
         requests additionally wait for their KV transfer to land
         (:attr:`Request.available_time`).
         """
+        if len(requests) == 1 and self.waiting:
+            # Incremental feed (the cluster submits per arrival): a binary
+            # insertion keeps the queue sorted without an O(n log n) pass.
+            bisect.insort(self.waiting, requests[0], key=_waiting_key)
+            return
         self.waiting.extend(requests)
-        self.waiting.sort(key=lambda r: (r.available_time, r.request_id))
+        self.waiting.sort(key=_waiting_key)
 
     # ------------------------------------------------------------------
     # Admission
@@ -101,24 +125,48 @@ class ContinuousBatchingScheduler:
         requests that actually need prefill work: a migrated request
         (``kv_ready``) adopts its transferred pages and enters the running
         batch directly in the decoding state.
+
+        The scan is *incremental*: steps on which admission provably cannot
+        change anything — the sequence cap is already reached, no waiting
+        request has arrived yet, or (without a prefix cache) the KV cache
+        has no free page and no waiting request can ever need zero — return
+        immediately without walking the queue, and the scan loop stops the
+        moment the cap is hit or a no-bypass policy blocks.  Every fast path
+        is a pure short-circuit of the full scan: the admissions it returns
+        and the queue it leaves behind are identical, step for step.
         """
-        arrived: List[Request] = []
-        pending: List[Request] = []
-        for request in self.waiting:
-            (arrived if request.available_time <= now else pending).append(request)
+        waiting = self.waiting
+        if not waiting:
+            return []
+        if len(self.running) >= self.max_num_seqs:
+            # Cap reached before anything could be admitted: the full scan
+            # would block every arrived request and leave the (sorted) queue
+            # unchanged.
+            self.admission_fast_skips += 1
+            return []
+        # The queue is kept sorted by (available_time, request_id), so the
+        # arrived/pending split is a binary search, not a full partition.
+        split = bisect.bisect_right(waiting, now, key=_availability)
+        if split == 0:
+            self.admission_fast_skips += 1
+            return []  # nothing has arrived yet
+        if self.prefix_cache is None and self.kv_manager.free_pages <= 0:
+            # No free page and no shared pool to evict from: every waiting
+            # request needs at least one fresh page (waiting requests hold
+            # no allocation), so the scan would block all of them.
+            self.admission_fast_skips += 1
+            return []
+        arrived = waiting[:split]
+        pending = waiting[split:]
 
         admitted: List[Request] = []
-        blocked: List[Request] = []
-        halted = False
-        for request in self.policy.admission_order(arrived):
-            if halted:
-                blocked.append(request)
-                continue
+        order = self.policy.admission_order(arrived)
+        for request in order:
+            self.admission_scanned_requests += 1
             if len(self.running) + len(admitted) >= self.max_num_seqs:
-                blocked.append(request)
-                if not self.policy.allow_bypass:
-                    halted = True
-                continue
+                # The cap blocks this and every later request (nothing below
+                # can admit once it is reached), so stop scanning.
+                break
             if self.preemption and self.kv_manager.pages_for_tokens(
                     request.prompt_len + request.output_len) > self.kv_manager.total_pages:
                 # Optimistic admission still refuses requests whose *final*
@@ -126,9 +174,8 @@ class ContinuousBatchingScheduler:
                 # could ever finish them, so admitting would end in a
                 # mid-decode allocation failure instead of a clean
                 # never-admitted report.
-                blocked.append(request)
                 if not self.policy.allow_bypass:
-                    halted = True
+                    break
                 continue
             tokens = self._reservation_tokens(request)
             cached_nodes: List = []
@@ -172,12 +219,18 @@ class ContinuousBatchingScheduler:
                                               count_stats=not request.kv_ready)
                 self._begin_prefill(request, now)
                 admitted.append(request)
-            else:
-                blocked.append(request)
-                if not self.policy.allow_bypass:
-                    halted = True
-        self.waiting = blocked + pending
-        self.waiting.sort(key=lambda r: (r.available_time, r.request_id))
+            elif not self.policy.allow_bypass:
+                break
+        if not admitted:
+            return []  # every arrived request stayed blocked; queue unchanged
+        # The blocked requests re-queue in their original order: ``arrived``
+        # is already sorted by (available_time, request_id) and filtering
+        # preserves that, so no re-sort is needed to restore the queue's
+        # global ordering (every blocked request arrived, every pending one
+        # has not).
+        admitted_ids = {id(r) for r in admitted}
+        self.waiting = [r for r in arrived
+                        if id(r) not in admitted_ids] + pending
         self.running.extend(admitted)
         return [r for r in admitted if r.state is RequestState.PREFILLING]
 
@@ -271,8 +324,7 @@ class ContinuousBatchingScheduler:
         # rest, so it falls back to local recompute like any other victim.
         request.prefill_target = request.context_len
         request.kv_ready = False
-        self.waiting.append(request)
-        self.waiting.sort(key=lambda r: (r.available_time, r.request_id))
+        bisect.insort(self.waiting, request, key=_waiting_key)
         self.num_preemptions += 1
 
     # ------------------------------------------------------------------
@@ -315,6 +367,20 @@ class ContinuousBatchingScheduler:
         decoding = self.decoding_requests()
         if not self.preemption or not decoding:
             return decoding
+        # Fast path: on most iterations no decode crosses a page boundary, so
+        # every claim below would be a no-op allocation.  Checking that first
+        # skips the policy sort and the per-request claim machinery; the full
+        # pass runs only on steps where at least one fresh page is needed.
+        kv_manager = self.kv_manager
+        for request in decoding:
+            claim = request.context_len + 1
+            if lookahead is not None:
+                claim += lookahead(request)
+            if kv_manager.needs_pages(request.request_id, claim,
+                                      request.shared_kv_pages):
+                break
+        else:
+            return decoding
         survivors: List[Request] = []
         for request in self.policy.admission_order(decoding):
             if request.state is not RequestState.DECODING:
@@ -323,11 +389,12 @@ class ContinuousBatchingScheduler:
             if lookahead is not None:
                 claim += lookahead(request)
             preempted_self = False
-            while not self.kv_manager.can_allocate(
-                    request.request_id, claim, request.shared_kv_pages):
-                deficit = (self.kv_manager.pages_needed(
+            while True:
+                deficit = (kv_manager.pages_needed(
                     request.request_id, claim,
-                    request.shared_kv_pages) - self.kv_manager.free_pages)
+                    request.shared_kv_pages) - kv_manager.free_pages)
+                if deficit <= 0:
+                    break  # the claim fits
                 if (self.prefix_cache is not None
                         and self.prefix_cache.evict(deficit) > 0):
                     # Unreferenced cached blocks go before any running
@@ -344,11 +411,13 @@ class ContinuousBatchingScheduler:
                         f"request {request.request_id} needs "
                         f"{claim} tokens of KV cache but the "
                         f"device holds only "
-                        f"{self.kv_manager.total_pages * self.kv_manager.page_size}")
+                        f"{kv_manager.total_pages * kv_manager.page_size}")
                 self._preempt(victim)
             if not preempted_self:
-                self.kv_manager.allocate(request.request_id, claim,
-                                         request.shared_kv_pages)
+                if kv_manager.needs_pages(request.request_id, claim,
+                                          request.shared_kv_pages):
+                    kv_manager.allocate(request.request_id, claim,
+                                        request.shared_kv_pages)
                 survivors.append(request)
         return survivors
 
@@ -378,6 +447,7 @@ class ContinuousBatchingScheduler:
         """
         completed: List[Request] = []
         survivors: List[Request] = []
+        kv_manager = self.kv_manager
         for request in self.running:
             if request.state is not RequestState.DECODING:
                 survivors.append(request)
@@ -398,20 +468,25 @@ class ContinuousBatchingScheduler:
                 request.finish_time = now
                 if self.prefix_cache is not None:
                     self.prefix_cache.release(request.request_id)
-                self.kv_manager.free(request.request_id)
+                kv_manager.free(request.request_id)
                 completed.append(request)
             else:
-                # Grow the allocation to cover the newly generated token(s) (a
-                # no-op under conservative reservation, and pre-claimed by
-                # prepare_decode under preemption).
-                self.kv_manager.allocate(request.request_id, request.context_len,
-                                         request.shared_kv_pages)
+                # Grow the allocation to cover the newly generated token(s) —
+                # a no-op under conservative reservation and pre-claimed by
+                # prepare_decode under preemption, so the grow call is skipped
+                # unless the new context actually crosses a page boundary.
+                if kv_manager.needs_pages(request.request_id,
+                                          request.context_len,
+                                          request.shared_kv_pages):
+                    kv_manager.allocate(request.request_id,
+                                        request.context_len,
+                                        request.shared_kv_pages)
                 if commits is not None and self.preemption:
                     # Roll back the optimistic speculative claim: pages held
                     # for drafted-but-rejected tokens are released again.
-                    self.kv_manager.trim(request.request_id,
-                                         request.context_len,
-                                         request.shared_kv_pages)
+                    kv_manager.trim(request.request_id,
+                                    request.context_len,
+                                    request.shared_kv_pages)
                 survivors.append(request)
         self.running = survivors
         self.finished.extend(completed)

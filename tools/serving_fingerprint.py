@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Bitwise fingerprint of the serving simulator across representative configs.
+
+Every perf-focused PR must leave the simulator's *outputs* untouched while
+making it faster.  This tool pins that contract down: it runs a fixed suite
+of serving scenarios — legacy Table 4 throughput, chunked prefill with
+preemption, prefix-cache chat, a multi-replica cluster, disaggregated
+prefill/decode and speculative decoding — and emits a JSON fingerprint in
+which every float is hex-encoded (``float.hex()``: exact, no rounding) and
+every per-request metrics stream is hashed.
+
+Usage::
+
+    PYTHONPATH=src python tools/serving_fingerprint.py out.json   # capture
+    PYTHONPATH=src python tools/serving_fingerprint.py --compare a.json b.json
+
+Capture a fingerprint before an optimisation, capture again after, and
+``--compare`` must report zero differences.  Any mismatch means the change
+was not a pure optimisation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from typing import Dict, List
+
+
+def _hx(value: float) -> str:
+    return float(value).hex()
+
+
+def _metrics_digest(metrics) -> Dict[str, str]:
+    """Exact digest of the per-request metrics stream."""
+    parts: List[str] = []
+    for m in sorted(metrics.requests, key=lambda r: r.request_id):
+        parts.append("|".join([
+            str(m.request_id), str(m.prompt_len), str(m.output_len),
+            _hx(m.arrival_time), _hx(m.first_token_time), _hx(m.finish_time),
+            "none" if m.admitted_time is None else _hx(m.admitted_time),
+            str(m.preemptions), str(m.migrations), _hx(m.transfer_delay_s),
+            str(m.spec_steps), str(m.draft_proposed), str(m.draft_accepted),
+        ]))
+    blob = "\n".join(parts).encode()
+    return {
+        "num_requests": str(len(metrics.requests)),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+    }
+
+
+def _summaries(metrics) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for name in ("ttft", "tpot", "e2e", "queue_delay"):
+        s = getattr(metrics, name)
+        for f in ("mean", "p50", "p95", "p99", "maximum"):
+            out[f"{name}.{f}"] = _hx(getattr(s, f))
+    out["slo_0.2_0.05"] = _hx(metrics.slo_attainment(0.2, 0.05))
+    out["slo_1.0_0.01"] = _hx(metrics.slo_attainment(1.0, 0.01))
+    return out
+
+
+def _serving_result(result) -> Dict[str, object]:
+    fp: Dict[str, object] = {
+        "total_time_s": _hx(result.total_time_s),
+        "generated_tokens": result.generated_tokens,
+        "prompt_tokens": result.prompt_tokens,
+        "peak_batch": result.peak_batch,
+        "num_iterations": result.num_iterations,
+        "num_finished": result.num_finished,
+        "num_unserved": result.num_unserved,
+        "num_preemptions": result.num_preemptions,
+        "recomputed_prefill_tokens": result.recomputed_prefill_tokens,
+        "busy_time_s": _hx(result.busy_time_s),
+        "kv_utilization_peak": _hx(result.kv_utilization_peak),
+        "throughput": _hx(result.generation_throughput),
+    }
+    if result.metrics is not None:
+        fp["metrics"] = _metrics_digest(result.metrics)
+        fp["summaries"] = _summaries(result.metrics)
+    if result.prefix_stats is not None:
+        s = result.prefix_stats
+        fp["prefix"] = {
+            "hit_rate": _hx(s.hit_rate),
+            "saved_prefill_tokens": s.saved_prefill_tokens,
+            "evicted_pages": s.evicted_pages,
+        }
+    if result.spec_stats is not None:
+        s = result.spec_stats
+        fp["spec"] = {
+            "proposed": s.proposed_tokens, "accepted": s.accepted_tokens,
+            "committed": s.committed_tokens, "steps": s.spec_steps,
+            "draft_time_s": _hx(s.draft_time_s),
+            "verify_time_s": _hx(s.verify_time_s),
+        }
+    return fp
+
+
+def _cluster_result(result) -> Dict[str, object]:
+    return {
+        "replicas": [_serving_result(r) for r in result.replica_results],
+        "requests_per_replica": result.requests_per_replica,
+        "migrations_per_replica": result.migrations_per_replica,
+        "metrics": _metrics_digest(result.metrics),
+        "summaries": _summaries(result.metrics),
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario suite
+# ----------------------------------------------------------------------
+def build_fingerprint() -> Dict[str, object]:
+    from repro.gpu import A100
+    from repro.model import get_config
+    from repro.serving import (
+        ClusterEngine,
+        SCHEDULING_PRESETS,
+        SYSTEM_PRESETS,
+        ServingEngine,
+        SpeculativeConfig,
+        make_chat_workload,
+        make_lognormal_workload,
+        make_router_study_workload,
+        make_uniform_workload,
+    )
+    from repro.serving.throughput import measure_throughput
+
+    llama7b = get_config("llama-2-7b")
+    fp: Dict[str, object] = {}
+
+    # 1. Legacy Table 4 path: stall-prefill conservative FCFS.
+    for system in ("trt-fp16", "qserve-w4a8kv4-grp"):
+        r = measure_throughput(llama7b, A100, SYSTEM_PRESETS[system],
+                               batch=48, num_requests=96,
+                               prompt_len=1024, output_len=128)
+        fp[f"table4/{system}"] = _serving_result(r.serving)
+
+    system = SYSTEM_PRESETS["qserve-w4a8kv4-chn"]
+
+    # 2. Chunked prefill + preemption under Poisson lognormal traffic.
+    engine = ServingEngine(llama7b, A100, system, max_seq_len=4096)
+    wl = make_lognormal_workload(400, arrival_rate=40.0, seed=3)
+    r = engine.serve(wl, max_num_seqs=48,
+                     scheduling=SCHEDULING_PRESETS["chunked-preempt"])
+    fp["chunked-preempt"] = _serving_result(r)
+
+    # 3. Prefix-cache multi-turn chat (cache-aware admission).
+    engine = ServingEngine(llama7b, A100, system, max_seq_len=4096)
+    wl = make_chat_workload(num_sessions=12, turns_per_session=5,
+                            session_rate=0.5, seed=5)
+    r = engine.serve(wl, max_num_seqs=32,
+                     scheduling=SCHEDULING_PRESETS["prefix-aware"])
+    fp["prefix-chat"] = _serving_result(r)
+
+    # 4. Multi-replica cluster, least-outstanding router.
+    cluster = ClusterEngine(llama7b, A100, system, num_replicas=4,
+                            max_seq_len=4096)
+    r = cluster.serve(make_router_study_workload(120, seed=1),
+                      router="least-outstanding", max_num_seqs=24,
+                      scheduling=SCHEDULING_PRESETS["chunked-preempt"])
+    fp["cluster"] = _cluster_result(r)
+
+    # 5. Disaggregated prefill/decode split.
+    cluster = ClusterEngine(llama7b, A100, system, num_replicas=4,
+                            max_seq_len=4096,
+                            roles=["prefill", "decode", "decode", "decode"])
+    r = cluster.serve(make_router_study_workload(120, seed=1),
+                      router="disaggregated", max_num_seqs=24,
+                      scheduling=SCHEDULING_PRESETS["chunked"])
+    fp["disaggregated"] = _cluster_result(r)
+
+    # 6. Speculative decoding (adaptive lookahead, low-entropy traffic).
+    engine = ServingEngine(llama7b, A100, system, max_seq_len=4096)
+    spec = SpeculativeConfig(draft_model=get_config("llama-160m"),
+                             profile="low-entropy", lookahead=4,
+                             adaptive=True, seed=11)
+    wl = make_lognormal_workload(200, arrival_rate=30.0, seed=7)
+    r = engine.serve(wl, max_num_seqs=32,
+                     scheduling=SCHEDULING_PRESETS["chunked-preempt"],
+                     speculative=spec)
+    fp["speculative"] = _serving_result(r)
+
+    return fp
+
+
+def _flatten(obj, prefix=""):
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            yield from _flatten(v, f"{prefix}{k}/")
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            yield from _flatten(v, f"{prefix}{i}/")
+    else:
+        yield prefix.rstrip("/"), obj
+
+
+def compare(path_a: str, path_b: str) -> int:
+    with open(path_a) as fh:
+        a = dict(_flatten(json.load(fh)))
+    with open(path_b) as fh:
+        b = dict(_flatten(json.load(fh)))
+    diffs = [k for k in sorted(set(a) | set(b)) if a.get(k) != b.get(k)]
+    for key in diffs:
+        print(f"MISMATCH {key}: {a.get(key)!r} != {b.get(key)!r}")
+    if diffs:
+        print(f"{len(diffs)} fingerprint mismatches")
+        return 1
+    print(f"fingerprints identical ({len(a)} entries)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+",
+                        help="output path, or two paths with --compare")
+    parser.add_argument("--compare", action="store_true",
+                        help="compare two previously captured fingerprints")
+    args = parser.parse_args()
+    if args.compare:
+        if len(args.paths) != 2:
+            parser.error("--compare needs exactly two fingerprint files")
+        return compare(*args.paths)
+    if len(args.paths) != 1:
+        parser.error("capture mode takes exactly one output path")
+    fp = build_fingerprint()
+    with open(args.paths[0], "w") as fh:
+        json.dump(fp, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.paths[0]} ({sum(1 for _ in _flatten(fp))} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
