@@ -1,0 +1,118 @@
+"""Benchmark for precision-aware serving: the SLO-goodput frontier of
+heterogeneous mixed-precision fleets, and demote-before-evict under memory
+pressure.
+
+``test_mixed_fleet_goodput_frontier`` is the headline acceptance run for
+claim (a): on mixed traffic — a latency/quality-floored interactive tier
+plus long-prompt batch traffic — a 2+2 FP16 + W4A8KV4 fleet behind the
+precision-aware router beats *both* homogeneous 4-replica fleets on SLO
+goodput at every swept arrival rate.  The homogeneous fleets lose for dual
+reasons: all-FP16 saturates on batch decode (latency violations), all-KV4
+serves the quality-floored tier below its precision floor (precision
+violations), and the mixed fleet escapes both.
+
+``test_demote_before_evict_under_pressure`` is claim (b): at equal HBM, a
+prefix cache that demotes cold blocks to the 4-bit tier before LRU-evicting
+them keeps more prefixes resident (higher hit rate, fewer evictions) on a
+multi-turn chat workload, with the dequant cost of re-hitting demoted
+blocks charged to the serving clock.
+"""
+
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import (
+    ClusterEngine,
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    ServingEngine,
+    get_system,
+    make_chat_workload,
+    make_mixed_precision_workload,
+)
+
+TTFT_SLO_S = 0.5
+TPOT_SLO_S = 0.05
+
+FLEETS = {
+    "fp16 x4": ["trt-fp16"] * 4,
+    "w4a8kv4 x4": ["qserve-w4a8kv4-chn"] * 4,
+    "mixed 2+2": ["trt-fp16", "trt-fp16",
+                  "qserve-w4a8kv4-chn", "qserve-w4a8kv4-chn"],
+}
+
+
+def _fleet(systems):
+    return ClusterEngine(get_config("llama-2-7b"), A100,
+                         get_system("trt-fp16"), num_replicas=4,
+                         systems=systems)
+
+
+def test_mixed_fleet_goodput_frontier(benchmark):
+    """Acceptance (claim a): the mixed fleet dominates the goodput frontier."""
+
+    def run():
+        frontier = {}
+        for rate in (4.0, 8.0, 12.0, 16.0, 20.0):
+            for name, systems in FLEETS.items():
+                workload = make_mixed_precision_workload(
+                    num_requests=120, arrival_rate=rate, seed=1)
+                router = ("precision-aware" if name == "mixed 2+2"
+                          else "least-outstanding")
+                frontier[(rate, name)] = _fleet(systems).serve(
+                    workload, router=router)
+        return frontier
+
+    frontier = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'rate':>6s}  " + "".join(f"{name:>14s}" for name in FLEETS)
+          + "  (SLO goodput, req/s)")
+    rates = sorted({rate for rate, _ in frontier})
+    for rate in rates:
+        row = [frontier[(rate, name)].slo_goodput(TTFT_SLO_S, TPOT_SLO_S)
+               for name in FLEETS]
+        print(f"{rate:6.1f}  " + "".join(f"{g:14.2f}" for g in row))
+    for rate in rates:
+        goodputs = {name: frontier[(rate, name)].slo_goodput(
+            TTFT_SLO_S, TPOT_SLO_S) for name in FLEETS}
+        assert goodputs["mixed 2+2"] > goodputs["fp16 x4"]
+        assert goodputs["mixed 2+2"] > goodputs["w4a8kv4 x4"]
+        # The homogeneous KV4 fleet fails the quality-floored tier; the
+        # precision-aware mixed fleet serves every floor.
+        assert frontier[(rate, "w4a8kv4 x4")].metrics.precision_violations > 0
+        assert frontier[(rate, "mixed 2+2")].metrics.precision_violations == 0
+        assert all(frontier[(rate, name)].num_finished == 120
+                   for name in FLEETS)
+
+
+def test_demote_before_evict_under_pressure(benchmark, monkeypatch):
+    """Acceptance (claim b): higher hit rate than plain LRU at equal HBM,
+    dequant priced in."""
+    engine = ServingEngine(get_config("llama-2-7b"), A100,
+                           SYSTEM_PRESETS["trt-fp16"], max_seq_len=4096)
+    capacity = 96 * engine.new_kv_manager().bytes_per_page()
+    monkeypatch.setattr(engine, "kv_capacity_bytes", lambda: capacity)
+    workload = make_chat_workload(num_sessions=8, turns_per_session=4,
+                                  system_prompt_len=192, user_len=32,
+                                  assistant_len=64, think_time_s=6.0, seed=11)
+
+    def run():
+        return {preset: engine.serve(workload.copy_fresh(), max_num_seqs=3,
+                                     scheduling=SCHEDULING_PRESETS[preset])
+                for preset in ("prefix", "prefix-demote")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for preset, result in results.items():
+        stats = result.prefix_stats
+        print(f"{preset:14s} hit {result.cache_hit_rate * 100:5.1f}%  "
+              f"evicted {stats.evicted_pages:4d}  "
+              f"demoted {stats.demoted_pages_total:4d}  "
+              f"demoted-hit {stats.demoted_hit_tokens:5d} tok  "
+              f"TTFT mean {result.metrics.ttft.mean * 1e3:7.1f} ms")
+    lru, demote = results["prefix"], results["prefix-demote"]
+    assert lru.num_finished == demote.num_finished == len(workload)
+    assert demote.cache_hit_rate > lru.cache_hit_rate
+    assert demote.prefix_stats.evicted_pages < lru.prefix_stats.evicted_pages
+    assert demote.prefix_stats.demoted_pages_total > 0
+    # Re-hits of demoted blocks exist and their dequant cost was charged.
+    assert demote.prefix_stats.demoted_hit_tokens > 0

@@ -3,7 +3,7 @@
 
 Every other benchmark in this directory measures the *simulated* system
 (tokens/s on the modelled GPU); this one measures the *simulator* — how many
-requests per wall-clock second the event loop chews through — across the five
+requests per wall-clock second the event loop chews through — across the six
 workload shapes that exercise its distinct hot paths:
 
 * ``plain-decode``     — uniform batch decoding, legacy stall-prefill planner;
@@ -13,7 +13,9 @@ workload shapes that exercise its distinct hot paths:
   (cache-aware admission ordering);
 * ``cluster``          — 4 replicas behind the least-outstanding router on
   bursty heavy-tailed traffic;
-* ``speculative``      — draft-and-verify decoding with adaptive lookahead.
+* ``speculative``      — draft-and-verify decoding with adaptive lookahead;
+* ``precision-fleet``  — heterogeneous FP16 + W4A8KV4 replicas behind the
+  precision-aware router on two-tier mixed-precision traffic.
 
 For each scenario it reports simulated requests per wall-clock second and the
 extrapolated wall-clock per 100k requests.  Modes size the workloads:
@@ -46,11 +48,12 @@ from typing import Callable, Dict, List, Tuple
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_simulator.json"
 
-#: Per-mode request counts: (plain, chunked, chat_sessions, cluster, spec).
+#: Per-mode request counts:
+#: (plain, chunked, chat_sessions, cluster, spec, precision).
 _SIZES = {
-    "smoke": (200, 400, 30, 200, 100),
-    "default": (2000, 5000, 300, 2000, 1000),
-    "full": (20000, 100000, 1200, 8000, 4000),
+    "smoke": (200, 400, 30, 200, 100, 120),
+    "default": (2000, 5000, 300, 2000, 1000, 1200),
+    "full": (20000, 100000, 1200, 8000, 4000, 5000),
 }
 
 
@@ -71,12 +74,14 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
         make_bursty_workload,
         make_chat_workload,
         make_lognormal_workload,
+        make_mixed_precision_workload,
         make_uniform_workload,
     )
 
     llama7b = get_config("llama-2-7b")
     system = SYSTEM_PRESETS["qserve-w4a8kv4-chn"]
-    n_plain, n_chunked, n_sessions, n_cluster, n_spec = _SIZES[mode]
+    (n_plain, n_chunked, n_sessions, n_cluster, n_spec,
+     n_precision) = _SIZES[mode]
 
     def engine() -> ServingEngine:
         return ServingEngine(llama7b, A100, system, max_seq_len=4096)
@@ -116,12 +121,24 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
             scheduling=SCHEDULING_PRESETS["chunked-preempt"],
             speculative=spec)
 
+    def precision_fleet():
+        wl = make_mixed_precision_workload(n_precision, arrival_rate=12.0,
+                                           seed=1)
+        c = ClusterEngine(llama7b, A100, SYSTEM_PRESETS["trt-fp16"],
+                          num_replicas=4, max_seq_len=4096,
+                          systems=["trt-fp16", "trt-fp16",
+                                   "qserve-w4a8kv4-chn",
+                                   "qserve-w4a8kv4-chn"])
+        return c.serve(wl, router="precision-aware", max_num_seqs=32,
+                       scheduling=SCHEDULING_PRESETS["chunked"])
+
     return [
         ("plain-decode", n_plain, plain_decode),
         ("chunked-preempt", n_chunked, chunked_preempt),
         ("prefix-chat", n_sessions * 6, prefix_chat),
         ("cluster", n_cluster, cluster),
         ("speculative", n_spec, speculative),
+        ("precision-fleet", n_precision, precision_fleet),
     ]
 
 

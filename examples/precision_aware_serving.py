@@ -1,0 +1,150 @@
+"""Precision-aware serving walkthrough.
+
+Precision is a *serving dimension*, not a build-time constant.  Two levers:
+
+1. **Heterogeneous mixed-precision fleets** — run an FP16 latency/quality
+   tier and a W4A8KV4 throughput tier behind one router.  Interactive
+   requests carrying a quality floor (``precision_floor_bits``) must land on
+   a replica whose ``min_precision_bits`` satisfies it, and the SLO
+   accounting counts a floor violation as a failed request exactly like a
+   latency violation.  An all-KV4 fleet is fast but fails every floored
+   request; an all-FP16 fleet serves every floor but saturates on batch
+   decode.  The precision-aware router splits traffic so the mixed fleet
+   escapes both failure modes.
+2. **Dynamic KV-cache precision under memory pressure** — instead of
+   LRU-evicting cold prefix-cache blocks, demote them to a 4-bit tier first
+   (QServe's KV4 format): ~3/4 of the page capacity comes back while the
+   block stays hittable, at the price of a dequant pass when it is re-hit.
+
+Three sections:
+
+1. **Fleet sweep** — FP16 x4 vs W4A8KV4 x4 vs mixed 2+2 over rising
+   arrival rates: the SLO-goodput frontier.
+2. **Router view** — what the precision-aware router actually does with the
+   mixed fleet's traffic (per-replica splits, violations).
+3. **KV demotion** — chat traffic under a tight HBM budget: plain LRU vs
+   demote-before-evict hit rates, evictions and dequant charges.
+
+Run with:  python examples/precision_aware_serving.py [model-name]
+"""
+
+import sys
+
+from repro.experiments.runner import format_table
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import (
+    ClusterEngine,
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    ServingEngine,
+    get_system,
+    make_chat_workload,
+    make_mixed_precision_workload,
+)
+
+#: Latency SLO shared by every fleet; precision floors join it per request.
+TTFT_SLO_S, TPOT_SLO_S = 0.5, 0.05
+
+FLEETS = {
+    "fp16 x4": ["trt-fp16"] * 4,
+    "w4a8kv4 x4": ["qserve-w4a8kv4-chn"] * 4,
+    "mixed 2+2": ["trt-fp16", "trt-fp16",
+                  "qserve-w4a8kv4-chn", "qserve-w4a8kv4-chn"],
+}
+
+
+def _cluster(model_name: str, systems) -> ClusterEngine:
+    return ClusterEngine(get_config(model_name), A100, get_system("trt-fp16"),
+                         num_replicas=len(systems), systems=systems)
+
+
+def fleet_sweep(model_name: str) -> None:
+    rows = []
+    for rate in (4.0, 8.0, 12.0, 16.0, 20.0):
+        row = [f"{rate:.0f} req/s"]
+        for name, systems in FLEETS.items():
+            workload = make_mixed_precision_workload(num_requests=120,
+                                                     arrival_rate=rate, seed=1)
+            router = ("precision-aware" if name == "mixed 2+2"
+                      else "least-outstanding")
+            result = _cluster(model_name, systems).serve(workload,
+                                                         router=router)
+            row.append(round(result.slo_goodput(TTFT_SLO_S, TPOT_SLO_S), 2))
+        rows.append(row)
+    print(f"SLO-goodput frontier for {model_name} on 4x A100 "
+          f"(35% interactive traffic with an FP16 quality floor, "
+          f"TTFT < {TTFT_SLO_S:.1f} s, TPOT < {TPOT_SLO_S * 1e3:.0f} ms):\n")
+    print(format_table(["Arrival rate"] + list(FLEETS), rows))
+    print("\nThe all-KV4 fleet is capped by precision violations (every "
+          "floored request\nfails its quality SLO); the all-FP16 fleet "
+          "saturates on batch decode as load\nrises.  The mixed fleet routes "
+          "each tier to the replicas that can serve it and\ndominates the "
+          "frontier at every rate.")
+
+
+def router_view(model_name: str) -> None:
+    workload = make_mixed_precision_workload(num_requests=120,
+                                             arrival_rate=12.0, seed=1)
+    rows = []
+    for name, systems in FLEETS.items():
+        router = ("precision-aware" if name == "mixed 2+2"
+                  else "least-outstanding")
+        result = _cluster(model_name, systems).serve(workload.copy_fresh(),
+                                                     router=router)
+        m = result.metrics
+        rows.append([name,
+                     str(result.requests_per_replica),
+                     m.precision_violations,
+                     round(m.ttft.p95 * 1e3, 1),
+                     round(m.slo_attainment(TTFT_SLO_S, TPOT_SLO_S) * 100, 1)])
+    print("\nRouter view at 12 req/s — where the traffic lands and what "
+          "fails:\n")
+    print(format_table(
+        ["Fleet", "Requests per replica", "Precision violations",
+         "TTFT p95 (ms)", "SLO attainment (%)"], rows))
+    print("\nIn the mixed fleet the first two replicas are FP16: the router "
+          "pins the\nquality-floored interactive tier there and sends the "
+          "long-prompt batch tier to\nthe KV4 replicas, whose 4-bit KV cache "
+          "holds ~4x the pages per GiB.")
+
+
+def kv_demotion(model_name: str) -> None:
+    engine = ServingEngine(get_config(model_name), A100,
+                           SYSTEM_PRESETS["trt-fp16"], max_seq_len=4096)
+    # Simulate a tight HBM budget: 96 pages of KV instead of tens of GiB.
+    capacity = 96 * engine.new_kv_manager().bytes_per_page()
+    engine.kv_capacity_bytes = lambda: capacity
+    workload = make_chat_workload(num_sessions=8, turns_per_session=4,
+                                  system_prompt_len=192, user_len=32,
+                                  assistant_len=64, think_time_s=6.0, seed=11)
+    rows = []
+    for preset in ("prefix", "prefix-demote"):
+        result = engine.serve(workload.copy_fresh(), max_num_seqs=3,
+                              scheduling=SCHEDULING_PRESETS[preset])
+        stats = result.prefix_stats
+        rows.append([preset,
+                     round(result.cache_hit_rate * 100, 1),
+                     stats.evicted_pages,
+                     stats.demoted_pages_total,
+                     stats.demoted_hit_tokens,
+                     round(result.metrics.ttft.mean * 1e3, 1)])
+    print(f"\nKV-cache demotion under memory pressure ({model_name}, FP16 KV, "
+          f"96-page budget,\nmulti-turn chat):\n")
+    print(format_table(
+        ["Scheduling", "Hit rate (%)", "Evicted pages", "Demoted pages",
+         "Demoted-hit tokens", "TTFT mean (ms)"], rows))
+    print("\nDemoting a cold FP16 block to the 4-bit tier reclaims ~3/4 of "
+          "its page while\nkeeping it hittable; re-hits pay a dequant pass "
+          "(priced through the Fig. 18\nkernel model) instead of a full "
+          "prefill of the lost prefix.")
+
+
+def main(model_name: str = "llama-2-7b") -> None:
+    fleet_sweep(model_name)
+    router_view(model_name)
+    kv_demotion(model_name)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama-2-7b")

@@ -15,10 +15,12 @@ goodput) under pluggable scheduling policies:
 * :mod:`repro.serving.cost_cache` — per-engine memoization of the pure
   cost-model latencies, keyed on batch shape (bitwise-identical hits);
 * :mod:`repro.serving.kv_cache_manager` — paged KV cache with per-head scale
-  storage, whole-request page reclamation and a ref-counted shared-page pool;
+  storage, whole-request page reclamation, a ref-counted shared-page pool and
+  per-block precision tiers (4-bit demotion of cold shared blocks);
 * :mod:`repro.serving.prefix_cache` — radix-tree prefix sharing: prompt
-  prefixes already resident in the KV cache skip prefill, with LRU eviction
-  of unreferenced blocks under page pressure;
+  prefixes already resident in the KV cache skip prefill, with
+  demote-before-evict and LRU eviction of unreferenced blocks under page
+  pressure;
 * :mod:`repro.serving.policies` — scheduler policies (FCFS, strict-FCFS,
   SJF), iteration planners (stall prefill, chunked prefill) and
   :class:`SchedulingConfig` presets;
@@ -36,13 +38,22 @@ goodput) under pluggable scheduling policies:
   acceptance-aware adaptive lookahead (:class:`SpeculativeConfig`);
 * :mod:`repro.serving.cluster` — multi-replica cluster simulation behind
   pluggable routers (round-robin, least-outstanding, shortest-queue,
-  prefix-affinity, disaggregated), including role-specialised
-  prefill/decode replicas with priced KV-state migration;
+  prefix-affinity, disaggregated, precision-aware), including
+  role-specialised prefill/decode replicas with priced KV-state migration
+  and heterogeneous mixed-precision fleets (per-replica system presets,
+  cross-precision transfer repricing);
 * :mod:`repro.serving.throughput` — memory-budgeted maximum-batch search,
   throughput measurement and tensor-parallel sweeps.
 """
 
-from repro.serving.precision import SystemConfig, SYSTEM_PRESETS, get_system
+from repro.serving.precision import (
+    SystemConfig,
+    SYSTEM_PRESETS,
+    get_system,
+    validate_presets,
+    DEMOTED_KV_BITS,
+    DYNAMIC_KV_PARAM_BYTES,
+)
 from repro.serving.request import (
     Request,
     RequestState,
@@ -53,6 +64,7 @@ from repro.serving.request import (
     make_router_study_workload,
     make_shared_prefix_workload,
     make_chat_workload,
+    make_mixed_precision_workload,
 )
 from repro.serving.cost_cache import CostModelCache, cache_enabled_default
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
@@ -102,6 +114,7 @@ from repro.serving.cluster import (
     ShortestQueueRouter,
     PrefixAffinityRouter,
     DisaggregatedRouter,
+    PrecisionAwareRouter,
     ROUTERS,
     get_router,
     REPLICA_ROLES,
@@ -117,11 +130,12 @@ from repro.serving.throughput import (
 )
 
 __all__ = [
-    "SystemConfig", "SYSTEM_PRESETS", "get_system",
+    "SystemConfig", "SYSTEM_PRESETS", "get_system", "validate_presets",
+    "DEMOTED_KV_BITS", "DYNAMIC_KV_PARAM_BYTES",
     "Request", "RequestState", "Workload", "make_uniform_workload",
     "make_lognormal_workload", "make_bursty_workload",
     "make_router_study_workload", "make_shared_prefix_workload",
-    "make_chat_workload",
+    "make_chat_workload", "make_mixed_precision_workload",
     "CostModelCache", "cache_enabled_default",
     "PagedKVCacheManager", "PageAllocationError",
     "PrefixCache", "PrefixCacheStats", "prompt_block_keys",
@@ -139,7 +153,7 @@ __all__ = [
     "EngineStepper", "ServingEngine", "ServingResult", "StepBreakdown",
     "Router", "RoundRobinRouter", "LeastOutstandingRouter",
     "ShortestQueueRouter", "PrefixAffinityRouter", "DisaggregatedRouter",
-    "ROUTERS", "get_router", "REPLICA_ROLES",
+    "PrecisionAwareRouter", "ROUTERS", "get_router", "REPLICA_ROLES",
     "ClusterResult", "ClusterEngine",
     "ThroughputResult", "max_achievable_batch", "measure_throughput",
     "max_achievable_throughput", "tp_sweep",

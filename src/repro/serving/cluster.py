@@ -28,6 +28,11 @@ Routers shipped by default:
   prefill-capable replica owing the fewest pending prefill tokens, and on
   prefill completion the request migrates to the least-loaded decode
   replica.
+* ``precision-aware`` — the heterogeneous fleet's router: quality-floored
+  and short interactive requests go to the highest-precision replica group,
+  throughput traffic to the lowest-precision (cheapest) group,
+  least-outstanding within a group.  Degrades to least-outstanding on a
+  homogeneous fleet.
 
 **Disaggregated serving** (DistServe/Splitwise-style) gives each replica a
 *role*: ``prefill`` replicas run prompt processing only and export every
@@ -60,7 +65,7 @@ from repro.serving.engine import EngineStepper, ServingEngine, ServingResult
 from repro.serving.metrics import LatencySummary, ServingMetrics
 from repro.serving.parallel import ParallelConfig
 from repro.serving.policies import SchedulingConfig
-from repro.serving.precision import SystemConfig
+from repro.serving.precision import SystemConfig, get_system
 from repro.serving.request import Request, Workload
 from repro.serving.speculative import SpeculativeConfig
 
@@ -71,6 +76,7 @@ __all__ = [
     "ShortestQueueRouter",
     "PrefixAffinityRouter",
     "DisaggregatedRouter",
+    "PrecisionAwareRouter",
     "ROUTERS",
     "get_router",
     "REPLICA_ROLES",
@@ -221,10 +227,55 @@ class DisaggregatedRouter(Router):
                                   replicas[i].pending_prefill_tokens, i))
 
 
+class PrecisionAwareRouter(Router):
+    """Route by precision tier in a heterogeneous mixed-precision fleet.
+
+    Replicas are grouped by their system preset's
+    :attr:`~repro.serving.precision.SystemConfig.min_precision_bits`.
+    Requests carrying a quality floor (``precision_floor_bits > 0``) go to
+    the replicas that satisfy it; short interactive requests (total work at
+    most ``interactive_tokens`` prompt+output tokens) go to the
+    highest-precision group, whose replicas are also the fastest per token
+    to first byte under light load in a mixed FP16 + W4A8KV4 fleet's
+    latency tier; everything else — throughput traffic — lands on the
+    lowest-precision (cheapest) group.  Within a group the least-outstanding
+    replica wins, lowest index on ties.  On a homogeneous fleet every group
+    is the whole fleet, so the router degrades to least-outstanding exactly.
+    """
+
+    name = "precision-aware"
+
+    def __init__(self, interactive_tokens: int = 256) -> None:
+        if interactive_tokens < 0:
+            raise ValueError("interactive_tokens must be non-negative")
+        self.interactive_tokens = interactive_tokens
+
+    def route(self, request: Request, replicas: Sequence[EngineStepper]) -> int:
+        bits = [replica.engine.system.min_precision_bits
+                for replica in replicas]
+        hi, lo = max(bits), min(bits)
+        if hi == lo:
+            group = range(len(replicas))
+        elif request.precision_floor_bits > 0.0:
+            group = [i for i in range(len(replicas))
+                     if bits[i] >= request.precision_floor_bits]
+            if not group:
+                # No replica meets the floor; fail toward the best quality
+                # available rather than refusing to route.
+                group = [i for i in range(len(replicas)) if bits[i] == hi]
+        elif request.prompt_len + request.output_len <= self.interactive_tokens:
+            group = [i for i in range(len(replicas)) if bits[i] == hi]
+        else:
+            group = [i for i in range(len(replicas)) if bits[i] == lo]
+        return min(group,
+                   key=lambda i: (replicas[i].outstanding_requests, i))
+
+
 ROUTERS: Dict[str, Type[Router]] = {
     cls.name: cls
     for cls in (RoundRobinRouter, LeastOutstandingRouter, ShortestQueueRouter,
-                PrefixAffinityRouter, DisaggregatedRouter)
+                PrefixAffinityRouter, DisaggregatedRouter,
+                PrecisionAwareRouter)
 }
 
 
@@ -255,6 +306,10 @@ class ClusterResult:
     replica_roles: List[str] = field(default_factory=list)
     #: Migrated requests each replica *received* (all-zero without roles).
     migrations_per_replica: List[int] = field(default_factory=list)
+    #: System preset name of each replica's engine; uniform for homogeneous
+    #: clusters, mixed under per-replica ``systems`` (empty for results
+    #: predating heterogeneous fleets).
+    replica_systems: List[str] = field(default_factory=list)
 
     @property
     def num_replicas(self) -> int:
@@ -355,14 +410,26 @@ class ClusterResult:
 # Cluster engine
 # ----------------------------------------------------------------------
 class ClusterEngine:
-    """N identical replica engines behind a pluggable router.
+    """N replica engines behind a pluggable router.
 
-    Every replica shares the same (model, GPU, system, parallel) engine —
-    the cost model is stateless — but owns its scheduler, KV cache and
-    clock.  Replicas are independent once requests are assigned, so the
+    By default every replica shares the same (model, GPU, system, parallel)
+    engine — the cost model is stateless — but owns its scheduler, KV cache
+    and clock.  Replicas are independent once requests are assigned, so the
     shared-clock simulation only has to synchronise at routing decisions:
     before each dispatch all replicas advance to the request's arrival time,
     giving the router an honest view of queue depths at that instant.
+
+    ``systems`` makes the fleet *heterogeneous*: one system preset (name or
+    :class:`~repro.serving.precision.SystemConfig`) per replica, so an FP16
+    latency tier and a W4A8KV4 throughput tier serve behind one router.
+    Replicas with the same preset share one engine (and its cost-model
+    cache); passing a uniform ``systems`` list equal to ``system`` is
+    bitwise-identical to omitting it.  Precision changes a replica's page
+    geometry (KV bytes per token → KV capacity in pages), its kernel costs,
+    and — for migrations between tiers — the transfer payload: KV bytes are
+    priced at the *source* replica's KV precision, and landing on a replica
+    with a different KV bit-width additionally pays that replica's
+    transcode (dequant/requant) cost for the cold tokens.
 
     ``roles`` turns on disaggregated serving: one role per replica, from
     :data:`REPLICA_ROLES`.  ``prefill`` replicas export each request the
@@ -380,12 +447,38 @@ class ClusterEngine:
                  parallel: Optional[ParallelConfig] = None,
                  roles: Optional[Sequence[str]] = None,
                  transfer_link: InterconnectSpec = NVLINK,
-                 transfer_overlap: bool = True) -> None:
+                 transfer_overlap: bool = True,
+                 systems: Optional[Sequence[Union[str, SystemConfig]]] = None
+                 ) -> None:
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
         self.num_replicas = num_replicas
         self.engine = ServingEngine(model, gpu, system, max_seq_len=max_seq_len,
                                     parallel=parallel)
+        if systems is None:
+            self.engines: List[ServingEngine] = [self.engine] * num_replicas
+        else:
+            if len(systems) != num_replicas:
+                raise ValueError(
+                    f"systems has {len(systems)} entries for "
+                    f"{num_replicas} replicas")
+            resolved = [get_system(s) if isinstance(s, str) else s
+                        for s in systems]
+            # One engine per distinct preset: replicas with the same system
+            # share cost-model caches, and a replica matching the base
+            # ``system`` reuses ``self.engine`` itself, so a uniform
+            # ``systems`` list is the homogeneous cluster by construction.
+            built: Dict[str, ServingEngine] = {
+                self.engine.system.name: self.engine}
+            self.engines = []
+            for sys_config in resolved:
+                engine = built.get(sys_config.name)
+                if engine is None:
+                    engine = ServingEngine(model, gpu, sys_config,
+                                           max_seq_len=max_seq_len,
+                                           parallel=parallel)
+                    built[sys_config.name] = engine
+                self.engines.append(engine)
         self.roles = list(roles) if roles is not None else \
             ["mixed"] * num_replicas
         if len(self.roles) != num_replicas:
@@ -415,12 +508,17 @@ class ClusterEngine:
         self.transfer_overlap = transfer_overlap
         #: KV bytes per cached token under this system's KV precision — the
         #: payload density of a prefill→decode transfer.
-        self.kv_bytes_per_token = self.engine.new_kv_manager().bytes_per_token()
+        self.kv_bytes_per_token = self.engine.kv_bytes_per_token()
 
     @property
     def disaggregated(self) -> bool:
         """Whether any replica is role-specialised (prefill or decode)."""
         return any(role != "mixed" for role in self.roles)
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether replicas run under more than one system preset."""
+        return len({engine.system.name for engine in self.engines}) > 1
 
     @property
     def total_gpus(self) -> int:
@@ -450,10 +548,10 @@ class ClusterEngine:
         if self.disaggregated:
             return self._serve_disaggregated(workload, router, max_num_seqs,
                                              scheduling, speculative)
-        replicas = [EngineStepper(self.engine, scheduling=scheduling,
+        replicas = [EngineStepper(engine, scheduling=scheduling,
                                   max_num_seqs=max_num_seqs,
                                   speculative=speculative)
-                    for _ in range(self.num_replicas)]
+                    for engine in self.engines]
         assignments: List[List[Request]] = [[] for _ in replicas]
 
         for request in sorted(workload.requests,
@@ -483,12 +581,15 @@ class ClusterEngine:
             metrics=merged,
             replica_roles=list(self.roles),
             migrations_per_replica=list(migrations_in),
+            replica_systems=[engine.system.name for engine in self.engines],
         )
 
     # ------------------------------------------------------------------
     # Disaggregated serving
     # ------------------------------------------------------------------
-    def transfer_delay(self, request: Request, cached_tokens: int = 0) -> float:
+    def transfer_delay(self, request: Request, cached_tokens: int = 0,
+                       source: Optional[ServingEngine] = None,
+                       target: Optional[ServingEngine] = None) -> float:
         """Exposed delay of shipping ``request``'s KV state to a decode replica.
 
         The payload is the KV bytes of the prompt's context minus
@@ -498,13 +599,25 @@ class ClusterEngine:
         layer-by-layer stream hides behind one decode iteration at the
         request's context length and only the remainder — never less than
         the link's message latency — is exposed on the critical path.
+
+        In a heterogeneous fleet ``source``/``target`` name the two
+        replicas' engines (both default to the cluster's base engine): the
+        wire payload is priced at the *source* engine's KV precision —
+        that is what the exporter holds — and when the two tiers store KV
+        at different bit-widths the landing replica additionally pays its
+        transcode cost to rewrite the cold tokens into its own format
+        before decode can touch them.
         """
+        src = self.engine if source is None else source
+        dst = self.engine if target is None else target
         cold_tokens = max(0, request.context_len - cached_tokens)
         raw = self.transfer_link.transfer_latency(
-            self.kv_bytes_per_token * cold_tokens)
+            src.kv_bytes_per_token() * cold_tokens)
+        if src.system.kv_bits != dst.system.kv_bits:
+            raw += dst.kv_transcode_latency(cold_tokens, src.system)
         if not self.transfer_overlap:
             return raw
-        overlap = self.engine.decode_step(1, request.context_len).total
+        overlap = dst.decode_step(1, request.context_len).total
         return max(self.transfer_link.latency_s, raw - overlap)
 
     def _serve_disaggregated(self, workload: Workload, router: Router,
@@ -524,12 +637,12 @@ class ClusterEngine:
         the target's scheduler admits it no earlier (the transfer occupies
         the interconnect, not the GPU, so other decodes proceed meanwhile).
         """
-        replicas = [EngineStepper(self.engine, scheduling=scheduling,
+        replicas = [EngineStepper(engine, scheduling=scheduling,
                                   max_num_seqs=max_num_seqs,
                                   migrate_out=(role == "prefill"),
                                   speculative=(None if role == "prefill"
                                                else speculative))
-                    for role in self.roles]
+                    for engine, role in zip(self.engines, self.roles)]
         prefill_idx = [i for i, role in enumerate(self.roles)
                        if role in ("prefill", "mixed")]
         decode_idx = [i for i, role in enumerate(self.roles)
@@ -541,28 +654,38 @@ class ClusterEngine:
         arrivals = sorted(workload.requests,
                           key=lambda r: (r.arrival_time, r.request_id))
         arrival_pos = 0
-        #: (prefill completion time, tiebreak, request) — min-heap of
-        #: finished prefills awaiting migration routing.
-        handoffs: List[Tuple[float, int, Request]] = []
+        #: (prefill completion time, tiebreak, source replica index, request)
+        #: — min-heap of finished prefills awaiting migration routing.  The
+        #: source index prices the transfer payload at the exporter's KV
+        #: precision in a heterogeneous fleet.
+        handoffs: List[Tuple[float, int, int, Request]] = []
         tiebreak = itertools.count()
 
         def drain_outboxes() -> None:
-            for replica in replicas:
+            for source, replica in enumerate(replicas):
                 while replica.outbox:
                     request = replica.outbox.pop(0)
                     heapq.heappush(handoffs, (request.prefill_done_time,
-                                              next(tiebreak), request))
+                                              next(tiebreak), source, request))
 
         decode_router = (router if isinstance(router, DisaggregatedRouter)
                          else DisaggregatedRouter())
 
-        def migrate(done_time: float, request: Request) -> None:
+        def migrate(done_time: float, request: Request, source: int) -> None:
             target = decode_idx[decode_router.route_decode(request,
                                                            decode_replicas)]
             # Pinning the target's matched prefix keeps the priced payload
             # honest: the credited blocks cannot be evicted mid-transfer.
             delay = self.transfer_delay(
-                request, replicas[target].pin_for_import(request))
+                request, replicas[target].pin_for_import(request),
+                source=self.engines[source], target=self.engines[target])
+            if request.demoted_hit_tokens:
+                # The pinned prefix includes blocks the target had demoted
+                # to the 4-bit tier; they are restored before decode adopts
+                # them, and the restore rides the transfer window.
+                delay += self.engines[target].kv_dequant_latency(
+                    request.demoted_hit_tokens)
+                request.demoted_hit_tokens = 0
             request.migrations += 1
             request.transfer_delay_s += delay
             request.migration_ready_time = done_time + delay
@@ -576,16 +699,17 @@ class ClusterEngine:
             next_handoff = handoffs[0][0] if handoffs else None
             if next_handoff is not None and (next_arrival is None
                                              or next_handoff <= next_arrival):
-                done_time, order, request = heapq.heappop(handoffs)
+                done_time, order, source, request = heapq.heappop(handoffs)
                 for replica in replicas:
                     replica.run_until(done_time)
                 drain_outboxes()
                 if handoffs and handoffs[0][0] < done_time:
                     # Advancing uncovered an earlier completion; keep the
                     # event order honest and route that one first.
-                    heapq.heappush(handoffs, (done_time, order, request))
+                    heapq.heappush(handoffs, (done_time, order, source,
+                                              request))
                     continue
-                migrate(done_time, request)
+                migrate(done_time, request, source)
             elif next_arrival is not None:
                 request = arrivals[arrival_pos]
                 for replica in replicas:

@@ -43,8 +43,13 @@ class CostModelCache:
     """Hit-counted memo table for one engine's cost-model evaluations.
 
     Keys are ``(kind, *shape)`` tuples — e.g. ``("gemm", tokens)`` for one
-    transformer block's projection GEMMs or ``("attn", batch, context)`` for
-    the decode-attention kernel — and values are latencies in seconds.  The
+    transformer block's projection GEMMs, ``("attn", batch, context)`` for
+    the decode-attention kernel, or the precision-keyed KV repricing entries
+    ``("kv_dequant", tokens)`` (demoted-block restoration, priced against
+    the engine's own tiers) and ``("kv_transcode", source_system, tokens)``
+    (mixed-precision migration landing, keyed on the *source* preset's name
+    since the engine's own precision is construction-fixed) — and values are
+    latencies in seconds.  The
     engine consults :attr:`store` directly on the hot path (a dict probe is
     the whole point; wrapping it in a method call would give back a third of
     the win) and uses :meth:`record_hit`/:meth:`record_miss` only to keep the

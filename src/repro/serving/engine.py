@@ -52,7 +52,11 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.gpu.attention_kernel import KV_KERNELS, attention_decode_latency
+from repro.gpu.attention_kernel import (
+    KERNEL_LAUNCH_OVERHEAD_S,
+    KV_KERNELS,
+    attention_decode_latency,
+)
 from repro.gpu.gemm import GEMM_PRECISIONS, gemm_latency
 from repro.gpu.specs import GPUSpec
 from repro.model.config import ModelConfig
@@ -190,6 +194,12 @@ class ServingResult:
                 f"prefix cache: hit rate {s.hit_rate * 100:.1f}%, "
                 f"{s.saved_prefill_tokens} prefill tokens saved, "
                 f"{s.evicted_pages} pages evicted")
+            if s.demoted_pages_total:
+                lines.append(
+                    f"KV demotion: {s.demoted_pages_total} pages demoted "
+                    f"(peak {s.peak_demoted_pages} resident), "
+                    f"{s.promoted_pages_total} promoted, "
+                    f"{s.demoted_hit_tokens} hit tokens dequantized")
         return "\n".join(lines)
 
 
@@ -247,6 +257,15 @@ class ServingEngine:
         workspace = weights * self.system.activation_workspace_factor + 1.0 * (1 << 30)
         per_gpu = max(0.0, self.gpu.memory_bytes - weights - workspace)
         return per_gpu * self.parallel.tp_degree
+
+    def kv_bytes_per_token(self) -> float:
+        """KV bytes per token under this engine's precision preset.
+
+        Delegates to the preset's shared geometry formula, so the cluster's
+        transfer pricing and the speculative decoder's draft-KV split read
+        the exact float the page allocator uses — no rebuilt managers.
+        """
+        return self.system.kv_bytes_per_token(self.model)
 
     def new_kv_manager(self, capacity_bytes: Optional[float] = None
                        ) -> PagedKVCacheManager:
@@ -363,6 +382,69 @@ class ServingEngine:
         ).total * self.model.num_layers
         if cache.enabled:
             cache.store[("attn", batch, context_len)] = value
+        return value
+
+    def _kv_reprice_latency(self, tokens: int, read_bytes_per_token: float,
+                            write_bytes_per_token: float) -> float:
+        """Cost of re-quantizing ``tokens`` of KV state on this engine's GPUs.
+
+        One fused pass over the KV elements, shaped like the Fig. 18 dequant
+        epilogue of the QServe KV4 kernel: memory moves the source bytes in
+        and the target bytes out, CUDA cores pay the bit-trick dequantization
+        plus control overhead per element in FP16, and the roofline max of
+        the two plus one kernel launch is the cost.  KV heads shard across
+        the TP group like everywhere else.
+        """
+        if tokens <= 0:
+            return 0.0
+        tp = self.parallel.tp_degree
+        elements = 2.0 * tokens * self.model.num_layers * self.model.kv_dim / tp
+        mem_bytes = (read_bytes_per_token + write_bytes_per_token) * tokens / tp
+        mem_time = mem_bytes / (self.gpu.effective_bandwidth_gbps * 1e9)
+        kernel = KV_KERNELS["kv4-qserve"]
+        ops = kernel.dequant_ops_per_element + kernel.control_ops_per_element
+        cuda_peak = (self.gpu.cuda_core_tops(kernel.compute_dtype) * 1e12
+                     * self.gpu.compute_efficiency)
+        compute_time = elements * ops / cuda_peak
+        return ((max(mem_time, compute_time) + KERNEL_LAUNCH_OVERHEAD_S)
+                / self.system.runtime_efficiency)
+
+    def kv_dequant_latency(self, tokens: int) -> float:
+        """Cost of promoting ``tokens`` of demoted (4-bit) KV state back to
+        this system's native precision — charged when a request hits a
+        prefix-cache block the cache demoted under memory pressure."""
+        cache = self.cost_cache
+        if cache.enabled:
+            value = cache.store.get(("kv_dequant", tokens))
+            if value is not None:
+                cache.hits += 1
+                return value
+            cache.misses += 1
+        value = self._kv_reprice_latency(
+            tokens,
+            self.system.demoted_kv_bytes_per_token(self.model),
+            self.system.kv_bytes_per_token(self.model))
+        if cache.enabled:
+            cache.store[("kv_dequant", tokens)] = value
+        return value
+
+    def kv_transcode_latency(self, tokens: int, source: SystemConfig) -> float:
+        """Cost of re-quantizing ``tokens`` of KV state arriving from a
+        replica running ``source`` into this engine's KV precision — the
+        landing-side repricing of a mixed-precision KV migration."""
+        cache = self.cost_cache
+        if cache.enabled:
+            value = cache.store.get(("kv_transcode", source.name, tokens))
+            if value is not None:
+                cache.hits += 1
+                return value
+            cache.misses += 1
+        value = self._kv_reprice_latency(
+            tokens,
+            source.kv_bytes_per_token(self.model),
+            self.system.kv_bytes_per_token(self.model))
+        if cache.enabled:
+            cache.store[("kv_transcode", source.name, tokens)] = value
         return value
 
     def decode_step(self, batch: int, context_len: int) -> StepBreakdown:
@@ -558,12 +640,17 @@ class EngineStepper:
                     lambda r: self.spec.lookahead_for(r) + 1
         kv_manager = engine.new_kv_manager(capacity_bytes=kv_capacity)
         self.prefix_cache: Optional[PrefixCache] = None
+        if self.scheduling.kv_demotion and not self.scheduling.prefix_caching:
+            raise ValueError(
+                "kv_demotion applies to shared prefix-cache blocks; enable "
+                "prefix_caching alongside it")
         if self.scheduling.prefix_caching:
             if not engine.system.paged_kv:
                 raise ValueError(
                     f"prefix caching requires a paged KV cache; system "
                     f"{engine.system.name!r} is non-paged")
-            self.prefix_cache = PrefixCache(kv_manager)
+            self.prefix_cache = PrefixCache(
+                kv_manager, demotion=self.scheduling.kv_demotion)
         policy = self.scheduling.build_policy()
         if hasattr(policy, "prefix_cache"):
             # Cache-aware policies rank by live cache state.
@@ -709,6 +796,17 @@ class EngineStepper:
             latency = outcome.latency_s
         else:
             latency = self.engine._plan_latency(plan)
+        # A prefill starting over demoted prefix-cache blocks first pays the
+        # dequantization pass that restores them (see kv_dequant_latency);
+        # only a request's first chunk carries the charge.  Zero — and the
+        # iteration latency bitwise-untouched — whenever demotion is off.
+        dequant = 0.0
+        for request, _ in plan.prefill_chunks:
+            if request.prefilled == 0 and request.demoted_hit_tokens:
+                dequant += self.engine.kv_dequant_latency(
+                    request.demoted_hit_tokens)
+        if dequant:
+            latency += dequant
         self.now += latency
         self.busy_s += latency
         self.iterations += 1

@@ -25,6 +25,20 @@ Pages live in two populations that both count toward capacity:
   many requests reference it; ``allocate``'s ``shared_pages`` argument tells
   the allocator how many of a request's pages are covered by the shared pool
   so the private allocation covers only the remainder.
+
+Shared pages additionally carry a *precision tier*: under memory pressure the
+prefix cache may **demote** a cold, unreferenced block to the 4-bit tier
+(:data:`repro.serving.precision.DEMOTED_KV_BITS`), shrinking its byte
+footprint without discarding its contents.  The page-granular accounting
+models this as fractional capacity reclamation: ``demoted_pages`` blocks
+each occupy only ``demoted_bytes_per_page / bytes_per_page`` of a page, and
+the bytes they give back are re-granted as whole free pages
+(``reclaimed_pages``, floored so capacity is never oversold).  Demotion and
+promotion move pages between tiers without touching the lifetime
+allocate/free counters — a demoted page is still one shared page — so the
+conservation invariant ``pages_allocated_total == pages_freed_total`` at
+drain is unchanged.  With zero demoted pages every quantity below is
+bitwise-identical to the pre-tier accounting.
 """
 
 from __future__ import annotations
@@ -71,6 +85,12 @@ class PagedKVCacheManager:
     _allocated: Dict[int, int] = field(default_factory=dict, init=False)
     #: Pages owned by the prefix cache's shared pool (each counted once).
     shared_pages: int = field(default=0, init=False)
+    #: Subset of ``shared_pages`` currently held at the demoted 4-bit tier.
+    demoted_pages: int = field(default=0, init=False)
+    #: Lifetime tier-transition counters (diagnostics; never part of the
+    #: allocate/free conservation ledger).
+    pages_demoted_total: int = field(default=0, init=False)
+    pages_promoted_total: int = field(default=0, init=False)
     #: Lifetime counters; every allocated page must eventually be freed, so a
     #: clean run ends with ``pages_allocated_total == pages_freed_total``.
     pages_allocated_total: int = field(default=0, init=False)
@@ -89,6 +109,7 @@ class PagedKVCacheManager:
     #: re-summing the allocation table on every admission probe.
     _private_pages: int = field(default=0, init=False)
     _bytes_per_token: float = field(default=0.0, init=False)
+    _demoted_bytes_per_token: float = field(default=0.0, init=False)
     _total_pages: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
@@ -98,9 +119,11 @@ class PagedKVCacheManager:
             raise ValueError("capacity_bytes must be non-negative")
         # Model geometry, KV precision and capacity are all fixed for the
         # manager's lifetime, so the page geometry is computed exactly once.
-        payload = 2 * self.model.num_layers * self.model.kv_dim * self.system.kv_bits / 8.0
-        params = self.model.num_layers * self.model.num_kv_heads * self.system.kv_param_overhead
-        self._bytes_per_token = payload + params
+        # The per-token byte count comes from the preset itself — the single
+        # KV-geometry formula every layer shares (see repro.serving.precision).
+        self._bytes_per_token = self.system.kv_bytes_per_token(self.model)
+        self._demoted_bytes_per_token = self.system.demoted_kv_bytes_per_token(
+            self.model)
         self._total_pages = int(self.capacity_bytes
                                 // (self._bytes_per_token * self.page_size))
 
@@ -114,17 +137,49 @@ class PagedKVCacheManager:
     def bytes_per_page(self) -> float:
         return self._bytes_per_token * self.page_size
 
+    def demoted_bytes_per_page(self) -> float:
+        """Byte footprint of one shared page at the demoted 4-bit tier."""
+        return self._demoted_bytes_per_token * self.page_size
+
+    @property
+    def demotion_supported(self) -> bool:
+        """Whether the demoted tier strictly saves bytes on this system.
+
+        Requires paged KV (the tier only applies to shared prefix-cache
+        pages) and a native precision above the demoted tier — a KV4 system
+        has nothing to shrink, so demotion degenerates to a no-op there.
+        """
+        return (self.system.paged_kv
+                and self._demoted_bytes_per_token < self._bytes_per_token)
+
     @property
     def total_pages(self) -> int:
         return self._total_pages
 
+    def _reclaimable(self, demoted: int) -> int:
+        """Whole free pages the byte savings of ``demoted`` pages amount to.
+
+        Floored so fractional savings never grant capacity that isn't
+        physically there; zero demoted pages reclaim exactly zero.
+        """
+        if demoted <= 0:
+            return 0
+        gain = self.bytes_per_page() - self.demoted_bytes_per_page()
+        return int(demoted * gain // self.bytes_per_page())
+
+    @property
+    def reclaimed_pages(self) -> int:
+        """Free pages re-granted by the current demoted population."""
+        return self._reclaimable(self.demoted_pages)
+
     @property
     def used_pages(self) -> int:
-        return self._private_pages + self.shared_pages
+        return self._private_pages + self.shared_pages - self.reclaimed_pages
 
     @property
     def free_pages(self) -> int:
-        return self._total_pages - self._private_pages - self.shared_pages
+        return (self._total_pages - self._private_pages - self.shared_pages
+                + self.reclaimed_pages)
 
     def pages_for_tokens(self, num_tokens: int) -> int:
         """Pages needed to hold ``num_tokens`` tokens of KV state.
@@ -280,12 +335,64 @@ class PagedKVCacheManager:
         self._private_pages -= 1
         self.pages_freed_total += 1
 
-    def release_shared_page(self) -> None:
-        """Free one shared-pool page (prefix-cache eviction)."""
+    def release_shared_page(self, demoted: bool = False) -> None:
+        """Free one shared-pool page (prefix-cache eviction).
+
+        Pass ``demoted=True`` when the evicted block lives at the demoted
+        tier so its tier population shrinks with it; the page still counts
+        exactly once toward ``pages_freed_total`` — a demoted page is one
+        shared page in the conservation ledger.
+        """
         if self.shared_pages <= 0:
             raise ValueError("shared pool is empty")
+        if demoted:
+            if self.demoted_pages <= 0:
+                raise ValueError("demoted tier is empty")
+            self.demoted_pages -= 1
         self.shared_pages -= 1
         self.pages_freed_total += 1
+
+    # ------------------------------------------------------------------
+    # Demoted tier (dynamic KV-cache precision under memory pressure)
+    # ------------------------------------------------------------------
+    def demote_shared_page(self) -> None:
+        """Move one shared page to the demoted 4-bit tier.
+
+        Only tier populations move — ``shared_pages`` and the lifetime
+        allocate/free counters are untouched, so conservation holds across
+        any demote/promote/evict interleaving.
+        """
+        if not self.demotion_supported:
+            raise ValueError(
+                f"system {self.system.name!r} does not support KV demotion")
+        if self.demoted_pages >= self.shared_pages:
+            raise ValueError("no full-precision shared page to demote")
+        self.demoted_pages += 1
+        self.pages_demoted_total += 1
+
+    def promote_shared_page(self) -> None:
+        """Restore one demoted page to full precision.
+
+        May consume free capacity (the reclaimed fraction is handed back);
+        callers must check :meth:`promotion_page_need` fits before promoting.
+        """
+        if self.demoted_pages <= 0:
+            raise ValueError("demoted tier is empty")
+        self.demoted_pages -= 1
+        self.pages_promoted_total += 1
+
+    def promotion_page_need(self, count: int) -> int:
+        """Free pages that promoting ``count`` demoted pages would consume.
+
+        The reclaimed-page grant is floored, so promoting ``count`` pages
+        hands back ``reclaimable(d) - reclaimable(d - count)`` whole pages —
+        possibly less than the raw byte delta suggests, never more.
+        """
+        if count <= 0:
+            return 0
+        count = min(count, self.demoted_pages)
+        return (self._reclaimable(self.demoted_pages)
+                - self._reclaimable(self.demoted_pages - count))
 
     def allocated_tokens_capacity(self, request_id: int) -> int:
         return self._allocated.get(request_id, 0) * self.page_size

@@ -49,6 +49,11 @@ class RequestMetrics:
     spec_steps: int = 0
     draft_proposed: int = 0
     draft_accepted: int = 0
+    #: Precision-aware serving: the quality floor the request demanded and
+    #: the ``min_precision_bits`` of the system that served it.  A floor of
+    #: 0 accepts any precision, so both default to the pre-refactor world.
+    precision_floor_bits: float = 0.0
+    served_precision_bits: float = 0.0
 
     @property
     def ttft(self) -> float:
@@ -83,13 +88,24 @@ class RequestMetrics:
             return 0.0
         return (self.finish_time - self.first_token_time) / (self.output_len - 1)
 
+    @property
+    def precision_ok(self) -> bool:
+        """Whether the serving precision met the request's quality floor."""
+        return (self.precision_floor_bits <= 0.0
+                or self.served_precision_bits >= self.precision_floor_bits)
+
     def meets_slo(self, ttft_slo_s: float, tpot_slo_s: float) -> bool:
-        """Whether this request met the latency SLO.
+        """Whether this request met the SLO.
 
         Requests with a single output token have no inter-token gap, so they
         are judged on TTFT only; everything else must meet both the TTFT and
-        TPOT objectives.
+        TPOT objectives.  A request whose quality floor was violated (served
+        below ``precision_floor_bits``) fails the SLO outright — goodput
+        counts useful responses, and a response below the demanded precision
+        is not one.
         """
+        if not self.precision_ok:
+            return False
         if self.ttft > ttft_slo_s:
             return False
         return self.output_len <= 1 or self.tpot <= tpot_slo_s
@@ -113,6 +129,8 @@ class RequestMetrics:
             spec_steps=request.spec_steps,
             draft_proposed=request.draft_proposed,
             draft_accepted=request.draft_accepted,
+            precision_floor_bits=request.precision_floor_bits,
+            served_precision_bits=request.served_precision_bits,
         )
 
 
@@ -160,6 +178,9 @@ class _MetricColumns:
     queue_delay: np.ndarray
     #: Exposed KV-transfer delays of the migrated requests only.
     transfer_delay: np.ndarray
+    #: Per-request quality verdict (see :attr:`RequestMetrics.precision_ok`);
+    #: all-True whenever no request carried a precision floor.
+    precision_ok: np.ndarray
 
 
 def _build_columns(requests: Sequence[RequestMetrics]) -> _MetricColumns:
@@ -174,6 +195,10 @@ def _build_columns(requests: Sequence[RequestMetrics]) -> _MetricColumns:
     migrations = np.fromiter((r.migrations for r in requests), np.int64, n)
     transfer = np.fromiter((r.transfer_delay_s for r in requests),
                            np.float64, n)
+    floor = np.fromiter((r.precision_floor_bits for r in requests),
+                        np.float64, n)
+    served = np.fromiter((r.served_precision_bits for r in requests),
+                         np.float64, n)
     single = out_len <= 1.0
     # Guard the denominator so the masked-out single-token rows never divide
     # by zero; their quotient is discarded by the mask anyway.
@@ -186,6 +211,7 @@ def _build_columns(requests: Sequence[RequestMetrics]) -> _MetricColumns:
         output_len=out_len,
         queue_delay=admitted[known] - arrival[known],
         transfer_delay=transfer[migrations > 0],
+        precision_ok=(floor <= 0.0) | (served >= floor),
     )
 
 
@@ -267,6 +293,13 @@ class ServingMetrics:
         return 0.0 if proposed == 0 else self.draft_accepted_tokens / proposed
 
     @property
+    def precision_violations(self) -> int:
+        """Finished requests served below their demanded precision floor."""
+        if not self.requests:
+            return 0
+        return int(np.count_nonzero(~self._columns().precision_ok))
+
+    @property
     def transfer_delay(self) -> LatencySummary:
         """Exposed KV-transfer delay percentiles over *migrated* requests.
 
@@ -289,7 +322,8 @@ class ServingMetrics:
         cols = self._columns()
         good = int(np.count_nonzero(
             (cols.ttft <= ttft_slo_s)
-            & ((cols.output_len <= 1.0) | (cols.tpot <= tpot_slo_s))))
+            & ((cols.output_len <= 1.0) | (cols.tpot <= tpot_slo_s))
+            & cols.precision_ok))
         return good / len(self.requests)
 
     def slo_goodput(self, ttft_slo_s: float, tpot_slo_s: float,

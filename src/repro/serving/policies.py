@@ -286,6 +286,13 @@ class SchedulingConfig:
         with LRU eviction of unreferenced blocks under page pressure.
         Requires a paged-KV system; off by default — all existing results
         are bitwise-unchanged.
+    kv_demotion:
+        When true (requires ``prefix_caching``), the prefix cache demotes
+        cold unreferenced blocks to the 4-bit KV tier under page pressure
+        before resorting to LRU eviction: demoted blocks keep their contents
+        hittable at ~1/4 the footprint, and a later hit pays a
+        dequantization pass (priced by the engine) to restore them.  A no-op
+        on systems already storing KV at 4 bits.  Off by default.
     """
 
     policy: str = "fcfs"
@@ -293,6 +300,7 @@ class SchedulingConfig:
     prefill_chunk_size: int = 512
     preemption: bool = False
     prefix_caching: bool = False
+    kv_demotion: bool = False
 
     def build_policy(self) -> SchedulerPolicy:
         return get_policy(self.policy)
@@ -318,4 +326,9 @@ SCHEDULING_PRESETS: Dict[str, SchedulingConfig] = {
                                      policy="cache-aware"),
     "prefix-preempt": SchedulingConfig(chunked_prefill=True,
                                        prefix_caching=True, preemption=True),
+    "prefix-demote": SchedulingConfig(chunked_prefill=True,
+                                      prefix_caching=True, kv_demotion=True),
+    "prefix-demote-preempt": SchedulingConfig(
+        chunked_prefill=True, prefix_caching=True, preemption=True,
+        kv_demotion=True),
 }

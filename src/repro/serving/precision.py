@@ -5,14 +5,38 @@ cost model's GEMM dataflow and attention kernel, plus the system-level
 properties that affect achievable batch size (paged attention support,
 activation workspace overhead).  The presets mirror the systems compared in
 Table 4 / Figure 15.
+
+The preset is also the single source of *KV geometry*:
+:meth:`SystemConfig.kv_bytes_per_token` is the one formula every consumer of
+per-token KV bytes shares — the page allocator
+(:mod:`repro.serving.kv_cache_manager`), the cluster's transfer pricing and
+the speculative decoder's draft-KV split all read the same float, so
+per-precision geometry can never drift between layers.
+:meth:`SystemConfig.demoted_kv_bytes_per_token` gives the same geometry at
+the 4-bit *demoted* tier the prefix cache squeezes cold blocks into under
+memory pressure (see :mod:`repro.serving.prefix_cache`).
+
+Every preset is validated at import time: its ``gemm_precision`` and
+``attention_kernel`` must resolve in the GPU cost model's registries, so a
+typo in a preset fails at import instead of deep inside a serving run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
-__all__ = ["SystemConfig", "SYSTEM_PRESETS", "get_system"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard gpu import
+    from repro.model.config import ModelConfig
+
+__all__ = [
+    "SystemConfig",
+    "SYSTEM_PRESETS",
+    "get_system",
+    "validate_presets",
+    "DEMOTED_KV_BITS",
+    "DYNAMIC_KV_PARAM_BYTES",
+]
 
 
 @dataclass(frozen=True)
@@ -62,9 +86,52 @@ class SystemConfig:
     def is_qserve(self) -> bool:
         return self.name.startswith("qserve")
 
+    @property
+    def min_precision_bits(self) -> float:
+        """Lowest storage precision anywhere in the serving path.
+
+        ``min(weight_bits, kv_bits)`` — the number a quality floor compares
+        against: a request demanding full-precision serving
+        (``Request.precision_floor_bits``) is satisfied only by replicas
+        whose weights *and* KV cache both meet the floor.
+        """
+        return min(self.weight_bits, self.kv_bits)
+
+    # ------------------------------------------------------------------
+    # KV geometry (single source of truth — see module docstring)
+    # ------------------------------------------------------------------
+    def kv_bytes_per_token(self, model: "ModelConfig") -> float:
+        """KV bytes per token across all layers, including the dynamic
+        per-head scales/zero points this system stores in-page."""
+        payload = 2 * model.num_layers * model.kv_dim * self.kv_bits / 8.0
+        params = model.num_layers * model.num_kv_heads * self.kv_param_overhead
+        return payload + params
+
+    def demoted_kv_bytes_per_token(self, model: "ModelConfig") -> float:
+        """KV bytes per token at the *demoted* (cold, 4-bit) block tier.
+
+        Demotion re-quantizes a block to :data:`DEMOTED_KV_BITS` with
+        per-head dynamic scales (:data:`DYNAMIC_KV_PARAM_BYTES`), the same
+        storage layout as QServe's KV4 cache.  A system already storing KV
+        at or below 4 bits gains nothing — the value is floored at the
+        system's native footprint, so ``demotion_supported`` can key off a
+        strict byte saving.
+        """
+        payload = 2 * model.num_layers * model.kv_dim * DEMOTED_KV_BITS / 8.0
+        params = (model.num_layers * model.num_kv_heads
+                  * max(self.kv_param_overhead, DYNAMIC_KV_PARAM_BYTES))
+        return min(self.kv_bytes_per_token(model), payload + params)
+
 
 #: Per-head FP16 scale + zero point for K and V (4 x 2 bytes per token per head).
 _DYNAMIC_KV_PARAM_BYTES = 8.0
+#: Public alias: dynamic-parameter bytes per token per KV head at any
+#: dynamically quantized tier (presets and the demoted block tier share it).
+DYNAMIC_KV_PARAM_BYTES = _DYNAMIC_KV_PARAM_BYTES
+
+#: Storage precision cold prefix-cache blocks are demoted to under memory
+#: pressure (QServe's KV4 tier; see ``docs/COST_MODEL.md``).
+DEMOTED_KV_BITS = 4.0
 
 SYSTEM_PRESETS: Dict[str, SystemConfig] = {
     "trt-fp16": SystemConfig(
@@ -102,3 +169,33 @@ def get_system(name: str) -> SystemConfig:
     except KeyError:
         known = ", ".join(sorted(SYSTEM_PRESETS))
         raise KeyError(f"unknown system {name!r}; known: {known}") from None
+
+
+def validate_presets(presets: Dict[str, SystemConfig] = SYSTEM_PRESETS) -> None:
+    """Check every preset resolves in the GPU cost model's registries.
+
+    A preset whose ``gemm_precision`` or ``attention_kernel`` is not a key of
+    :data:`repro.gpu.gemm.GEMM_PRECISIONS` /
+    :data:`repro.gpu.attention_kernel.KV_KERNELS` would otherwise only fail
+    when an engine is built around it.  Run at import so the failure is
+    immediate and names the broken preset.  The imports are deferred to keep
+    :mod:`repro.serving.precision` importable without pulling the whole GPU
+    package in at module load order-sensitively.
+    """
+    from repro.gpu.attention_kernel import KV_KERNELS
+    from repro.gpu.gemm import GEMM_PRECISIONS
+
+    for key, preset in presets.items():
+        if preset.gemm_precision not in GEMM_PRECISIONS:
+            raise ValueError(
+                f"system preset {key!r} names unknown gemm_precision "
+                f"{preset.gemm_precision!r}; known: "
+                f"{', '.join(sorted(GEMM_PRECISIONS))}")
+        if preset.attention_kernel not in KV_KERNELS:
+            raise ValueError(
+                f"system preset {key!r} names unknown attention_kernel "
+                f"{preset.attention_kernel!r}; known: "
+                f"{', '.join(sorted(KV_KERNELS))}")
+
+
+validate_presets()

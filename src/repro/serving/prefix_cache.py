@@ -19,6 +19,16 @@ PagedKVCacheManager`'s *shared pool*: a shared page counts once toward
 * Cached-but-unreferenced blocks are reclaimed **LRU, leaves first** under
   page pressure (:meth:`PrefixCache.evict`), which preserves the radix
   invariant that every cached block's prefix chain is also cached.
+* With ``demotion=True`` (and a KV precision above 4 bits), eviction gets a
+  cheaper first resort: cold unreferenced blocks are **demoted** to the
+  4-bit tier (:data:`repro.serving.precision.DEMOTED_KV_BITS`) LRU-first,
+  reclaiming most of their footprint while keeping their contents hittable.
+  Only when demotion cannot cover the shortfall does true LRU eviction run.
+  A hit on a demoted block costs a dequantization pass (charged by the
+  engine via ``Request.demoted_hit_tokens``) and promotes the block back to
+  full precision when capacity allows; demotion never applies to referenced
+  or protected blocks, so running requests always attend over the pages
+  they pinned.
 
 Lifecycle, as driven by the scheduler:
 
@@ -109,6 +119,13 @@ class PrefixCacheStats:
     deduped_pages: int = 0
     evicted_pages: int = 0
     peak_cached_pages: int = 0
+    #: Demoted-tier churn: pages squeezed to 4-bit under pressure, pages
+    #: restored to full precision, and hit tokens served from demoted blocks
+    #: (each of which cost a dequantization pass).
+    demoted_pages_total: int = 0
+    promoted_pages_total: int = 0
+    demoted_hit_tokens: int = 0
+    peak_demoted_pages: int = 0
 
     @property
     def saved_prefill_tokens(self) -> int:
@@ -125,7 +142,8 @@ class PrefixCacheStats:
 class _RadixNode:
     """One cached KV block: a node of the prefix radix tree."""
 
-    __slots__ = ("key", "parent", "children", "ref_count", "last_used")
+    __slots__ = ("key", "parent", "children", "ref_count", "last_used",
+                 "demoted")
 
     def __init__(self, key: Optional[int], parent: Optional["_RadixNode"]) -> None:
         self.key = key
@@ -133,6 +151,7 @@ class _RadixNode:
         self.children: Dict[int, "_RadixNode"] = {}
         self.ref_count = 0
         self.last_used = 0
+        self.demoted = False
 
 
 class PrefixCache:
@@ -145,9 +164,14 @@ class PrefixCache:
     conservation counters cover both populations at all times.
     """
 
-    def __init__(self, kv_manager: PagedKVCacheManager) -> None:
+    def __init__(self, kv_manager: PagedKVCacheManager,
+                 demotion: bool = False) -> None:
         self.kv_manager = kv_manager
         self.page_size = kv_manager.page_size
+        #: Demote cold blocks to 4-bit before evicting.  Silently off on
+        #: systems where the demoted tier saves no bytes (native KV4) or
+        #: that lack paged KV — demotion would be a pure no-op there.
+        self.demotion = demotion and kv_manager.demotion_supported
         self._root = _RadixNode(key=None, parent=None)
         self._nodes: Dict[int, _RadixNode] = {}
         self._request_blocks: Dict[int, List[_RadixNode]] = {}
@@ -283,6 +307,14 @@ class PrefixCache:
         self._request_blocks[request.request_id] = list(nodes)
         request.cached_tokens = len(nodes) * self.page_size
         request.shared_kv_pages = len(nodes)
+        demoted = [node for node in nodes if node.demoted]
+        if demoted:
+            # Every demoted hit pays a dequantization pass (charged by the
+            # engine when the request's prefill starts), whether or not the
+            # block can be promoted back to full precision right now.
+            request.demoted_hit_tokens = len(demoted) * self.page_size
+            self.stats.demoted_hit_tokens += request.demoted_hit_tokens
+            self._promote(demoted)
         if count_stats:
             self.stats.lookups += 1
             self.stats.hit_tokens += request.cached_tokens
@@ -310,6 +342,11 @@ class PrefixCache:
             if child is not None:
                 self.kv_manager.drop_private_page(request.request_id)
                 self.stats.deduped_pages += 1
+                if child.demoted:
+                    # The request just prefilled this block at full
+                    # precision; the drop above freed a whole page, so the
+                    # (at most one-page) promotion always fits.
+                    self._promote([child])
             else:
                 child = _RadixNode(key=key, parent=node)
                 node.children[key] = child
@@ -346,21 +383,90 @@ class PrefixCache:
             node.ref_count -= 1
 
     # ------------------------------------------------------------------
+    # Demoted tier
+    # ------------------------------------------------------------------
+    def promotion_page_need(self, nodes: Iterable[_RadixNode]) -> int:
+        """Free pages that promoting the demoted blocks in ``nodes`` costs.
+
+        The admission path budgets this alongside the cold suffix's private
+        pages so :meth:`acquire`'s promotions are pre-funded.  Zero whenever
+        demotion is off or no matched block is demoted.
+        """
+        count = sum(1 for node in nodes if node.demoted)
+        return self.kv_manager.promotion_page_need(count)
+
+    def _promote(self, nodes: List[_RadixNode]) -> None:
+        """Restore demoted ``nodes`` to full precision, as capacity allows.
+
+        Promotion consumes the fractional capacity demotion reclaimed; a
+        block whose marginal page cost exceeds the free pool simply stays
+        demoted (still hittable, still priced as a demoted hit next time).
+        """
+        for node in nodes:
+            if not node.demoted:
+                continue
+            if self.kv_manager.promotion_page_need(1) > self.kv_manager.free_pages:
+                continue
+            self.kv_manager.promote_shared_page()
+            node.demoted = False
+            self.stats.promoted_pages_total += 1
+
+    def _demote(self, pages_needed: int, protected: set) -> int:
+        """Demote cold unreferenced blocks, LRU first; returns pages freed.
+
+        Any unreferenced block qualifies, interior or leaf — demotion keeps
+        the node in the tree, so the radix invariant is untouched (and a
+        referenced block's ancestors are always referenced themselves, so
+        no running request can ever attend over a block demoted here).
+        Page gains are measured as the allocator's ``free_pages`` delta:
+        the demoted tier's savings are fractional and only whole reclaimed
+        pages count.
+        """
+        heap = [(node.last_used, key) for key, node in self._nodes.items()
+                if node.ref_count == 0 and not node.demoted
+                and id(node) not in protected]
+        heapq.heapify(heap)
+        reclaimed = 0
+        while heap and reclaimed < pages_needed:
+            _, key = heapq.heappop(heap)
+            node = self._nodes[key]
+            if node.ref_count > 0 or node.demoted:
+                continue  # stale heap entry
+            before = self.kv_manager.free_pages
+            self.kv_manager.demote_shared_page()
+            node.demoted = True
+            self.stats.demoted_pages_total += 1
+            reclaimed += self.kv_manager.free_pages - before
+        self.stats.peak_demoted_pages = max(self.stats.peak_demoted_pages,
+                                            self.kv_manager.demoted_pages)
+        return reclaimed
+
+    # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
     def evict(self, pages_needed: int,
-              protect: Iterable[_RadixNode] = ()) -> int:
-        """Reclaim up to ``pages_needed`` unreferenced blocks, LRU first.
+              protect: Iterable[_RadixNode] = (), *,
+              demote_first: bool = True) -> int:
+        """Reclaim up to ``pages_needed`` pages from unreferenced blocks.
 
-        Only childless nodes are evictable (radix invariant: a cached block's
-        whole prefix chain stays cached); evicting a leaf may expose its
-        parent, which joins the candidate heap with its own recency.
-        ``protect`` shields blocks matched-but-not-yet-acquired during the
-        current admission.  Returns the number of pages reclaimed.
+        With demotion enabled (and ``demote_first``), cold blocks are first
+        squeezed to the 4-bit tier LRU-first — they stay hittable — and true
+        eviction only covers whatever shortfall remains.  Eviction itself is
+        LRU over childless nodes (radix invariant: a cached block's whole
+        prefix chain stays cached); evicting a leaf may expose its parent,
+        which joins the candidate heap with its own recency.  ``protect``
+        shields blocks matched-but-not-yet-acquired during the current
+        admission.  Returns the number of pages reclaimed (for a demoted
+        block, the whole pages its eviction actually returns).
         """
         if pages_needed <= 0:
             return 0
         protected = {id(node) for node in protect}
+        reclaimed = 0
+        if self.demotion and demote_first:
+            reclaimed = self._demote(pages_needed, protected)
+            if reclaimed >= pages_needed:
+                return reclaimed
 
         def evictable(node: _RadixNode) -> bool:
             return (node.ref_count == 0 and not node.children
@@ -369,25 +475,29 @@ class PrefixCache:
         heap = [(node.last_used, key) for key, node in self._nodes.items()
                 if evictable(node)]
         heapq.heapify(heap)
-        evicted = 0
-        while heap and evicted < pages_needed:
+        while heap and reclaimed < pages_needed:
             last_used, key = heapq.heappop(heap)
             node = self._nodes.get(key)
             if node is None or node.last_used != last_used or not evictable(node):
                 continue  # stale heap entry
             parent = node.parent
+            before = self.kv_manager.free_pages
             self._evict_node(node)
-            evicted += 1
+            reclaimed += self.kv_manager.free_pages - before
             if parent is not None and parent is not self._root and evictable(parent):
                 heapq.heappush(heap, (parent.last_used, parent.key))
-        return evicted
+        return reclaimed
 
     def _evict_node(self, node: _RadixNode) -> None:
         node.parent.children.pop(node.key)
         del self._nodes[node.key]
-        self.kv_manager.release_shared_page()
+        self.kv_manager.release_shared_page(demoted=node.demoted)
         self.stats.evicted_pages += 1
 
     def clear(self) -> int:
-        """Evict every unreferenced block (e.g. to drain after a run)."""
-        return self.evict(len(self._nodes))
+        """Evict every unreferenced block (e.g. to drain after a run).
+
+        Bypasses the demotion tier — draining means the pages must actually
+        come back, not shrink.
+        """
+        return self.evict(len(self._nodes), demote_first=False)

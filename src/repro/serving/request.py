@@ -43,6 +43,7 @@ __all__ = [
     "make_router_study_workload",
     "make_shared_prefix_workload",
     "make_chat_workload",
+    "make_mixed_precision_workload",
 ]
 
 #: Global source of fresh prompt-content ids (see module docstring).
@@ -121,6 +122,17 @@ class Request:
     spec_steps: int = 0
     draft_proposed: int = 0
     draft_accepted: int = 0
+    #: Cached prefix tokens that hit blocks held at the demoted 4-bit tier
+    #: this residency; the engine charges one dequantization pass over them
+    #: when the request's prefill starts.  Zero whenever KV demotion is off.
+    demoted_hit_tokens: int = 0
+    #: Quality floor: minimum ``min(weight_bits, kv_bits)`` of the system
+    #: allowed to serve this request.  ``0.0`` accepts any precision; a
+    #: latency-/quality-sensitive request might demand ``16.0`` (FP16-only).
+    precision_floor_bits: float = 0.0
+    #: ``min_precision_bits`` of the system that admitted the request;
+    #: stamped at admission, joins the SLO definition as a quality check.
+    served_precision_bits: float = 0.0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0:
@@ -162,7 +174,8 @@ class Request:
         """A pristine copy (same id/lengths/arrival/content, no progress)."""
         return Request(request_id=self.request_id, prompt_len=self.prompt_len,
                        output_len=self.output_len, arrival_time=self.arrival_time,
-                       prompt_segments=self.prompt_segments)
+                       prompt_segments=self.prompt_segments,
+                       precision_floor_bits=self.precision_floor_bits)
 
 
 @dataclass
@@ -429,4 +442,49 @@ def make_chat_workload(num_sessions: int = 8,
                 prompt_segments=segments))
             history.extend([user_segment, (next(_CONTENT_IDS), a_len)])
             now += float(rng.exponential(think_time_s)) if think_time_s > 0 else 0.0
+    return Workload(requests=requests)
+
+
+def make_mixed_precision_workload(num_requests: int = 200,
+                                  interactive_fraction: float = 0.35,
+                                  interactive_prompt_len: int = 128,
+                                  interactive_output_len: int = 64,
+                                  batch_prompt_len: int = 1024,
+                                  batch_output_len: int = 512,
+                                  arrival_rate: float = 4.0,
+                                  precision_floor_bits: float = 16.0,
+                                  seed: int = 0) -> Workload:
+    """Two-tier traffic for precision-aware serving studies.
+
+    A fraction of the requests is *interactive quality-tier* traffic — short
+    prompts and outputs, tagged with ``precision_floor_bits`` so only a
+    full-precision replica counts as serving them correctly (think paying
+    customers whose product team has not signed off on quantized outputs).
+    The remainder is *batch throughput* traffic — the paper's 1024/512
+    benchmark shape, happy to be served at any precision.  Tiers are drawn
+    i.i.d. per request and share one Poisson arrival process, so a router
+    sees them interleaved, not phased.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if not 0.0 <= interactive_fraction <= 1.0:
+        raise ValueError("interactive_fraction must be in [0, 1]")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=num_requests))
+    interactive = rng.random(num_requests) < interactive_fraction
+    requests: List[Request] = []
+    for i in range(num_requests):
+        if interactive[i]:
+            requests.append(Request(
+                request_id=i, prompt_len=interactive_prompt_len,
+                output_len=interactive_output_len,
+                arrival_time=float(arrivals[i]),
+                precision_floor_bits=precision_floor_bits))
+        else:
+            requests.append(Request(
+                request_id=i, prompt_len=batch_prompt_len,
+                output_len=batch_output_len,
+                arrival_time=float(arrivals[i])))
     return Workload(requests=requests)

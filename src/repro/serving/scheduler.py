@@ -181,6 +181,7 @@ class ContinuousBatchingScheduler:
             cached_nodes: List = []
             shared_pages = 0
             pinned = False
+            promote_need = 0
             if self.prefix_cache is not None:
                 pinned = self.prefix_cache.is_pinned(request.request_id)
                 if pinned:
@@ -192,8 +193,16 @@ class ContinuousBatchingScheduler:
                 else:
                     cached_nodes, _ = self.prefix_cache.match(request)
                     shared_pages = len(cached_nodes)
+                    # Hitting demoted blocks restores them to full precision
+                    # at acquire time, which consumes the capacity demotion
+                    # reclaimed — budget those pages alongside the cold
+                    # suffix so the promotions are pre-funded.  Always zero
+                    # with demotion off.
+                    promote_need = self.prefix_cache.promotion_page_need(
+                        cached_nodes)
                 shortfall = (self.kv_manager.pages_needed(
                     request.request_id, tokens, shared_pages)
+                    + promote_need
                     - self.kv_manager.free_pages)
                 if (shortfall > 0 and shortfall
                         <= self.prefix_cache.evictable_pages(cached_nodes)):
@@ -205,8 +214,14 @@ class ContinuousBatchingScheduler:
                     # not admit this request but would destroy every other
                     # request's reuse.
                     self.prefix_cache.evict(shortfall, protect=cached_nodes)
-            if self.kv_manager.can_allocate(request.request_id, tokens,
-                                            shared_pages):
+            if promote_need:
+                fits = (self.kv_manager.pages_needed(
+                    request.request_id, tokens, shared_pages) + promote_need
+                    <= self.kv_manager.free_pages)
+            else:
+                fits = self.kv_manager.can_allocate(request.request_id,
+                                                    tokens, shared_pages)
+            if fits:
                 if request.kv_ready:
                     # The uncached pages' contents arrive via KV transfer.
                     self.kv_manager.adopt(request.request_id, tokens,
@@ -245,6 +260,8 @@ class ContinuousBatchingScheduler:
             request.state = RequestState.DECODING
             request.prefill_target = 0
             request.prefilled = 0
+            request.served_precision_bits = \
+                self.kv_manager.system.min_precision_bits
             if self.prefix_cache is not None:
                 self.prefix_cache.insert(request)
             if request.admitted_time is None:
@@ -252,6 +269,8 @@ class ContinuousBatchingScheduler:
             return
         was_preempted = request.state is RequestState.PREEMPTED
         request.state = RequestState.PREFILLING
+        request.served_precision_bits = \
+            self.kv_manager.system.min_precision_bits
         # Cache-hit tokens (``cached_tokens``, stamped by the prefix cache at
         # acquire time; zero without a cache) need no prefill — only the cold
         # suffix does.  The cap at prompt_len - 1 hit tokens guarantees a
@@ -303,6 +322,7 @@ class ContinuousBatchingScheduler:
             self.prefix_cache.release(request.request_id)
         request.cached_tokens = 0
         request.shared_kv_pages = 0
+        request.demoted_hit_tokens = 0
         self.kv_manager.free(request.request_id)
         self.running.remove(request)
 

@@ -344,8 +344,8 @@ class SpeculativeDecoder:
         #: the draft's shadow KV with everything else, so a stale count means
         #: the whole context must be re-prefilled on the draft too.
         self._draft_context: Dict[int, Tuple[int, int]] = {}
-        self._target_bpt = target.new_kv_manager().bytes_per_token()
-        self._draft_bpt = self.draft_engine.new_kv_manager().bytes_per_token()
+        self._target_bpt = target.kv_bytes_per_token()
+        self._draft_bpt = self.draft_engine.kv_bytes_per_token()
 
     # ------------------------------------------------------------------
     # Memory accounting

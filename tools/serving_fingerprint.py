@@ -5,9 +5,10 @@ Every perf-focused PR must leave the simulator's *outputs* untouched while
 making it faster.  This tool pins that contract down: it runs a fixed suite
 of serving scenarios — legacy Table 4 throughput, chunked prefill with
 preemption, prefix-cache chat, a multi-replica cluster, disaggregated
-prefill/decode and speculative decoding — and emits a JSON fingerprint in
-which every float is hex-encoded (``float.hex()``: exact, no rounding) and
-every per-request metrics stream is hashed.
+prefill/decode, speculative decoding, a heterogeneous mixed-precision fleet
+and KV-cache demotion under memory pressure — and emits a JSON fingerprint
+in which every float is hex-encoded (``float.hex()``: exact, no rounding)
+and every per-request metrics stream is hashed.
 
 Usage::
 
@@ -121,6 +122,7 @@ def build_fingerprint() -> Dict[str, object]:
         SpeculativeConfig,
         make_chat_workload,
         make_lognormal_workload,
+        make_mixed_precision_workload,
         make_router_study_workload,
         make_uniform_workload,
     )
@@ -180,6 +182,40 @@ def build_fingerprint() -> Dict[str, object]:
                      scheduling=SCHEDULING_PRESETS["chunked-preempt"],
                      speculative=spec)
     fp["speculative"] = _serving_result(r)
+
+    # 7. Heterogeneous mixed-precision fleet, precision-aware routing.
+    fleet = ClusterEngine(llama7b, A100, SYSTEM_PRESETS["trt-fp16"],
+                          num_replicas=4, max_seq_len=4096,
+                          systems=["trt-fp16", "trt-fp16",
+                                   "qserve-w4a8kv4-chn", "qserve-w4a8kv4-chn"])
+    r = fleet.serve(make_mixed_precision_workload(120, arrival_rate=12.0,
+                                                  seed=1),
+                    router="precision-aware", max_num_seqs=24,
+                    scheduling=SCHEDULING_PRESETS["chunked"])
+    fp["mixed-fleet"] = {
+        "cluster": _cluster_result(r),
+        "replica_systems": r.replica_systems,
+        "precision_violations": r.metrics.precision_violations,
+    }
+
+    # 8. KV-cache demotion under memory pressure (demote-before-evict).
+    engine = ServingEngine(llama7b, A100, SYSTEM_PRESETS["trt-fp16"],
+                           max_seq_len=4096)
+    capacity = 96 * engine.new_kv_manager().bytes_per_page()
+    engine.kv_capacity_bytes = lambda: capacity
+    wl = make_chat_workload(num_sessions=8, turns_per_session=4,
+                            system_prompt_len=192, user_len=32,
+                            assistant_len=64, think_time_s=6.0, seed=11)
+    r = engine.serve(wl, max_num_seqs=3,
+                     scheduling=SCHEDULING_PRESETS["prefix-demote"])
+    s = r.prefix_stats
+    fp["kv-demotion"] = {
+        "serving": _serving_result(r),
+        "demoted_pages_total": s.demoted_pages_total,
+        "promoted_pages_total": s.promoted_pages_total,
+        "demoted_hit_tokens": s.demoted_hit_tokens,
+        "peak_demoted_pages": s.peak_demoted_pages,
+    }
 
     return fp
 
