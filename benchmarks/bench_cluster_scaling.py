@@ -41,7 +41,7 @@ def test_tp_sweep(benchmark):
     assert by_tp[4].tokens_per_second > by_tp[2].tokens_per_second
 
 
-def test_replica_scaling(benchmark):
+def test_replica_scaling(benchmark, serving_json):
     """Cluster throughput grows with replica count on bursty traffic."""
     workload = make_router_study_workload()
 
@@ -52,6 +52,7 @@ def test_replica_scaling(benchmark):
                 for n in (1, 2, 4)}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    serving_json.record("replica_scaling", results)
     print()
     for n, result in results.items():
         m = result.metrics
@@ -62,7 +63,7 @@ def test_replica_scaling(benchmark):
     assert results[4].generation_throughput > results[1].generation_throughput
 
 
-def test_router_ab(benchmark):
+def test_router_ab(benchmark, serving_json):
     """Queue-aware routing beats round-robin on p95 TTFT under bursts."""
     workload = make_router_study_workload()
     cluster = _cluster(4)
@@ -75,6 +76,7 @@ def test_router_ab(benchmark):
                                "shortest-queue")}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    serving_json.record("router_ab", results)
     print()
     for router, result in results.items():
         m = result.metrics

@@ -42,7 +42,7 @@ def _serve(cluster, workload):
                          scheduling=SCHEDULING_PRESETS["chunked"])
 
 
-def test_ratio_sweep(benchmark):
+def test_ratio_sweep(benchmark, serving_json):
     """Prefill:decode ratio sweep vs mixed replicas at equal GPU count."""
     workload = make_router_study_workload()
 
@@ -51,6 +51,7 @@ def test_ratio_sweep(benchmark):
                 for name, roles in RATIOS.items()}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    serving_json.record("disaggregation_ratio_sweep", results)
     print()
     for name, result in results.items():
         m = result.metrics

@@ -47,7 +47,7 @@ def _fleet(systems):
                          systems=systems)
 
 
-def test_mixed_fleet_goodput_frontier(benchmark):
+def test_mixed_fleet_goodput_frontier(benchmark, serving_json):
     """Acceptance (claim a): the mixed fleet dominates the goodput frontier."""
 
     def run():
@@ -63,6 +63,9 @@ def test_mixed_fleet_goodput_frontier(benchmark):
         return frontier
 
     frontier = benchmark.pedantic(run, rounds=1, iterations=1)
+    serving_json.record("mixed_fleet_goodput_frontier",
+                        {f"{rate:g} req/s, {name}": result
+                         for (rate, name), result in frontier.items()})
     print()
     print(f"{'rate':>6s}  " + "".join(f"{name:>14s}" for name in FLEETS)
           + "  (SLO goodput, req/s)")

@@ -33,7 +33,7 @@ def _chat_workload(seed=1):
                               assistant_len=128, think_time_s=6.0, seed=seed)
 
 
-def test_chat_prefix_caching(benchmark):
+def test_chat_prefix_caching(benchmark, serving_json):
     """Acceptance: nonzero hits and a mean-TTFT win on multi-turn chat."""
     engine = _engine()
     workload = _chat_workload()
@@ -44,6 +44,7 @@ def test_chat_prefix_caching(benchmark):
                 for preset in ("chunked", "prefix", "prefix-aware")}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    serving_json.record("chat_prefix_caching", results)
     print()
     for preset, result in results.items():
         m = result.metrics

@@ -3,12 +3,14 @@
 
 Every other benchmark in this directory measures the *simulated* system
 (tokens/s on the modelled GPU); this one measures the *simulator* — how many
-requests per wall-clock second the event loop chews through — across the six
+requests per wall-clock second the event loop chews through — across the
 workload shapes that exercise its distinct hot paths:
 
 * ``plain-decode``     — uniform batch decoding, legacy stall-prefill planner;
 * ``chunked-preempt``  — Poisson lognormal traffic, chunked prefill with
   preemption (admission + page-pressure heavy);
+* ``chunked-telemetry``— the same trace with lifecycle tracing on; the gap
+  to ``chunked-preempt`` is the telemetry overhead (gated at <=10%);
 * ``prefix-chat``      — multi-turn chat against the prefix cache
   (cache-aware admission ordering);
 * ``cluster``          — 4 replicas behind the least-outstanding router on
@@ -97,6 +99,16 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
             wl, max_num_seqs=64,
             scheduling=SCHEDULING_PRESETS["chunked-preempt"])
 
+    def chunked_telemetry():
+        # Same trace as chunked-preempt with the tracing layer on: the gap
+        # between the two scenarios is the telemetry overhead, gated at
+        # <=10% in the regression baseline.
+        wl = make_lognormal_workload(n_chunked, arrival_rate=40.0, seed=0)
+        return engine().serve(
+            wl, max_num_seqs=64,
+            scheduling=SCHEDULING_PRESETS["chunked-preempt"],
+            telemetry=True)
+
     def prefix_chat():
         wl = make_chat_workload(num_sessions=n_sessions, turns_per_session=6,
                                 session_rate=2.0, seed=0)
@@ -135,6 +147,7 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
     return [
         ("plain-decode", n_plain, plain_decode),
         ("chunked-preempt", n_chunked, chunked_preempt),
+        ("chunked-telemetry", n_chunked, chunked_telemetry),
         ("prefix-chat", n_sessions * 6, prefix_chat),
         ("cluster", n_cluster, cluster),
         ("speculative", n_spec, speculative),

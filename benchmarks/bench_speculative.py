@@ -43,7 +43,7 @@ def _row(name, result):
           f"speedup {result.speculation_speedup:4.2f}x")
 
 
-def test_k_and_draft_sweep(benchmark):
+def test_k_and_draft_sweep(benchmark, serving_json):
     """Lookahead/draft-size sweep vs the non-speculative baseline."""
     engine = _engine()
     workload = make_uniform_workload(24, prompt_len=512, output_len=256)
@@ -60,6 +60,7 @@ def test_k_and_draft_sweep(benchmark):
                 for name, spec in configs.items()}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    serving_json.record("k_and_draft_sweep", results)
     print()
     for name, result in results.items():
         _row(name, result)

@@ -5,8 +5,16 @@ module in :mod:`repro.experiments`.  Accuracy benchmarks default to the
 ``tiny`` scale so the whole suite completes in minutes; set
 ``QSERVE_REPRO_SCALE=small`` to reproduce the numbers recorded in
 EXPERIMENTS.md.
+
+Serving benchmarks can dump their full result payloads
+(``ServingResult.to_json`` / ``ClusterResult.to_json``) for offline
+analysis::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster_scaling.py \
+        --json results.json
 """
 
+import json
 import os
 import sys
 
@@ -15,6 +23,64 @@ import pytest
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json", action="store", default=None, metavar="PATH",
+        dest="serving_json_path",
+        help="dump the ServingResult/ClusterResult payloads recorded by the "
+             "serving benchmarks to PATH as JSON")
+
+
+class ServingResultRecorder:
+    """Collects named serving-result payloads; written once at session end.
+
+    Recording is a no-op unless ``--json PATH`` was given, so benchmarks can
+    call :meth:`record` unconditionally without paying serialization cost on
+    plain runs.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self.payloads = {}
+
+    @property
+    def enabled(self):
+        return self.path is not None
+
+    def record(self, name, result):
+        """Record one result (or a ``{label: result}`` sweep) under ``name``.
+
+        ``result`` is anything with a ``to_json()`` method, a dict of such
+        objects, or an already-serialized dict.
+        """
+        if not self.enabled:
+            return
+        self.payloads[name] = self._serialize(result)
+
+    def _serialize(self, obj):
+        if hasattr(obj, "to_json"):
+            return obj.to_json()
+        if isinstance(obj, dict):
+            return {str(k): self._serialize(v) for k, v in obj.items()}
+        return obj
+
+    def flush(self):
+        if self.enabled and self.payloads:
+            with open(self.path, "w") as fh:
+                json.dump(self.payloads, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"\nwrote {len(self.payloads)} serving payload(s) "
+                  f"-> {self.path}")
+
+
+@pytest.fixture(scope="session")
+def serving_json(request):
+    recorder = ServingResultRecorder(
+        request.config.getoption("serving_json_path"))
+    yield recorder
+    recorder.flush()
 
 
 @pytest.fixture(scope="session")

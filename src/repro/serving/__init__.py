@@ -28,6 +28,10 @@ goodput) under pluggable scheduling policies:
   with optimistic admission and preempt-and-recompute under page pressure;
 * :mod:`repro.serving.metrics` — per-request TTFT/TPOT/E2E latency with
   p50/p95/p99 summaries and SLO goodput;
+* :mod:`repro.serving.telemetry` — default-off lifecycle tracing: request
+  spans, per-iteration records, sampled time series, a unified counter
+  registry with a Prometheus-style snapshot, Chrome trace-event export
+  (Perfetto-loadable) and SLO phase attribution;
 * :mod:`repro.serving.engine` — per-iteration latency from the GPU cost model
   plus the event-driven serving loop (whole-run ``serve`` and the
   iteration-level :class:`EngineStepper`);
@@ -90,6 +94,19 @@ from repro.serving.policies import (
     LEGACY_SCHEDULING,
 )
 from repro.serving.metrics import RequestMetrics, LatencySummary, ServingMetrics
+from repro.serving.telemetry import (
+    TelemetryConfig,
+    CounterRegistry,
+    collect_counters,
+    Tracer,
+    PHASES,
+    chrome_trace,
+    write_chrome_trace,
+    trace_phase_records,
+    PhaseRecord,
+    attribute_slo,
+    SLOAttribution,
+)
 from repro.serving.scheduler import ContinuousBatchingScheduler
 from repro.serving.parallel import ParallelConfig
 from repro.serving.speculative import (
@@ -145,6 +162,9 @@ __all__ = [
     "ChunkedPrefillPlanner", "SchedulingConfig", "SCHEDULING_PRESETS",
     "LEGACY_SCHEDULING",
     "RequestMetrics", "LatencySummary", "ServingMetrics",
+    "TelemetryConfig", "CounterRegistry", "collect_counters", "Tracer",
+    "PHASES", "chrome_trace", "write_chrome_trace", "trace_phase_records",
+    "PhaseRecord", "attribute_slo", "SLOAttribution",
     "ContinuousBatchingScheduler",
     "ParallelConfig",
     "AcceptanceProfile", "ACCEPTANCE_PROFILES", "get_acceptance_profile",

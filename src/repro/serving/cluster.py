@@ -68,6 +68,12 @@ from repro.serving.policies import SchedulingConfig
 from repro.serving.precision import SystemConfig, get_system
 from repro.serving.request import Request, Workload
 from repro.serving.speculative import SpeculativeConfig
+from repro.serving.telemetry import (
+    CounterRegistry,
+    TelemetryConfig,
+    Tracer,
+    chrome_trace,
+)
 
 __all__ = [
     "Router",
@@ -315,6 +321,46 @@ class ClusterResult:
     def num_replicas(self) -> int:
         return len(self.replica_results)
 
+    def _sum(self, attr: str) -> int:
+        """Sum one numeric field across the per-replica results.
+
+        The single summation point for every cluster-level additive gauge —
+        the per-property ``sum(...)`` expressions this replaces had started
+        to drift apart.
+        """
+        return sum(getattr(r, attr) for r in self.replica_results)
+
+    def counters(self) -> CounterRegistry:
+        """Cluster-wide counter registry: every replica's counters, summed.
+
+        Run-level counters (pages allocated, admission scans, preemptions,
+        prefix/speculation totals) merge exactly; capacity gauges sum to the
+        cluster-wide capacity.  Workload-sliced quantities (``num_finished``
+        etc.) stay on the properties below — in a disaggregated cluster a
+        migrated request finishes on a *different* replica than the one its
+        result slice is attributed to, so the two viewpoints differ by
+        design.
+        """
+        merged = CounterRegistry()
+        for result in self.replica_results:
+            if result.counters is not None:
+                merged.merge(result.counters)
+        return merged
+
+    @property
+    def tracers(self) -> List[Tracer]:
+        """The per-replica tracers of a telemetry-enabled run (else empty)."""
+        return [r.telemetry for r in self.replica_results
+                if r.telemetry is not None]
+
+    def chrome_trace(self) -> Dict:
+        """Merged Chrome trace of all replicas on the shared cluster clock."""
+        tracers = self.tracers
+        if not tracers:
+            raise ValueError(
+                "this run was not traced; pass telemetry=True to serve()")
+        return chrome_trace(tracers)
+
     @property
     def num_migrations(self) -> int:
         """Prefill→decode handoffs performed during the run."""
@@ -348,23 +394,23 @@ class ClusterResult:
 
     @property
     def generated_tokens(self) -> int:
-        return sum(r.generated_tokens for r in self.replica_results)
+        return self._sum("generated_tokens")
 
     @property
     def prompt_tokens(self) -> int:
-        return sum(r.prompt_tokens for r in self.replica_results)
+        return self._sum("prompt_tokens")
 
     @property
     def num_finished(self) -> int:
-        return sum(r.num_finished for r in self.replica_results)
+        return self._sum("num_finished")
 
     @property
     def num_unserved(self) -> int:
-        return sum(r.num_unserved for r in self.replica_results)
+        return self._sum("num_unserved")
 
     @property
     def num_preemptions(self) -> int:
-        return sum(r.num_preemptions for r in self.replica_results)
+        return self._sum("num_preemptions")
 
     @property
     def generation_throughput(self) -> float:
@@ -375,7 +421,7 @@ class ClusterResult:
     @property
     def saved_prefill_tokens(self) -> int:
         """Prefill tokens skipped via prefix-cache hits across all replicas."""
-        return sum(r.saved_prefill_tokens for r in self.replica_results)
+        return self._sum("saved_prefill_tokens")
 
     @property
     def acceptance_rate(self) -> float:
@@ -404,6 +450,36 @@ class ClusterResult:
         """Cluster requests per second completed within the latency SLO."""
         return self.metrics.slo_goodput(ttft_slo_s, tpot_slo_s,
                                         self.total_time_s)
+
+    def to_json(self) -> Dict:
+        """Structured (JSON-serializable) export of the cluster run.
+
+        Cluster-level aggregates plus the full per-replica
+        :meth:`~repro.serving.engine.ServingResult.to_json` payloads and the
+        merged counter registry.
+        """
+        return {
+            "num_replicas": self.num_replicas,
+            "total_time_s": self.total_time_s,
+            "generated_tokens": self.generated_tokens,
+            "prompt_tokens": self.prompt_tokens,
+            "num_finished": self.num_finished,
+            "num_unserved": self.num_unserved,
+            "num_preemptions": self.num_preemptions,
+            "num_migrations": self.num_migrations,
+            "generation_throughput": self.generation_throughput,
+            "saved_prefill_tokens": self.saved_prefill_tokens,
+            "acceptance_rate": self.acceptance_rate,
+            "cache_hit_rate": self.cache_hit_rate,
+            "requests_per_replica": list(self.requests_per_replica),
+            "migrations_per_replica": list(self.migrations_per_replica),
+            "replica_roles": list(self.replica_roles),
+            "replica_systems": list(self.replica_systems),
+            "role_utilization": self.role_utilization(),
+            "metrics": self.metrics.to_json(),
+            "counters": self.counters().as_dict(),
+            "replica_results": [r.to_json() for r in self.replica_results],
+        }
 
 
 # ----------------------------------------------------------------------
@@ -525,11 +601,38 @@ class ClusterEngine:
         """GPUs across the whole cluster (replicas x TP degree)."""
         return self.num_replicas * self.engine.tp_degree
 
+    def _replica_tracers(self, telemetry: Union[None, bool, TelemetryConfig]
+                         ) -> List[Optional[Tracer]]:
+        """One tracer per replica (or all ``None`` with telemetry off).
+
+        Replica index becomes the trace's process id; role-specialised
+        replicas carry their role in the process name so the Perfetto view
+        reads as the deployment does.
+        """
+        if telemetry is None or telemetry is False:
+            return [None] * self.num_replicas
+        if telemetry is True:
+            config = TelemetryConfig()
+        elif isinstance(telemetry, TelemetryConfig):
+            config = telemetry
+        else:
+            raise TypeError(
+                f"cluster telemetry must be None, bool or TelemetryConfig, "
+                f"got {type(telemetry).__name__}")
+        tracers: List[Optional[Tracer]] = []
+        for i, role in enumerate(self.roles):
+            suffix = "" if role == "mixed" else f" ({role})"
+            tracers.append(Tracer(config, replica_index=i,
+                                  replica_name=f"replica{i}{suffix}"))
+        return tracers
+
     def serve(self, workload: Workload,
               router: Union[str, Router] = "least-outstanding",
               max_num_seqs: Optional[int] = None,
               scheduling: Optional[SchedulingConfig] = None,
-              speculative: Optional[SpeculativeConfig] = None) -> ClusterResult:
+              speculative: Optional[SpeculativeConfig] = None,
+              telemetry: Union[None, bool, TelemetryConfig] = None
+              ) -> ClusterResult:
         """Serve ``workload`` across the cluster and aggregate the results.
 
         ``router`` is a registry name or a :class:`Router` instance (fresh
@@ -541,17 +644,23 @@ class ClusterEngine:
         KV budget instead of hosting a draft model).  In a disaggregated
         cluster the router sees only the prefill-capable replicas; migration
         targets are picked by :meth:`DisaggregatedRouter.route_decode`
-        (least-loaded fallback for routers without one).
+        (least-loaded fallback for routers without one).  ``telemetry``
+        attaches one :class:`~repro.serving.telemetry.Tracer` per replica,
+        all on the shared cluster clock; merge them with
+        :meth:`ClusterResult.chrome_trace`.
         """
         if isinstance(router, str):
             router = get_router(router)
         if self.disaggregated:
             return self._serve_disaggregated(workload, router, max_num_seqs,
-                                             scheduling, speculative)
+                                             scheduling, speculative,
+                                             telemetry=telemetry)
+        tracers = self._replica_tracers(telemetry)
         replicas = [EngineStepper(engine, scheduling=scheduling,
                                   max_num_seqs=max_num_seqs,
-                                  speculative=speculative)
-                    for engine in self.engines]
+                                  speculative=speculative,
+                                  telemetry=tracer)
+                    for engine, tracer in zip(self.engines, tracers)]
         assignments: List[List[Request]] = [[] for _ in replicas]
 
         for request in sorted(workload.requests,
@@ -623,7 +732,9 @@ class ClusterEngine:
     def _serve_disaggregated(self, workload: Workload, router: Router,
                              max_num_seqs: Optional[int],
                              scheduling: Optional[SchedulingConfig],
-                             speculative: Optional[SpeculativeConfig] = None
+                             speculative: Optional[SpeculativeConfig] = None,
+                             telemetry: Union[None, bool,
+                                              TelemetryConfig] = None
                              ) -> ClusterResult:
         """Event-driven serving loop with prefill→decode migrations.
 
@@ -637,12 +748,15 @@ class ClusterEngine:
         the target's scheduler admits it no earlier (the transfer occupies
         the interconnect, not the GPU, so other decodes proceed meanwhile).
         """
+        tracers = self._replica_tracers(telemetry)
         replicas = [EngineStepper(engine, scheduling=scheduling,
                                   max_num_seqs=max_num_seqs,
                                   migrate_out=(role == "prefill"),
                                   speculative=(None if role == "prefill"
-                                               else speculative))
-                    for engine, role in zip(self.engines, self.roles)]
+                                               else speculative),
+                                  telemetry=tracer)
+                    for engine, role, tracer in zip(self.engines, self.roles,
+                                                    tracers)]
         prefill_idx = [i for i, role in enumerate(self.roles)
                        if role in ("prefill", "mixed")]
         decode_idx = [i for i, role in enumerate(self.roles)
@@ -689,6 +803,12 @@ class ClusterEngine:
             request.migrations += 1
             request.transfer_delay_s += delay
             request.migration_ready_time = done_time + delay
+            target_tracer = replicas[target].tracer
+            if target_tracer is not None:
+                # The transfer occupies the interconnect toward the target
+                # replica for its exposed window; the span lands on the
+                # target's timeline, where the request decodes next.
+                target_tracer.transfer(request, done_time, done_time + delay)
             replicas[target].submit(request)
             migrations_in[target] += 1
 

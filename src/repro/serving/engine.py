@@ -49,8 +49,8 @@ bitwise-identical.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.gpu.attention_kernel import (
     KERNEL_LAUNCH_OVERHEAD_S,
@@ -78,6 +78,12 @@ from repro.serving.speculative import (
     SpeculativeConfig,
     SpeculativeDecoder,
 )
+from repro.serving.telemetry import (
+    CounterRegistry,
+    TelemetryConfig,
+    Tracer,
+    collect_counters,
+)
 
 __all__ = ["StepBreakdown", "ServingResult", "ServingEngine", "EngineStepper"]
 
@@ -87,6 +93,21 @@ _STEP_OVERHEAD_S = 100e-6
 
 #: Guard against a non-terminating serving loop (scheduler/planner bugs).
 _MAX_ITERATIONS = 10_000_000
+
+
+def _resolve_tracer(telemetry: Union[None, bool, TelemetryConfig, Tracer]
+                    ) -> Optional[Tracer]:
+    """Normalize the ``telemetry=`` argument accepted by serve()/stepper."""
+    if telemetry is None or telemetry is False:
+        return None
+    if telemetry is True:
+        return Tracer()
+    if isinstance(telemetry, TelemetryConfig):
+        return Tracer(telemetry)
+    if isinstance(telemetry, Tracer):
+        return telemetry
+    raise TypeError(f"telemetry must be None, bool, TelemetryConfig or "
+                    f"Tracer, got {type(telemetry).__name__}")
 
 
 @dataclass
@@ -135,6 +156,14 @@ class ServingResult:
     prefix_stats: Optional[PrefixCacheStats] = None
     #: Speculative-decoding counters; ``None`` unless speculation was enabled.
     spec_stats: Optional[SpeculationStats] = None
+    #: Unified counter snapshot of the whole run
+    #: (:class:`~repro.serving.telemetry.CounterRegistry`): every gauge the
+    #: human-readable summaries print, reachable programmatically — and a
+    #: Prometheus-style text dump via ``counters.prometheus_text()``.
+    counters: Optional[CounterRegistry] = None
+    #: The run's :class:`~repro.serving.telemetry.Tracer`; ``None`` unless
+    #: the run was started with ``telemetry=`` enabled.
+    telemetry: Optional[Tracer] = None
 
     @property
     def generation_throughput(self) -> float:
@@ -201,6 +230,48 @@ class ServingResult:
                     f"{s.promoted_pages_total} promoted, "
                     f"{s.demoted_hit_tokens} hit tokens dequantized")
         return "\n".join(lines)
+
+    def to_json(self) -> Dict:
+        """Structured (JSON-serializable) export of the whole result.
+
+        Everything :meth:`summary_text` prints — and every derived gauge —
+        appears here as plain dicts and numbers, so benchmark sweeps and
+        notebooks consume results without parsing text.
+        """
+        payload: Dict = {
+            "total_time_s": self.total_time_s,
+            "generated_tokens": self.generated_tokens,
+            "prompt_tokens": self.prompt_tokens,
+            "peak_batch": self.peak_batch,
+            "num_iterations": self.num_iterations,
+            "num_finished": self.num_finished,
+            "num_unserved": self.num_unserved,
+            "num_preemptions": self.num_preemptions,
+            "recomputed_prefill_tokens": self.recomputed_prefill_tokens,
+            "busy_time_s": self.busy_time_s,
+            "kv_utilization_peak": self.kv_utilization_peak,
+            "generation_throughput": self.generation_throughput,
+            "tokens_per_iteration": self.tokens_per_iteration,
+            "acceptance_rate": self.acceptance_rate,
+            "speculation_speedup": self.speculation_speedup,
+            "cache_hit_rate": self.cache_hit_rate,
+            "saved_prefill_tokens": self.saved_prefill_tokens,
+            "metrics": None if self.metrics is None else self.metrics.to_json(),
+            "prefix_stats": (None if self.prefix_stats is None
+                             else asdict(self.prefix_stats)),
+            "spec_stats": (None if self.spec_stats is None
+                           else asdict(self.spec_stats)),
+            "counters": (None if self.counters is None
+                         else self.counters.as_dict()),
+        }
+        return payload
+
+    def chrome_trace(self) -> Dict:
+        """Chrome trace-event JSON of the run (requires ``telemetry=`` on)."""
+        if self.telemetry is None:
+            raise ValueError(
+                "this run was not traced; pass telemetry=True to serve()")
+        return self.telemetry.chrome_trace()
 
 
 class ServingEngine:
@@ -572,7 +643,9 @@ class ServingEngine:
 
     def serve(self, workload: Workload, max_num_seqs: Optional[int] = None,
               scheduling: Optional[SchedulingConfig] = None,
-              speculative: Optional[SpeculativeConfig] = None) -> ServingResult:
+              speculative: Optional[SpeculativeConfig] = None,
+              telemetry: Union[None, bool, TelemetryConfig, Tracer] = None
+              ) -> ServingResult:
         """Run the continuous-batching loop over ``workload`` on a simulated clock.
 
         ``scheduling`` selects the policy/planner/preemption preset; the
@@ -580,6 +653,11 @@ class ServingEngine:
         ``speculative`` turns decode iterations into draft-and-verify steps
         (see :mod:`repro.serving.speculative`); ``None`` keeps every result
         bitwise-identical to the non-speculative engine.
+        ``telemetry`` attaches a :class:`~repro.serving.telemetry.Tracer`
+        (``True`` for the defaults, a :class:`TelemetryConfig` to tune the
+        recorders, or a pre-built tracer); the trace rides back on
+        ``ServingResult.telemetry``.  Tracing only *observes* — a traced run
+        simulates the exact same schedule as an untraced one.
         Requests a configuration can never admit (e.g. a context larger than
         the whole KV cache under conservative reservation) are left unserved
         and counted in ``ServingResult.num_unserved`` rather than hanging the
@@ -587,7 +665,8 @@ class ServingEngine:
         """
         stepper = EngineStepper(self, scheduling=scheduling,
                                 max_num_seqs=max_num_seqs,
-                                speculative=speculative)
+                                speculative=speculative,
+                                telemetry=telemetry)
         stepper.submit(list(workload.requests))
         stepper.run()
         return stepper.result(workload)
@@ -612,8 +691,14 @@ class EngineStepper:
                  scheduling: Optional[SchedulingConfig] = None,
                  max_num_seqs: Optional[int] = None,
                  migrate_out: bool = False,
-                 speculative: Optional[SpeculativeConfig] = None) -> None:
+                 speculative: Optional[SpeculativeConfig] = None,
+                 telemetry: Union[None, bool, TelemetryConfig, Tracer] = None
+                 ) -> None:
         self.engine = engine
+        #: Telemetry recorder; ``None`` (the default) records nothing and
+        #: keeps the loop's hot path free of tracing work beyond one pointer
+        #: test per hook site.
+        self.tracer: Optional[Tracer] = _resolve_tracer(telemetry)
         #: Prefill-role behaviour (disaggregated serving): the instant a
         #: request completes its prefill it is exported from the scheduler
         #: and parked in :attr:`outbox` for the cluster to migrate, so this
@@ -660,7 +745,8 @@ class EngineStepper:
             max_num_seqs=max_num_seqs or 10**9,
             policy=policy,
             preemption=self.scheduling.preemption,
-            prefix_cache=self.prefix_cache)
+            prefix_cache=self.prefix_cache,
+            tracer=self.tracer)
         self.now = 0.0
         self.iterations = 0
         self.peak_batch = 0
@@ -803,31 +889,51 @@ class EngineStepper:
         dequant = 0.0
         for request, _ in plan.prefill_chunks:
             if request.prefilled == 0 and request.demoted_hit_tokens:
-                dequant += self.engine.kv_dequant_latency(
+                cost = self.engine.kv_dequant_latency(
                     request.demoted_hit_tokens)
+                dequant += cost
+                if self.tracer is not None:
+                    self.tracer.kv_dequant(request, self.now,
+                                           request.demoted_hit_tokens, cost)
         if dequant:
             latency += dequant
+        t0 = self.now
         self.now += latency
         self.busy_s += latency
         self.iterations += 1
+        committed = 0
         if plan.decode:
             self.peak_batch = max(self.peak_batch, len(plan.decode))
             if outcome is not None:
-                self.generated += outcome.committed_tokens
+                committed = outcome.committed_tokens
+                self.generated += committed
                 scheduler.record_decode_step(self.now, commits=outcome.commits)
             else:
-                self.generated += len(plan.decode)
+                committed = len(plan.decode)
+                self.generated += committed
                 scheduler.record_decode_step(self.now)
+        if self.tracer is not None:
+            for request, tokens in plan.prefill_chunks:
+                self.tracer.prefill_chunk(request, tokens, t0, self.now)
         for request, tokens in plan.prefill_chunks:
             scheduler.record_prefill(request, tokens, self.now)
         if self.migrate_out:
             # Prefill role: anything that just completed its prefill (state
             # DECODING, before any decode step could be planned for it) is
             # exported for migration to a decode replica.
+            if self.tracer is not None:
+                # Prefill replicas run no decode step, so the scheduler's
+                # stashed clock is still the pre-iteration instant; exports
+                # happen *after* this iteration's latency elapsed.
+                scheduler._clock = self.now
             for request in list(scheduler.running):
                 if request.state is RequestState.DECODING:
                     scheduler.export_request(request)
                     self.outbox.append(request)
+        if self.tracer is not None:
+            self.tracer.iteration(
+                t0, self.now, sum(t for _, t in plan.prefill_chunks),
+                len(plan.prefill_chunks), len(plan.decode), committed, self)
         return True
 
     def run(self) -> None:
@@ -864,6 +970,8 @@ class EngineStepper:
             if r.prefill_done_time is not None)
         finished = [r for r in workload.requests if r.finish_time is not None]
         scheduler = self.scheduler
+        if self.tracer is not None:
+            self.tracer.finalize(self)
         return ServingResult(
             total_time_s=self.now,
             generated_tokens=self.generated,
@@ -880,4 +988,6 @@ class EngineStepper:
             prefix_stats=(None if self.prefix_cache is None
                           else self.prefix_cache.stats),
             spec_stats=None if self.spec is None else self.spec.stats,
+            counters=collect_counters(self),
+            telemetry=self.tracer,
         )

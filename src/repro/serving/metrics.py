@@ -157,6 +157,11 @@ class LatencySummary:
         return (f"mean {self.mean * 1e3:.1f} ms / p50 {self.p50 * 1e3:.1f} / "
                 f"p95 {self.p95 * 1e3:.1f} / p99 {self.p99 * 1e3:.1f} ms")
 
+    def to_json(self) -> dict:
+        """Plain-dict export (seconds, exact float values)."""
+        return {"mean": self.mean, "p50": self.p50, "p95": self.p95,
+                "p99": self.p99, "max": self.maximum}
+
 
 @dataclass(frozen=True)
 class _MetricColumns:
@@ -343,3 +348,25 @@ class ServingMetrics:
             f"TPOT: {self.tpot}",
             f"E2E:  {self.e2e}",
         ])
+
+    def to_json(self) -> dict:
+        """Structured export of every summary gauge (JSON-serializable).
+
+        Covers all of :meth:`summary_text` plus the gauges it omits
+        (queue/transfer delays, speculation, precision violations), so
+        nothing here is print-only.
+        """
+        return {
+            "num_requests": len(self.requests),
+            "ttft": self.ttft.to_json(),
+            "tpot": self.tpot.to_json(),
+            "e2e": self.e2e.to_json(),
+            "queue_delay": self.queue_delay.to_json(),
+            "transfer_delay": self.transfer_delay.to_json(),
+            "total_preemptions": self.total_preemptions,
+            "total_migrations": self.total_migrations,
+            "draft_proposed_tokens": self.draft_proposed_tokens,
+            "draft_accepted_tokens": self.draft_accepted_tokens,
+            "acceptance_rate": self.acceptance_rate,
+            "precision_violations": self.precision_violations,
+        }

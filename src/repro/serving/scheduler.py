@@ -43,12 +43,15 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
 from repro.serving.policies import FCFSPolicy, SchedulerPolicy
 from repro.serving.prefix_cache import PrefixCache
 from repro.serving.request import Request, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.serving.telemetry import Tracer
 
 __all__ = ["ContinuousBatchingScheduler"]
 
@@ -85,6 +88,14 @@ class ContinuousBatchingScheduler:
     #: of rescanning the whole waiting list.
     admission_scanned_requests: int = 0
     admission_fast_skips: int = 0
+    #: Optional telemetry recorder (:class:`~repro.serving.telemetry.Tracer`).
+    #: Every hook below sits behind an ``is not None`` guard, so an untraced
+    #: scheduler pays one pointer test per call site at most.
+    tracer: Optional["Tracer"] = None
+    #: Clock of the current scheduling pass, stashed by :meth:`admit` for the
+    #: hooks on methods that do not receive ``now`` (preemption, export) —
+    #: both run at the same simulated instant as the admission pass.
+    _clock: float = field(default=0.0, repr=False)
 
     def submit(self, requests: List[Request]) -> None:
         """Add requests to the waiting queue (sorted by availability time).
@@ -93,6 +104,9 @@ class ContinuousBatchingScheduler:
         requests additionally wait for their KV transfer to land
         (:attr:`Request.available_time`).
         """
+        if self.tracer is not None:
+            for request in requests:
+                self.tracer.request_queued(request)
         if len(requests) == 1 and self.waiting:
             # Incremental feed (the cluster submits per arrival): a binary
             # insertion keeps the queue sorted without an O(n log n) pass.
@@ -135,6 +149,7 @@ class ContinuousBatchingScheduler:
         is a pure short-circuit of the full scan: the admissions it returns
         and the queue it leaves behind are identical, step for step.
         """
+        self._clock = now
         waiting = self.waiting
         if not waiting:
             return []
@@ -266,6 +281,8 @@ class ContinuousBatchingScheduler:
                 self.prefix_cache.insert(request)
             if request.admitted_time is None:
                 request.admitted_time = now
+            if self.tracer is not None:
+                self.tracer.request_admitted(request, now)
             return
         was_preempted = request.state is RequestState.PREEMPTED
         request.state = RequestState.PREFILLING
@@ -284,6 +301,8 @@ class ContinuousBatchingScheduler:
             self.recomputed_prefill_tokens += request.prefill_target
         if request.admitted_time is None:
             request.admitted_time = now
+        if self.tracer is not None:
+            self.tracer.request_admitted(request, now)
 
     # ------------------------------------------------------------------
     # Prefill progress
@@ -300,6 +319,8 @@ class ContinuousBatchingScheduler:
             if self.prefix_cache is not None:
                 # Publish the freshly prefilled prompt blocks for reuse.
                 self.prefix_cache.insert(request)
+            if self.tracer is not None:
+                self.tracer.prefill_done(request, now)
 
     def complete_prefill(self, now: float) -> None:
         """Finish the prefill of every prefilling request (legacy stall path)."""
@@ -346,6 +367,8 @@ class ContinuousBatchingScheduler:
         request.kv_ready = False
         bisect.insort(self.waiting, request, key=_waiting_key)
         self.num_preemptions += 1
+        if self.tracer is not None:
+            self.tracer.request_preempted(request, self._clock)
 
     # ------------------------------------------------------------------
     # Disaggregated handoff
@@ -367,6 +390,8 @@ class ContinuousBatchingScheduler:
         self._release_kv_residency(request)
         request.state = RequestState.MIGRATING
         request.kv_ready = True
+        if self.tracer is not None:
+            self.tracer.request_exported(request, self._clock)
 
     def prepare_decode(self, lookahead: Optional[Callable[[Request], int]] = None
                        ) -> List[Request]:
@@ -465,6 +490,7 @@ class ContinuousBatchingScheduler:
         to the tokens actually kept, releasing the rejected tokens' pages
         (conservative reservation never allocated them in the first place).
         """
+        self._clock = now
         completed: List[Request] = []
         survivors: List[Request] = []
         kv_manager = self.kv_manager
@@ -483,6 +509,8 @@ class ContinuousBatchingScheduler:
                                     request.generated + tokens)
             if request.first_token_time is None:
                 request.first_token_time = now
+                if self.tracer is not None:
+                    self.tracer.first_token(request, now)
             if request.finished:
                 request.state = RequestState.FINISHED
                 request.finish_time = now
@@ -490,6 +518,8 @@ class ContinuousBatchingScheduler:
                     self.prefix_cache.release(request.request_id)
                 kv_manager.free(request.request_id)
                 completed.append(request)
+                if self.tracer is not None:
+                    self.tracer.request_finished(request, now)
             else:
                 # Grow the allocation to cover the newly generated token(s) —
                 # a no-op under conservative reservation and pre-claimed by
