@@ -1,0 +1,118 @@
+"""Capacity planning under flash-crowd traffic.
+
+The production question behind the serving simulator: how many replicas
+must a deployment hold so that p99 TTFT stays inside the SLO when traffic
+spikes to 10x the baseline — and how much of that peak fleet can a
+reactive autoscaler give back during the quiet hours?
+
+``test_min_replicas_for_slo`` answers the first half with a static sweep:
+serve the same 10x flash crowd on 1..4 replicas and report the smallest
+fleet whose p99 TTFT meets the SLO.  ``test_autoscaled_vs_equal_peak_static``
+answers the second: the reactive autoscaler against a static fleet sized at
+the autoscaled peak, compared on provisioned GPU-seconds at equivalent SLO
+attainment.
+"""
+
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import (
+    AutoscalerConfig,
+    ClusterEngine,
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    make_flash_crowd_workload,
+)
+
+#: The capacity plan's latency target.
+TTFT_SLO_S = 0.5
+#: Pool bound of the sweep (and the autoscaler's ceiling).
+MAX_REPLICAS = 4
+
+_MODEL = get_config("llama-2-7b")
+_SYSTEM = SYSTEM_PRESETS["qserve-w4a8kv4-chn"]
+
+
+def _spike_workload(num_requests=260, spike_rate=40.0):
+    """Baseline 4 req/s with a 10x flash crowd six seconds in."""
+    return make_flash_crowd_workload(
+        num_requests, base_rate=4.0, spikes=((5.0, spike_rate, 6.0),),
+        prompt_len=512, output_len=200, tenants=4, free_fraction=0.5, seed=7)
+
+
+def _serve(num_replicas, workload, autoscaler=None):
+    cluster = ClusterEngine(_MODEL, A100, _SYSTEM, num_replicas=num_replicas,
+                            max_seq_len=2048)
+    return cluster.serve(workload.copy_fresh(), router="least-outstanding",
+                         max_num_seqs=8,
+                         scheduling=SCHEDULING_PRESETS["tiered"],
+                         autoscaler=autoscaler)
+
+
+def test_min_replicas_for_slo(benchmark, serving_json):
+    """Static sweep: the smallest fleet meeting p99 TTFT <= 0.5s at 10x."""
+    workload = _spike_workload()
+
+    def run():
+        return {n: _serve(n, workload)
+                for n in range(1, MAX_REPLICAS + 1)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    serving_json.record("capacity_sweep", results)
+    meeting = [n for n, r in results.items()
+               if r.metrics.ttft.p99 <= TTFT_SLO_S]
+    min_replicas = min(meeting) if meeting else None
+    print(f"\nSLO: p99 TTFT <= {TTFT_SLO_S * 1e3:.0f} ms under 10x spike")
+    for n, r in results.items():
+        mark = " <- min" if n == min_replicas else ""
+        print(f"{n} replica(s): p99 TTFT {r.metrics.ttft.p99 * 1e3:8.1f} ms  "
+              f"{r.gpu_seconds:6.1f} GPU-s{mark}")
+    assert all(r.num_unserved == 0 for r in results.values())
+    assert min_replicas is not None, "pool bound too small for the SLO"
+    # The spike genuinely requires scale: one replica must not suffice, and
+    # every fleet below the minimum must violate the SLO.
+    assert min_replicas > 1
+    assert results[min_replicas - 1].metrics.ttft.p99 > TTFT_SLO_S
+    # p99 TTFT improves monotonically with fleet size on this workload.
+    p99s = [results[n].metrics.ttft.p99 for n in sorted(results)]
+    assert p99s == sorted(p99s, reverse=True)
+
+
+def test_autoscaled_vs_equal_peak_static(benchmark, serving_json):
+    """Reactive autoscaling returns GPU-hours the static peak fleet burns.
+
+    A gentler spike (the regime reactive scaling is built for — cold start
+    is comparable to the ramp) so both fleets land in the same SLO
+    attainment class; the comparison is then pure cost.
+    """
+    workload = make_flash_crowd_workload(
+        220, base_rate=2.0, spikes=((5.0, 30.0, 6.0),),
+        prompt_len=512, output_len=200, tenants=4, free_fraction=0.5, seed=7)
+    autoscaler = AutoscalerConfig(
+        min_replicas=1, max_replicas=MAX_REPLICAS, interval_s=2.0,
+        scale_up_queue_depth=2.0, up_cooldown_s=2.0, down_cooldown_s=4.0,
+        scale_down_outstanding=6.0, ttft_slo_s=TTFT_SLO_S)
+
+    def run():
+        auto = _serve(MAX_REPLICAS, workload, autoscaler=autoscaler)
+        static = _serve(auto.autoscale.peak_replicas, workload)
+        return {"autoscaled": auto, "static-peak": static}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    serving_json.record("capacity_autoscale_ab", results)
+    auto, static = results["autoscaled"], results["static-peak"]
+    slo = {label: r.metrics.slo_attainment(1.0, 0.05)
+           for label, r in results.items()}
+    print()
+    for label, r in results.items():
+        print(f"{label:12s} {r.gpu_seconds:6.1f} GPU-s  "
+              f"SLO attainment {slo[label]:.3f}  "
+              f"p99 TTFT {r.metrics.ttft.p99 * 1e3:8.1f} ms")
+    report = auto.autoscale
+    print(f"autoscaler: peak {report.peak_replicas}, "
+          f"{report.num_scale_ups} up / {report.num_scale_downs} down, "
+          f"cold start {report.cold_start_s:.2f}s")
+    assert auto.num_unserved == static.num_unserved == 0
+    assert report.num_scale_ups > 0
+    # The claim: fewer provisioned GPU-seconds at equivalent SLO attainment.
+    assert auto.gpu_seconds < 0.95 * static.gpu_seconds
+    assert slo["autoscaled"] >= slo["static-peak"] - 0.1

@@ -17,7 +17,10 @@ workload shapes that exercise its distinct hot paths:
   bursty heavy-tailed traffic;
 * ``speculative``      — draft-and-verify decoding with adaptive lookahead;
 * ``precision-fleet``  — heterogeneous FP16 + W4A8KV4 replicas behind the
-  precision-aware router on two-tier mixed-precision traffic.
+  precision-aware router on two-tier mixed-precision traffic;
+* ``autoscale-tiered`` — flash-crowd multi-tenant traffic on an autoscaled
+  fleet with tier-aware admission (the production-traffic hot paths:
+  fleet ticks, cold starts, drain migrations, tier sorting).
 
 For each scenario it reports simulated requests per wall-clock second and the
 extrapolated wall-clock per 100k requests.  Modes size the workloads:
@@ -51,11 +54,11 @@ from typing import Callable, Dict, List, Tuple
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_simulator.json"
 
 #: Per-mode request counts:
-#: (plain, chunked, chat_sessions, cluster, spec, precision).
+#: (plain, chunked, chat_sessions, cluster, spec, precision, autoscale).
 _SIZES = {
-    "smoke": (200, 400, 30, 200, 100, 120),
-    "default": (2000, 5000, 300, 2000, 1000, 1200),
-    "full": (20000, 100000, 1200, 8000, 4000, 5000),
+    "smoke": (200, 400, 30, 200, 100, 120, 150),
+    "default": (2000, 5000, 300, 2000, 1000, 1200, 1500),
+    "full": (20000, 100000, 1200, 8000, 4000, 5000, 6000),
 }
 
 
@@ -68,6 +71,7 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
     from repro.gpu import A100
     from repro.model import get_config
     from repro.serving import (
+        AutoscalerConfig,
         ClusterEngine,
         SCHEDULING_PRESETS,
         SYSTEM_PRESETS,
@@ -75,6 +79,7 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
         SpeculativeConfig,
         make_bursty_workload,
         make_chat_workload,
+        make_flash_crowd_workload,
         make_lognormal_workload,
         make_mixed_precision_workload,
         make_uniform_workload,
@@ -83,7 +88,7 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
     llama7b = get_config("llama-2-7b")
     system = SYSTEM_PRESETS["qserve-w4a8kv4-chn"]
     (n_plain, n_chunked, n_sessions, n_cluster, n_spec,
-     n_precision) = _SIZES[mode]
+     n_precision, n_autoscale) = _SIZES[mode]
 
     def engine() -> ServingEngine:
         return ServingEngine(llama7b, A100, system, max_seq_len=4096)
@@ -144,6 +149,24 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
         return c.serve(wl, router="precision-aware", max_num_seqs=32,
                        scheduling=SCHEDULING_PRESETS["chunked"])
 
+    def autoscale_tiered():
+        # Arrival rates scale with the request count so larger modes stress
+        # a longer trace, not a deeper backlog.
+        scale = n_autoscale / 150.0
+        wl = make_flash_crowd_workload(
+            n_autoscale, base_rate=2.0 * scale,
+            spikes=((5.0, 30.0 * scale, 6.0),),
+            prompt_len=512, output_len=200, tenants=4, seed=7)
+        c = ClusterEngine(llama7b, A100, system, num_replicas=4,
+                          max_seq_len=2048)
+        return c.serve(wl, router="least-outstanding", max_num_seqs=8,
+                       scheduling=SCHEDULING_PRESETS["tiered"],
+                       autoscaler=AutoscalerConfig(
+                           min_replicas=1, max_replicas=4, interval_s=2.0,
+                           scale_up_queue_depth=2.0, up_cooldown_s=2.0,
+                           down_cooldown_s=4.0, scale_down_outstanding=6.0,
+                           ttft_slo_s=0.5))
+
     return [
         ("plain-decode", n_plain, plain_decode),
         ("chunked-preempt", n_chunked, chunked_preempt),
@@ -152,6 +175,7 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
         ("cluster", n_cluster, cluster),
         ("speculative", n_spec, speculative),
         ("precision-fleet", n_precision, precision_fleet),
+        ("autoscale-tiered", n_autoscale, autoscale_tiered),
     ]
 
 

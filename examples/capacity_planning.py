@@ -1,0 +1,138 @@
+"""Capacity planning for spiky, multi-tenant production traffic.
+
+Three sections, all on the flash-crowd workload of the production traffic
+layer (:mod:`repro.serving.traffic`):
+
+1. **Static sweep** — serve the same 10x flash crowd on 1..4 replicas and
+   find the smallest fleet whose p99 TTFT meets the SLO.  This is the
+   classic peak-provisioning answer: buy for the spike, idle the rest of
+   the day.
+2. **Tier breakdown** — what SLO tiers buy under the same pressure: with
+   tier-aware admission, paid requests hold their TTFT through the spike
+   while deferrable free traffic absorbs the queueing (and, with shedding
+   enabled, the overload).
+3. **Reactive autoscaling** — the autoscaler against a static fleet sized
+   at the autoscaled peak: same SLO attainment class, fewer provisioned
+   GPU-seconds, with every scaling action and its trigger printed.
+
+Run with:  python examples/capacity_planning.py [model-name]
+"""
+
+import sys
+
+from repro.experiments.runner import format_table
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import (
+    AutoscalerConfig,
+    ClusterEngine,
+    SCHEDULING_PRESETS,
+    SYSTEM_PRESETS,
+    make_flash_crowd_workload,
+)
+
+#: Latency SLO the capacity plan targets.
+TTFT_SLO_S, TPOT_SLO_S = 0.5, 0.05
+#: Replica-pool bound of the sweep and the autoscaler ceiling.
+MAX_REPLICAS = 4
+
+
+def _spike_workload(num_requests=260, base_rate=4.0, spike_rate=40.0):
+    return make_flash_crowd_workload(
+        num_requests, base_rate=base_rate,
+        spikes=((5.0, spike_rate, 6.0),),
+        prompt_len=512, output_len=200, tenants=4, free_fraction=0.5, seed=7)
+
+
+def _cluster(model_name: str, num_replicas: int) -> ClusterEngine:
+    return ClusterEngine(get_config(model_name), A100,
+                         SYSTEM_PRESETS["qserve-w4a8kv4-chn"],
+                         num_replicas=num_replicas, max_seq_len=2048)
+
+
+def static_sweep(model_name: str) -> None:
+    workload = _spike_workload()
+    print(f"Static capacity sweep for {model_name} on A100 "
+          f"(4 req/s baseline, 10x flash crowd, "
+          f"SLO: p99 TTFT <= {TTFT_SLO_S * 1e3:.0f} ms):\n")
+    rows, min_replicas = [], None
+    for n in range(1, MAX_REPLICAS + 1):
+        result = _cluster(model_name, n).serve(
+            workload.copy_fresh(), router="least-outstanding",
+            max_num_seqs=8, scheduling=SCHEDULING_PRESETS["tiered"])
+        p99 = result.metrics.ttft.p99
+        meets = p99 <= TTFT_SLO_S
+        if meets and min_replicas is None:
+            min_replicas = n
+        rows.append([n, round(p99 * 1e3, 1),
+                     round(result.gpu_seconds, 1),
+                     "yes" if meets else "no"])
+    print(format_table(
+        ["Replicas", "TTFT p99 (ms)", "GPU-seconds", "Meets SLO"], rows))
+    print(f"\nminimum fleet for the SLO: {min_replicas} replica(s)")
+
+
+def tier_breakdown(model_name: str) -> None:
+    workload = _spike_workload()
+    print(f"\nSLO tiers under the same spike on "
+          f"{MAX_REPLICAS - 1} replicas (tier-aware admission, "
+          f"free tier deferrable):\n")
+    result = _cluster(model_name, MAX_REPLICAS - 1).serve(
+        workload.copy_fresh(), router="least-outstanding",
+        max_num_seqs=8, scheduling=SCHEDULING_PRESETS["tiered"])
+    rows = []
+    for tier, m in result.metrics.by_tier().items():
+        rows.append([tier, len(m.requests),
+                     round(m.ttft.p50 * 1e3, 1),
+                     round(m.ttft.p99 * 1e3, 1),
+                     round(m.slo_attainment(TTFT_SLO_S, TPOT_SLO_S), 3)])
+    print(format_table(
+        ["Tier", "Requests", "TTFT p50 (ms)", "TTFT p99 (ms)",
+         "SLO attainment"], rows))
+
+
+def autoscaling_study(model_name: str) -> None:
+    # A gentler spike: the regime reactive scaling is built for, where the
+    # ramp is comparable to the cold start it must pay.
+    workload = _spike_workload(220, base_rate=2.0, spike_rate=30.0)
+    autoscaler = AutoscalerConfig(
+        min_replicas=1, max_replicas=MAX_REPLICAS, interval_s=2.0,
+        scale_up_queue_depth=2.0, up_cooldown_s=2.0, down_cooldown_s=4.0,
+        scale_down_outstanding=6.0, ttft_slo_s=TTFT_SLO_S)
+    auto = _cluster(model_name, MAX_REPLICAS).serve(
+        workload.copy_fresh(), router="least-outstanding", max_num_seqs=8,
+        scheduling=SCHEDULING_PRESETS["tiered"], autoscaler=autoscaler)
+    report = auto.autoscale
+    static = _cluster(model_name, report.peak_replicas).serve(
+        workload.copy_fresh(), router="least-outstanding", max_num_seqs=8,
+        scheduling=SCHEDULING_PRESETS["tiered"])
+    print(f"\nReactive autoscaling vs the equal-peak static fleet "
+          f"({report.peak_replicas} replicas, cold start "
+          f"{report.cold_start_s:.2f}s):\n")
+    rows = []
+    for label, result in (("autoscaled", auto), ("static-peak", static)):
+        m = result.metrics
+        rows.append([label, round(result.gpu_seconds, 1),
+                     round(m.slo_attainment(TTFT_SLO_S * 2, TPOT_SLO_S), 3),
+                     round(m.ttft.p50 * 1e3, 1),
+                     round(m.ttft.p99 * 1e3, 1)])
+    print(format_table(
+        ["Fleet", "GPU-seconds", "SLO attainment", "TTFT p50 (ms)",
+         "TTFT p99 (ms)"], rows))
+    saved = 1.0 - auto.gpu_seconds / static.gpu_seconds
+    print(f"\nGPU-seconds returned by autoscaling: {saved:.0%}")
+    print("\nScaling timeline:")
+    for event in report.events:
+        print(f"  t={event.time_s:6.2f}s  {event.action:4s} replica "
+              f"{event.replica} ({event.reason}); "
+              f"{event.num_active} serving")
+
+
+def main(model_name: str = "llama-2-7b") -> None:
+    static_sweep(model_name)
+    tier_breakdown(model_name)
+    autoscaling_study(model_name)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama-2-7b")

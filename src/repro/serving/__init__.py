@@ -40,12 +40,18 @@ goodput) under pluggable scheduling policies:
 * :mod:`repro.serving.speculative` — speculative decoding: draft-model cost
   modeling, seeded per-request acceptance sampling under workload profiles,
   acceptance-aware adaptive lookahead (:class:`SpeculativeConfig`);
+* :mod:`repro.serving.traffic` — production traffic modeling: diurnal and
+  flash-crowd arrival processes, multi-tenant assignment with paid/free SLO
+  tiers, and a JSONL trace format for replaying recorded request logs;
+* :mod:`repro.serving.autoscaler` — reactive fleet autoscaling: queue-depth
+  and SLO-attainment signals with cooldown hysteresis, priced cold starts
+  (weights over the host link), and provisioned GPU-seconds accounting;
 * :mod:`repro.serving.cluster` — multi-replica cluster simulation behind
   pluggable routers (round-robin, least-outstanding, shortest-queue,
   prefix-affinity, disaggregated, precision-aware), including
-  role-specialised prefill/decode replicas with priced KV-state migration
-  and heterogeneous mixed-precision fleets (per-replica system presets,
-  cross-precision transfer repricing);
+  role-specialised prefill/decode replicas with priced KV-state migration,
+  heterogeneous mixed-precision fleets (per-replica system presets,
+  cross-precision transfer repricing) and autoscaled fleets;
 * :mod:`repro.serving.throughput` — memory-budgeted maximum-batch search,
   throughput measurement and tensor-parallel sweeps.
 """
@@ -69,6 +75,23 @@ from repro.serving.request import (
     make_shared_prefix_workload,
     make_chat_workload,
     make_mixed_precision_workload,
+)
+from repro.serving.traffic import (
+    TIERS,
+    TenantSpec,
+    make_tenant_pool,
+    assign_tenants,
+    make_diurnal_workload,
+    make_flash_crowd_workload,
+    load_trace,
+    save_trace,
+)
+from repro.serving.autoscaler import (
+    AutoscalerConfig,
+    FleetSnapshot,
+    ScalingEvent,
+    ReactiveAutoscaler,
+    AutoscaleReport,
 )
 from repro.serving.cost_cache import CostModelCache, cache_enabled_default
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
@@ -153,6 +176,11 @@ __all__ = [
     "make_lognormal_workload", "make_bursty_workload",
     "make_router_study_workload", "make_shared_prefix_workload",
     "make_chat_workload", "make_mixed_precision_workload",
+    "TIERS", "TenantSpec", "make_tenant_pool", "assign_tenants",
+    "make_diurnal_workload", "make_flash_crowd_workload", "load_trace",
+    "save_trace",
+    "AutoscalerConfig", "FleetSnapshot", "ScalingEvent",
+    "ReactiveAutoscaler", "AutoscaleReport",
     "CostModelCache", "cache_enabled_default",
     "PagedKVCacheManager", "PageAllocationError",
     "PrefixCache", "PrefixCacheStats", "prompt_block_keys",

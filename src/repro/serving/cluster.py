@@ -61,12 +61,19 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.gpu.specs import GPUSpec, InterconnectSpec, NVLINK
 from repro.model.config import ModelConfig
+from repro.serving.autoscaler import (
+    AutoscaleReport,
+    AutoscalerConfig,
+    FleetSnapshot,
+    ReactiveAutoscaler,
+    ScalingEvent,
+)
 from repro.serving.engine import EngineStepper, ServingEngine, ServingResult
 from repro.serving.metrics import LatencySummary, ServingMetrics
 from repro.serving.parallel import ParallelConfig
 from repro.serving.policies import SchedulingConfig
 from repro.serving.precision import SystemConfig, get_system
-from repro.serving.request import Request, Workload
+from repro.serving.request import Request, RequestState, Workload
 from repro.serving.speculative import SpeculativeConfig
 from repro.serving.telemetry import (
     CounterRegistry,
@@ -316,6 +323,13 @@ class ClusterResult:
     #: clusters, mixed under per-replica ``systems`` (empty for results
     #: predating heterogeneous fleets).
     replica_systems: List[str] = field(default_factory=list)
+    #: What the autoscaler did, for autoscaled runs (``None`` otherwise).
+    #: Autoscaled results list only the replica slots that were ever
+    #: provisioned; the report's windows say *when* each one was.
+    autoscale: Optional[AutoscaleReport] = None
+    #: GPUs per replica (tensor-parallel degree); prices
+    #: :attr:`gpu_seconds` for static fleets.
+    gpus_per_replica: int = 1
 
     @property
     def num_replicas(self) -> int:
@@ -409,6 +423,23 @@ class ClusterResult:
         return self._sum("num_unserved")
 
     @property
+    def num_dropped(self) -> int:
+        """Requests shed by tier-aware admission (subset of unserved)."""
+        return self._sum("num_dropped")
+
+    @property
+    def gpu_seconds(self) -> float:
+        """Provisioned GPU-time: the fleet's cost over the run.
+
+        A static fleet holds every replica for the whole makespan; an
+        autoscaled fleet pays only for each slot's provisioned windows —
+        the number a capacity plan compares the two on.
+        """
+        if self.autoscale is not None:
+            return self.autoscale.gpu_seconds
+        return self.num_replicas * self.gpus_per_replica * self.total_time_s
+
+    @property
     def num_preemptions(self) -> int:
         return self._sum("num_preemptions")
 
@@ -465,8 +496,12 @@ class ClusterResult:
             "prompt_tokens": self.prompt_tokens,
             "num_finished": self.num_finished,
             "num_unserved": self.num_unserved,
+            "num_dropped": self.num_dropped,
             "num_preemptions": self.num_preemptions,
             "num_migrations": self.num_migrations,
+            "gpu_seconds": self.gpu_seconds,
+            "autoscale": (None if self.autoscale is None
+                          else self.autoscale.to_json()),
             "generation_throughput": self.generation_throughput,
             "saved_prefill_tokens": self.saved_prefill_tokens,
             "acceptance_rate": self.acceptance_rate,
@@ -631,7 +666,8 @@ class ClusterEngine:
               max_num_seqs: Optional[int] = None,
               scheduling: Optional[SchedulingConfig] = None,
               speculative: Optional[SpeculativeConfig] = None,
-              telemetry: Union[None, bool, TelemetryConfig] = None
+              telemetry: Union[None, bool, TelemetryConfig] = None,
+              autoscaler: Optional[AutoscalerConfig] = None
               ) -> ClusterResult:
         """Serve ``workload`` across the cluster and aggregate the results.
 
@@ -648,9 +684,26 @@ class ClusterEngine:
         attaches one :class:`~repro.serving.telemetry.Tracer` per replica,
         all on the shared cluster clock; merge them with
         :meth:`ClusterResult.chrome_trace`.
+
+        ``autoscaler`` turns the fixed fleet into a reactive one:
+        ``num_replicas`` becomes the replica *pool* and the
+        :class:`~repro.serving.autoscaler.AutoscalerConfig` decides, every
+        ``interval_s`` on the shared clock, how many of its slots are
+        provisioned.  Scale-ups pay a priced cold start before serving;
+        scale-downs drain through the migration machinery (decoding
+        requests move with their KV state, prefilling ones are recomputed
+        elsewhere).  Incompatible with role-specialised replicas.
         """
         if isinstance(router, str):
             router = get_router(router)
+        if autoscaler is not None:
+            if self.disaggregated:
+                raise ValueError(
+                    "autoscaling and role-specialised replicas are mutually "
+                    "exclusive; use mixed roles")
+            return self._serve_autoscaled(workload, router, max_num_seqs,
+                                          scheduling, speculative,
+                                          telemetry, autoscaler)
         if self.disaggregated:
             return self._serve_disaggregated(workload, router, max_num_seqs,
                                              scheduling, speculative,
@@ -678,19 +731,27 @@ class ClusterEngine:
 
     def _assemble(self, replicas: List[EngineStepper],
                   assignments: List[List[Request]],
-                  migrations_in: List[int]) -> ClusterResult:
+                  migrations_in: List[int],
+                  engines: Optional[List[ServingEngine]] = None,
+                  roles: Optional[List[str]] = None,
+                  autoscale: Optional[AutoscaleReport] = None
+                  ) -> ClusterResult:
         results = [replica.result(Workload(requests=assigned))
                    for replica, assigned in zip(replicas, assignments)]
         merged = ServingMetrics(
             requests=[m for r in results if r.metrics is not None
                       for m in r.metrics.requests])
+        engines = self.engines if engines is None else engines
+        roles = self.roles if roles is None else roles
         return ClusterResult(
             replica_results=results,
             requests_per_replica=[len(a) for a in assignments],
             metrics=merged,
-            replica_roles=list(self.roles),
+            replica_roles=list(roles),
             migrations_per_replica=list(migrations_in),
-            replica_systems=[engine.system.name for engine in self.engines],
+            replica_systems=[engine.system.name for engine in engines],
+            autoscale=autoscale,
+            gpus_per_replica=self.engine.tp_degree,
         )
 
     # ------------------------------------------------------------------
@@ -865,3 +926,219 @@ class ClusterEngine:
                     if not handoffs:
                         break  # only never-admittable requests remain
         return self._assemble(replicas, assignments, migrations_in)
+
+    # ------------------------------------------------------------------
+    # Autoscaled serving
+    # ------------------------------------------------------------------
+    def _serve_autoscaled(self, workload: Workload, router: Router,
+                          max_num_seqs: Optional[int],
+                          scheduling: Optional[SchedulingConfig],
+                          speculative: Optional[SpeculativeConfig],
+                          telemetry: Union[None, bool, TelemetryConfig],
+                          config: AutoscalerConfig) -> ClusterResult:
+        """Event loop with a reactive autoscaler on the shared clock.
+
+        ``num_replicas`` is the replica *pool*; slots are provisioned and
+        drained by the controller.  Three event streams interleave in time
+        order: workload arrivals (routed among the *serving* replicas),
+        cold-start completions (a provisioned slot starts serving), and the
+        controller's evaluation ticks every ``interval_s``.  A scale-up
+        decision at ``t`` provisions the lowest stopped slot, which serves
+        from ``t + cold_start_s`` — its window (and GPU bill) starts at
+        ``t``, when the GPU is held to load weights.  A scale-down drains
+        the least-loaded serving replica through the migration machinery:
+        decoding requests move to the remaining replicas with their KV
+        state priced on the wire (exactly a prefill→decode handoff),
+        prefilling ones are preempted and recomputed elsewhere, and the
+        waiting queue is rerouted.  Ticks continue after the last arrival
+        so the fleet also scales down through the drain tail.
+        """
+        pool = self.num_replicas
+        max_replicas = (pool if config.max_replicas is None
+                        else config.max_replicas)
+        if max_replicas > pool:
+            raise ValueError(
+                f"max_replicas={max_replicas} exceeds the replica pool "
+                f"(num_replicas={pool})")
+        scaler = ReactiveAutoscaler(config, max_replicas)
+        cold_start = config.cold_start_s(self.engine.weight_bytes())
+        tracers = self._replica_tracers(telemetry)
+        steppers: List[Optional[EngineStepper]] = [None] * pool
+        #: "stopped" | "starting" | "active" per slot.
+        state = ["stopped"] * pool
+        ready_at = [0.0] * pool
+        windows: List[List[List[float]]] = [[] for _ in range(pool)]
+        assignments: List[List[Request]] = [[] for _ in range(pool)]
+        migrations_in = [0] * pool
+        seen_finished = [0] * pool
+
+        def provision(slot: int, start: float, ready: float) -> None:
+            stepper = steppers[slot]
+            if stepper is None:
+                stepper = EngineStepper(self.engines[slot],
+                                        scheduling=scheduling,
+                                        max_num_seqs=max_num_seqs,
+                                        speculative=speculative,
+                                        telemetry=tracers[slot])
+                steppers[slot] = stepper
+            # A replica cannot run before its weights land; a reactivated
+            # slot also never rewinds its own clock.
+            stepper.now = max(stepper.now, ready)
+            ready_at[slot] = ready
+            windows[slot].append([start, None])
+            state[slot] = "active" if ready <= start else "starting"
+
+        for slot in range(config.min_replicas):
+            provision(slot, 0.0, 0.0)  # the initial fleet is pre-warmed
+
+        def live_slots() -> List[int]:
+            return [s for s in range(pool) if state[s] != "stopped"]
+
+        def active_slots() -> List[int]:
+            return [s for s in range(pool) if state[s] == "active"]
+
+        def advance(t: float) -> None:
+            for s in live_slots():
+                steppers[s].run_until(t)
+            for s in range(pool):
+                if state[s] == "starting" and ready_at[s] <= t:
+                    state[s] = "active"
+
+        def least_loaded(targets: List[int]) -> int:
+            return min(targets,
+                       key=lambda s: (steppers[s].outstanding_requests, s))
+
+        def drain(slot: int, now: float, targets: List[int]) -> None:
+            stepper = steppers[slot]
+            scheduler = stepper.scheduler
+            scheduler._clock = now  # drain spans land at the decision time
+            for request in list(scheduler.running):
+                if request.state is RequestState.DECODING:
+                    scheduler.export_request(request)
+                    target = least_loaded(targets)
+                    delay = self.transfer_delay(
+                        request, steppers[target].pin_for_import(request),
+                        source=self.engines[slot],
+                        target=self.engines[target])
+                    if request.demoted_hit_tokens:
+                        delay += self.engines[target].kv_dequant_latency(
+                            request.demoted_hit_tokens)
+                        request.demoted_hit_tokens = 0
+                    request.migrations += 1
+                    request.transfer_delay_s += delay
+                    request.migration_ready_time = now + delay
+                    target_tracer = steppers[target].tracer
+                    if target_tracer is not None:
+                        target_tracer.transfer(request, now, now + delay)
+                    steppers[target].submit(request)
+                    migrations_in[target] += 1
+            for request in list(scheduler.running):
+                if request.state is RequestState.PREFILLING:
+                    # Partial prefill is cheaper to recompute than to ship;
+                    # the request re-prefills on whichever replica admits it.
+                    scheduler._preempt(request)
+            rerouted = scheduler.waiting
+            scheduler.waiting = []
+            for request in rerouted:
+                steppers[least_loaded(targets)].submit(request)
+
+        arrivals = sorted(workload.requests,
+                          key=lambda r: (r.arrival_time, r.request_id))
+        pos = 0
+        next_tick = config.interval_s
+        stalled = 0
+        while True:
+            next_arrival = (arrivals[pos].arrival_time
+                            if pos < len(arrivals) else None)
+            starting = any(state[s] == "starting" for s in range(pool))
+            busy = any(not steppers[s].done for s in active_slots())
+            if next_arrival is None and not busy and not starting:
+                break
+            if next_arrival is not None and next_arrival <= next_tick:
+                advance(next_arrival)
+                request = arrivals[pos]
+                pos += 1
+                slots = active_slots()
+                view = [steppers[s] for s in slots]
+                index = slots[router.route(request, view)]
+                steppers[index].submit(request)
+                assignments[index].append(request)
+                continue
+            # Controller tick.
+            signature = tuple((steppers[s].now, steppers[s].iterations)
+                              for s in live_slots())
+            advance(next_tick)
+            now, next_tick = next_tick, next_tick + config.interval_s
+            if next_arrival is None and not starting:
+                # Post-arrival drain tail: if no live replica progressed
+                # over two full ticks, only never-admittable requests
+                # remain — stop instead of ticking forever.
+                progressed = signature != tuple(
+                    (steppers[s].now, steppers[s].iterations)
+                    for s in live_slots())
+                stalled = 0 if progressed else stalled + 1
+                if stalled >= 2:
+                    break
+            slots = active_slots()
+            recent_finished = recent_ok = 0
+            for s in slots:
+                finished = steppers[s].scheduler.finished
+                for request in finished[seen_finished[s]:]:
+                    recent_finished += 1
+                    if (config.ttft_slo_s is None
+                            or request.first_token_time - request.arrival_time
+                            <= config.ttft_slo_s):
+                        recent_ok += 1
+                seen_finished[s] = len(finished)
+            snapshot = FleetSnapshot(
+                now=now,
+                num_active=len(slots),
+                num_starting=sum(1 for s in range(pool)
+                                 if state[s] == "starting"),
+                queue_depth=sum(len(steppers[s].scheduler.waiting)
+                                for s in slots),
+                outstanding=sum(steppers[s].outstanding_requests
+                                for s in slots),
+                recent_finished=recent_finished,
+                recent_slo_ok=recent_ok,
+            )
+            decision = scaler.decide(snapshot)
+            if decision is None:
+                continue
+            action, reason = decision
+            if action == "up":
+                slot = min(s for s in range(pool) if state[s] == "stopped")
+                provision(slot, now,
+                          now + config.cold_start_s(
+                              self.engines[slot].weight_bytes()))
+                scaler.commit(ScalingEvent(now, "up", slot,
+                                           len(active_slots()), reason))
+            else:
+                slot = min(slots, key=lambda s:
+                           (steppers[s].outstanding_requests, -s))
+                targets = [s for s in slots if s != slot]
+                drain(slot, now, targets)
+                state[slot] = "stopped"
+                windows[slot][-1][1] = now
+                scaler.commit(ScalingEvent(now, "down", slot,
+                                           len(active_slots()), reason))
+
+        used = [s for s in range(pool) if steppers[s] is not None]
+        makespan = max(steppers[s].now for s in used)
+        for s in used:
+            if windows[s] and windows[s][-1][1] is None:
+                windows[s][-1][1] = max(windows[s][-1][0], makespan)
+        report = AutoscaleReport(
+            events=scaler.events,
+            windows=[[tuple(w) for w in windows[s]] for s in used],
+            cold_start_s=cold_start,
+            gpus_per_replica=self.engine.tp_degree,
+            makespan_s=makespan,
+        )
+        return self._assemble(
+            [steppers[s] for s in used],
+            [assignments[s] for s in used],
+            [migrations_in[s] for s in used],
+            engines=[self.engines[s] for s in used],
+            roles=["mixed"] * len(used),
+            autoscale=report)

@@ -143,6 +143,9 @@ class ServingResult:
     num_iterations: int
     num_finished: int = 0
     num_unserved: int = 0
+    #: Requests shed by tier-aware admission (a subset of ``num_unserved``);
+    #: zero unless ``tier_admission`` with a drop cutoff was on.
+    num_dropped: int = 0
     num_preemptions: int = 0
     recomputed_prefill_tokens: int = 0
     #: Simulated seconds the GPU spent executing iterations (excludes idle
@@ -246,6 +249,7 @@ class ServingResult:
             "num_iterations": self.num_iterations,
             "num_finished": self.num_finished,
             "num_unserved": self.num_unserved,
+            "num_dropped": self.num_dropped,
             "num_preemptions": self.num_preemptions,
             "recomputed_prefill_tokens": self.recomputed_prefill_tokens,
             "busy_time_s": self.busy_time_s,
@@ -746,7 +750,12 @@ class EngineStepper:
             policy=policy,
             preemption=self.scheduling.preemption,
             prefix_cache=self.prefix_cache,
-            tracer=self.tracer)
+            tracer=self.tracer,
+            tier_admission=self.scheduling.tier_admission,
+            free_tier_page_headroom=self.scheduling.free_tier_page_headroom,
+            free_tier_seq_headroom=self.scheduling.free_tier_seq_headroom,
+            tier_aging_s=self.scheduling.tier_aging_s,
+            free_tier_drop_after_s=self.scheduling.free_tier_drop_after_s)
         self.now = 0.0
         self.iterations = 0
         self.peak_batch = 0
@@ -980,6 +989,7 @@ class EngineStepper:
             num_iterations=self.iterations,
             num_finished=len(finished),
             num_unserved=len(workload.requests) - len(finished),
+            num_dropped=len(scheduler.dropped),
             num_preemptions=scheduler.num_preemptions,
             recomputed_prefill_tokens=scheduler.recomputed_prefill_tokens,
             busy_time_s=self.busy_s,

@@ -54,6 +54,10 @@ class RequestMetrics:
     #: 0 accepts any precision, so both default to the pre-refactor world.
     precision_floor_bits: float = 0.0
     served_precision_bits: float = 0.0
+    #: Multi-tenancy: issuing tenant and SLO tier ("paid"/"free"); untagged
+    #: workloads carry the defaults.
+    tenant: Optional[str] = None
+    tier: str = "paid"
 
     @property
     def ttft(self) -> float:
@@ -131,6 +135,8 @@ class RequestMetrics:
             draft_accepted=request.draft_accepted,
             precision_floor_bits=request.precision_floor_bits,
             served_precision_bits=request.served_precision_bits,
+            tenant=request.tenant,
+            tier=request.tier,
         )
 
 
@@ -315,6 +321,32 @@ class ServingMetrics:
         return LatencySummary.from_values(self._columns().transfer_delay)
 
     # ------------------------------------------------------------------
+    # Multi-tenant breakouts
+    # ------------------------------------------------------------------
+    def by_tier(self) -> "dict[str, ServingMetrics]":
+        """Per-SLO-tier metrics, keyed by tier name (sorted).
+
+        Each value is a full :class:`ServingMetrics` over that tier's
+        finished requests, so every summary (TTFT percentiles, SLO goodput,
+        ...) is available per tier.  A tier-less run yields ``{"paid": ...}``.
+        """
+        return self._split(lambda r: r.tier)
+
+    def by_tenant(self) -> "dict[str, ServingMetrics]":
+        """Per-tenant metrics, keyed by tenant name (sorted).
+
+        Untagged requests group under the ``"-"`` pseudo-tenant.
+        """
+        return self._split(lambda r: r.tenant if r.tenant is not None else "-")
+
+    def _split(self, key) -> "dict[str, ServingMetrics]":
+        groups: "dict[str, List[RequestMetrics]]" = {}
+        for request in self.requests:
+            groups.setdefault(key(request), []).append(request)
+        return {name: ServingMetrics(requests=groups[name])
+                for name in sorted(groups)}
+
+    # ------------------------------------------------------------------
     def slo_attainment(self, ttft_slo_s: float, tpot_slo_s: float) -> float:
         """Fraction of finished requests meeting the latency SLO.
 
@@ -369,4 +401,10 @@ class ServingMetrics:
             "draft_accepted_tokens": self.draft_accepted_tokens,
             "acceptance_rate": self.acceptance_rate,
             "precision_violations": self.precision_violations,
+            "by_tier": {
+                tier: {"num_requests": len(metrics),
+                       "ttft": metrics.ttft.to_json(),
+                       "tpot": metrics.tpot.to_json()}
+                for tier, metrics in self.by_tier().items()
+            },
         }

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Tuple, Type
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Type
 
 from repro.serving.request import Request
 
@@ -293,6 +293,16 @@ class SchedulingConfig:
         hittable at ~1/4 the footprint, and a later hit pays a
         dequantization pass (priced by the engine) to restore them.  A no-op
         on systems already storing KV at 4 bits.  Off by default.
+    tier_admission:
+        When true, admission becomes SLO-tier aware (multi-tenant serving):
+        paid-tier requests admit ahead of free-tier ones, free-tier requests
+        are deferred while the replica is under page/queue pressure (see the
+        two headroom knobs), a deferred request older than ``tier_aging_s``
+        is promoted to paid rank (aging floor, no starvation), and — with
+        ``free_tier_drop_after_s`` set — never-admitted free-tier requests
+        stuck that long under pressure are dropped (load shedding).  Off by
+        default; untagged requests default to the paid tier, so enabling it
+        on a tier-less workload changes nothing.
     """
 
     policy: str = "fcfs"
@@ -301,6 +311,11 @@ class SchedulingConfig:
     preemption: bool = False
     prefix_caching: bool = False
     kv_demotion: bool = False
+    tier_admission: bool = False
+    free_tier_page_headroom: float = 0.10
+    free_tier_seq_headroom: float = 0.25
+    tier_aging_s: float = 5.0
+    free_tier_drop_after_s: Optional[float] = None
 
     def build_policy(self) -> SchedulerPolicy:
         return get_policy(self.policy)
@@ -331,4 +346,9 @@ SCHEDULING_PRESETS: Dict[str, SchedulingConfig] = {
     "prefix-demote-preempt": SchedulingConfig(
         chunked_prefill=True, prefix_caching=True, preemption=True,
         kv_demotion=True),
+    "tiered": SchedulingConfig(chunked_prefill=True, preemption=True,
+                               tier_admission=True),
+    "tiered-shed": SchedulingConfig(chunked_prefill=True, preemption=True,
+                                    tier_admission=True,
+                                    free_tier_drop_after_s=20.0),
 }

@@ -65,6 +65,10 @@ class RequestState(str, enum.Enum):
     PREEMPTED = "preempted"
     MIGRATING = "migrating"
     FINISHED = "finished"
+    #: Terminal load-shedding state: the request was removed from the waiting
+    #: queue by tier-aware admission (free tier under sustained pressure) and
+    #: will never be served.  Only reachable with ``tier_admission`` on.
+    DROPPED = "dropped"
 
 
 @dataclass
@@ -133,6 +137,18 @@ class Request:
     #: ``min_precision_bits`` of the system that admitted the request;
     #: stamped at admission, joins the SLO definition as a quality check.
     served_precision_bits: float = 0.0
+    #: Multi-tenancy: the tenant that issued the request and its SLO tier
+    #: (``"paid"`` or ``"free"``).  Ignored entirely unless the scheduler is
+    #: built with ``tier_admission`` on; the default tier is ``"paid"`` so
+    #: untagged workloads behave identically under tiered admission.
+    tenant: Optional[str] = None
+    tier: str = "paid"
+    #: Model name from a replayed trace (informational; single-model engines
+    #: serve every request with their own model regardless).
+    model: Optional[str] = None
+    #: Simulation time tier-aware admission dropped the request (load
+    #: shedding); ``None`` for requests that were never dropped.
+    drop_time: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0:
@@ -175,7 +191,8 @@ class Request:
         return Request(request_id=self.request_id, prompt_len=self.prompt_len,
                        output_len=self.output_len, arrival_time=self.arrival_time,
                        prompt_segments=self.prompt_segments,
-                       precision_floor_bits=self.precision_floor_bits)
+                       precision_floor_bits=self.precision_floor_bits,
+                       tenant=self.tenant, tier=self.tier, model=self.model)
 
 
 @dataclass

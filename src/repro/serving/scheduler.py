@@ -88,6 +88,24 @@ class ContinuousBatchingScheduler:
     #: of rescanning the whole waiting list.
     admission_scanned_requests: int = 0
     admission_fast_skips: int = 0
+    #: Tier-aware admission (multi-tenant SLO tiers), default off.  When on,
+    #: paid-tier requests admit ahead of free-tier ones, and free-tier
+    #: requests are *deferred* (skipped without a scan) while the replica is
+    #: under pressure — fewer than ``free_tier_page_headroom`` of the KV
+    #: pages free, or fewer than ``free_tier_seq_headroom`` of the sequence
+    #: slots open.  A deferred request older than ``tier_aging_s`` is
+    #: promoted to paid rank (the aging floor: sustained paid load can delay
+    #: free traffic but never starve it).  With ``free_tier_drop_after_s``
+    #: set, never-admitted free-tier requests still waiting that long under
+    #: pressure are dropped (load shedding) into :attr:`dropped`.
+    tier_admission: bool = False
+    free_tier_page_headroom: float = 0.10
+    free_tier_seq_headroom: float = 0.25
+    tier_aging_s: float = 5.0
+    free_tier_drop_after_s: Optional[float] = None
+    dropped: List[Request] = field(default_factory=list)
+    tier_deferrals: int = 0
+    drops_by_tier: Dict[str, int] = field(default_factory=dict)
     #: Optional telemetry recorder (:class:`~repro.serving.telemetry.Tracer`).
     #: Every hook below sits behind an ``is not None`` guard, so an untraced
     #: scheduler pays one pointer test per call site at most.
@@ -150,6 +168,9 @@ class ContinuousBatchingScheduler:
         and the queue it leaves behind are identical, step for step.
         """
         self._clock = now
+        if (self.tier_admission and self.free_tier_drop_after_s is not None
+                and self.waiting):
+            self._shed_free_tier(now)
         waiting = self.waiting
         if not waiting:
             return []
@@ -176,7 +197,22 @@ class ContinuousBatchingScheduler:
 
         admitted: List[Request] = []
         order = self.policy.admission_order(arrived)
+        if self.tier_admission:
+            # Paid tier first; a free-tier request past the aging floor
+            # counts as paid (stable sort keeps the policy order within each
+            # rank).  Tier rank deliberately outranks arrival order — that is
+            # what a priority tier *is* — so even strict-FCFS reorders across
+            # tiers when this mode is on.
+            order = sorted(order, key=lambda r: self._tier_rank(r, now))
         for request in order:
+            if (self.tier_admission and self._tier_rank(request, now)
+                    and self._tier_pressure(len(admitted))):
+                # Deferred free-tier request: a constant-time pre-screen, not
+                # an admission scan — it must not inflate
+                # ``admission_scanned_requests`` (the request was never
+                # examined against pages or the cap).
+                self.tier_deferrals += 1
+                continue
             self.admission_scanned_requests += 1
             if len(self.running) + len(admitted) >= self.max_num_seqs:
                 # The cap blocks this and every later request (nothing below
@@ -263,6 +299,61 @@ class ContinuousBatchingScheduler:
                         if id(r) not in admitted_ids] + pending
         self.running.extend(admitted)
         return [r for r in admitted if r.state is RequestState.PREFILLING]
+
+    # ------------------------------------------------------------------
+    # Tier-aware admission (multi-tenant SLO tiers)
+    # ------------------------------------------------------------------
+    def _tier_rank(self, request: Request, now: float) -> int:
+        """0 for paid-rank requests, 1 for deferrable free-tier ones.
+
+        Free-tier requests that have waited at least ``tier_aging_s`` since
+        becoming available are promoted to paid rank — the aging floor that
+        keeps sustained paid load from starving free traffic forever.
+        """
+        if request.tier != "free":
+            return 0
+        return 1 if now - request.available_time < self.tier_aging_s else 0
+
+    def _tier_pressure(self, extra_seqs: int = 0) -> bool:
+        """Is the replica under page or queue pressure right now?
+
+        ``extra_seqs`` counts requests admitted earlier in the same pass, so
+        pressure can develop mid-scan as admissions consume slots and pages.
+        """
+        kv = self.kv_manager
+        if kv.free_pages < self.free_tier_page_headroom * kv.total_pages:
+            return True
+        open_slots = self.max_num_seqs - len(self.running) - extra_seqs
+        return open_slots <= self.free_tier_seq_headroom * self.max_num_seqs
+
+    def _shed_free_tier(self, now: float) -> None:
+        """Drop never-admitted free-tier requests stuck past the shed cutoff.
+
+        Load shedding applies only under pressure and only to requests that
+        were never admitted (``admitted_time is None``): a preempted request
+        has already consumed prefill work, so killing it would waste more
+        capacity than finishing it.  Dropped requests leave the queue in the
+        terminal ``DROPPED`` state with ``drop_time`` stamped.
+        """
+        if not self._tier_pressure():
+            return
+        kept: List[Request] = []
+        for request in self.waiting:
+            if (request.tier == "free" and request.admitted_time is None
+                    and request.available_time <= now
+                    and now - request.available_time
+                    > self.free_tier_drop_after_s):
+                request.state = RequestState.DROPPED
+                request.drop_time = now
+                self.dropped.append(request)
+                self.drops_by_tier[request.tier] = \
+                    self.drops_by_tier.get(request.tier, 0) + 1
+                if self.tracer is not None:
+                    self.tracer.request_dropped(request, now)
+            else:
+                kept.append(request)
+        if len(kept) != len(self.waiting):
+            self.waiting = kept
 
     def _begin_prefill(self, request: Request, now: float) -> None:
         if request.kv_ready:

@@ -201,6 +201,11 @@ def collect_counters(stepper) -> CounterRegistry:
     reg.set("scheduler_finished_requests_total", len(scheduler.finished))
     reg.set("scheduler_waiting_requests", len(scheduler.waiting), kind="gauge")
     reg.set("scheduler_running_requests", len(scheduler.running), kind="gauge")
+    reg.set("scheduler_tier_deferrals_total", scheduler.tier_deferrals)
+    reg.set("scheduler_dropped_requests_total", len(scheduler.dropped))
+    for tier in sorted(scheduler.drops_by_tier):
+        reg.set(f"scheduler_dropped_tier_{tier}_total",
+                scheduler.drops_by_tier[tier])
 
     kv = scheduler.kv_manager
     reg.set("kv_total_pages", kv.total_pages, kind="gauge")
@@ -323,6 +328,12 @@ class Tracer:
         if self._spans:
             self.events.append((now, "exported", request.request_id, 0, 0))
 
+    def request_dropped(self, request, now: float) -> None:
+        """Tier-aware admission shed the request (terminal, never served)."""
+        if self._spans:
+            self.events.append((now, "dropped", request.request_id,
+                                request.tier, 0))
+
     def transfer(self, request, start: float, end: float) -> None:
         """A KV migration bound for *this* replica occupies ``[start, end]``."""
         if self._spans:
@@ -433,7 +444,7 @@ class Tracer:
                     if phase is not None:
                         out.append((phase, since, ts))
                     phase, since = "stall", ts
-                elif kind in ("exported", "finished"):
+                elif kind in ("exported", "finished", "dropped"):
                     if phase is not None:
                         out.append((phase, since, ts))
                     phase = None
@@ -494,7 +505,7 @@ class Tracer:
                     last_ts = max(last_ts, event[3])
             end_ts = last_ts
             open_ended = finish_payload is None and not any(
-                e[1] == "exported" for e in req_events)
+                e[1] in ("exported", "dropped") for e in req_events)
             if open_ended:
                 end_ts = max(last_ts, horizon)
             events.append({"ph": "b", "pid": pid, "tid": 0, "cat": "request",
@@ -523,6 +534,11 @@ class Tracer:
                     events.append({"ph": "n", "pid": pid, "tid": 0,
                                    "cat": "request", "id": rid_str,
                                    "ts": ts * _US, "name": "exported"})
+                elif kind == "dropped":
+                    events.append({"ph": "n", "pid": pid, "tid": 0,
+                                   "cat": "request", "id": rid_str,
+                                   "ts": ts * _US, "name": "dropped",
+                                   "args": {"tier": event[3]}})
                 elif kind == "dequant":
                     events.append({"ph": "n", "pid": pid, "tid": 0,
                                    "cat": "request", "id": rid_str,
@@ -549,6 +565,8 @@ class Tracer:
                             "transfer_delay_s": transfer_delay}
             elif open_ended:
                 end_args = {"unfinished": True}
+            elif any(e[1] == "dropped" for e in req_events):
+                end_args = {"dropped": True}
             events.append({"ph": "e", "pid": pid, "tid": 0, "cat": "request",
                            "id": rid_str, "ts": end_ts * _US, "name": name,
                            "args": end_args})

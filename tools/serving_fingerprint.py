@@ -5,8 +5,10 @@ Every perf-focused PR must leave the simulator's *outputs* untouched while
 making it faster.  This tool pins that contract down: it runs a fixed suite
 of serving scenarios — legacy Table 4 throughput, chunked prefill with
 preemption, prefix-cache chat, a multi-replica cluster, disaggregated
-prefill/decode, speculative decoding, a heterogeneous mixed-precision fleet
-and KV-cache demotion under memory pressure — and emits a JSON fingerprint
+prefill/decode, speculative decoding, a heterogeneous mixed-precision fleet,
+KV-cache demotion under memory pressure, diurnal multi-tenant traffic with
+tier-aware admission and a flash-crowd autoscaled fleet — and emits a JSON
+fingerprint
 in which every float is hex-encoded (``float.hex()``: exact, no rounding)
 and every per-request metrics stream is hashed.
 
@@ -215,6 +217,48 @@ def build_fingerprint() -> Dict[str, object]:
         "promoted_pages_total": s.promoted_pages_total,
         "demoted_hit_tokens": s.demoted_hit_tokens,
         "peak_demoted_pages": s.peak_demoted_pages,
+    }
+
+    # 9. Diurnal multi-tenant traffic, tier-aware admission + load shedding.
+    from repro.serving import make_diurnal_workload
+    engine = ServingEngine(llama7b, A100, system, max_seq_len=4096)
+    wl = make_diurnal_workload(300, base_rate=30.0, amplitude=0.7,
+                               period_s=8.0, tenants=6, free_fraction=0.5,
+                               seed=13)
+    r = engine.serve(wl, max_num_seqs=24,
+                     scheduling=SCHEDULING_PRESETS["tiered-shed"])
+    by_tier = r.metrics.by_tier()
+    fp["diurnal-tiered"] = {
+        "serving": _serving_result(r),
+        "num_dropped": r.num_dropped,
+        "per_tier_requests": {t: len(m.requests)
+                              for t, m in sorted(by_tier.items())},
+        "per_tier_ttft_p99": {t: _hx(m.ttft.p99)
+                              for t, m in sorted(by_tier.items())},
+    }
+
+    # 10. Flash-crowd autoscaled fleet (priced cold starts, drain on idle).
+    from repro.serving import AutoscalerConfig, make_flash_crowd_workload
+    cluster = ClusterEngine(llama7b, A100, system, num_replicas=4,
+                            max_seq_len=4096)
+    wl = make_flash_crowd_workload(300, base_rate=2.0,
+                                   spikes=((5.0, 40.0, 6.0),),
+                                   prompt_len=512, output_len=200,
+                                   tenants=4, free_fraction=0.5, seed=7)
+    r = cluster.serve(wl, max_num_seqs=8,
+                      scheduling=SCHEDULING_PRESETS["tiered"],
+                      autoscaler=AutoscalerConfig(
+                          min_replicas=1, max_replicas=4, interval_s=2.0,
+                          scale_up_queue_depth=2.0, up_cooldown_s=2.0,
+                          down_cooldown_s=4.0, scale_down_outstanding=6.0,
+                          ttft_slo_s=0.5))
+    fp["flash-autoscale"] = {
+        "cluster": _cluster_result(r),
+        "gpu_seconds": _hx(r.gpu_seconds),
+        "scale_events": [[_hx(e.time_s), e.action, e.replica, e.reason]
+                         for e in r.autoscale.events],
+        "windows": [[[_hx(w[0]), _hx(w[1])] for w in slot]
+                    for slot in r.autoscale.windows],
     }
 
     return fp
