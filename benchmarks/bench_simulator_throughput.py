@@ -20,7 +20,10 @@ workload shapes that exercise its distinct hot paths:
   precision-aware router on two-tier mixed-precision traffic;
 * ``autoscale-tiered`` — flash-crowd multi-tenant traffic on an autoscaled
   fleet with tier-aware admission (the production-traffic hot paths:
-  fleet ticks, cold starts, drain migrations, tier sorting).
+  fleet ticks, cold starts, drain migrations, tier sorting);
+* ``multiplexed-fleet``— a skewed two-model mix on a shared fleet with
+  weight swapping and warm-first routing (the multiplexing hot paths:
+  per-replica stepper serialization, residency LRU, swap pricing).
 
 For each scenario it reports simulated requests per wall-clock second and the
 extrapolated wall-clock per 100k requests.  Modes size the workloads:
@@ -54,11 +57,12 @@ from typing import Callable, Dict, List, Tuple
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_simulator.json"
 
 #: Per-mode request counts:
-#: (plain, chunked, chat_sessions, cluster, spec, precision, autoscale).
+#: (plain, chunked, chat_sessions, cluster, spec, precision, autoscale,
+#: multiplex).
 _SIZES = {
-    "smoke": (200, 400, 30, 200, 100, 120, 150),
-    "default": (2000, 5000, 300, 2000, 1000, 1200, 1500),
-    "full": (20000, 100000, 1200, 8000, 4000, 5000, 6000),
+    "smoke": (200, 400, 30, 200, 100, 120, 150, 150),
+    "default": (2000, 5000, 300, 2000, 1000, 1200, 1500, 1500),
+    "full": (20000, 100000, 1200, 8000, 4000, 5000, 6000, 6000),
 }
 
 
@@ -88,7 +92,7 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
     llama7b = get_config("llama-2-7b")
     system = SYSTEM_PRESETS["qserve-w4a8kv4-chn"]
     (n_plain, n_chunked, n_sessions, n_cluster, n_spec,
-     n_precision, n_autoscale) = _SIZES[mode]
+     n_precision, n_autoscale, n_multiplex) = _SIZES[mode]
 
     def engine() -> ServingEngine:
         return ServingEngine(llama7b, A100, system, max_seq_len=4096)
@@ -167,6 +171,24 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
                            down_cooldown_s=4.0, scale_down_outstanding=6.0,
                            ttft_slo_s=0.5))
 
+    def multiplexed_fleet():
+        # Two-model 80/20 mix on a shared fleet with residency limit 1:
+        # the multiplexing hot paths — per-replica stepper serialization,
+        # residency LRU, swap pricing, warm-first routing.
+        from repro.serving import MultiplexConfig, make_multi_model_workload
+        scale = n_multiplex / 150.0
+        wl = make_multi_model_workload(
+            n_multiplex, models=("llama-2-7b", "llama-2-13b"),
+            weights=(0.8, 0.2), arrival_rate=24.0 * scale,
+            prompt_len=256, output_len=64, seed=11)
+        c = ClusterEngine(llama7b, A100, SYSTEM_PRESETS["trt-fp16"],
+                          num_replicas=4, max_seq_len=2048)
+        return c.serve(wl, router="model-aware", max_num_seqs=16,
+                       scheduling=SCHEDULING_PRESETS["chunked"],
+                       multiplex=MultiplexConfig(
+                           models=(llama7b, get_config("llama-2-13b")),
+                           max_resident_models=1))
+
     return [
         ("plain-decode", n_plain, plain_decode),
         ("chunked-preempt", n_chunked, chunked_preempt),
@@ -176,6 +198,7 @@ def _scenarios(mode: str) -> List[Tuple[str, int, Callable[[], object]]]:
         ("speculative", n_spec, speculative),
         ("precision-fleet", n_precision, precision_fleet),
         ("autoscale-tiered", n_autoscale, autoscale_tiered),
+        ("multiplexed-fleet", n_multiplex, multiplexed_fleet),
     ]
 
 

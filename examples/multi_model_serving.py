@@ -1,0 +1,154 @@
+"""Multi-model multiplexing: shared fleets vs static partitions.
+
+Production clusters rarely serve one model.  A provider hosting a large and
+a small chat model can either *partition* its GPUs (dedicate replicas per
+model, provisioning each partition for that model's peak) or *multiplex*
+(let every replica host any model, swapping weights in and out of HBM as
+the mix shifts).  This example prices both on the same skewed trace:
+
+1. **Residency accounting** — what each model costs in HBM (weights +
+   activation workspace), what fits next to the statically carved per-model
+   KV pools, and what a swap-in costs over the host link (the same formula
+   as an autoscaler cold start).
+2. **Shared vs partitioned fleet** — an 80/20 two-model trace on a
+   4-replica multiplexed fleet with warm-first (model-aware) routing
+   against a 2+2 statically partitioned fleet: aggregate SLO goodput and
+   GPU-seconds, swap costs priced in.
+3. **Per-model SLOs and swap telemetry** — ``by_model()`` latency
+   breakouts and the residency report: who swapped, how often, and how
+   the fleet partitioned itself.
+
+Run with:  python examples/multi_model_serving.py [model-name]
+"""
+
+import sys
+
+from repro.experiments.runner import format_table
+from repro.gpu import A100
+from repro.model import get_config
+from repro.serving import (
+    ClusterEngine,
+    MultiplexConfig,
+    ServingEngine,
+    SYSTEM_PRESETS,
+    Workload,
+    make_multi_model_workload,
+)
+
+#: Latency SLO the comparison scores against.
+TTFT_SLO_S, TPOT_SLO_S = 1.0, 0.1
+#: The skewed two-model mix: 80% of traffic targets the primary model.
+MODELS = ("llama-2-7b", "llama-2-13b")
+WEIGHTS = (0.8, 0.2)
+NUM_REPLICAS = 4
+SYSTEM = SYSTEM_PRESETS["trt-fp16"]
+
+
+def _workload(seed=11, num_requests=240, arrival_rate=60.0):
+    return make_multi_model_workload(
+        num_requests, models=MODELS, weights=WEIGHTS,
+        arrival_rate=arrival_rate, prompt_len=256, output_len=64, seed=seed)
+
+
+def residency_accounting(primary: str) -> None:
+    models = (get_config(primary), get_config(MODELS[1]))
+    config = MultiplexConfig(models=models, max_resident_models=1)
+    cluster = ClusterEngine(models[0], A100, SYSTEM, num_replicas=1)
+    result = cluster.serve(_workload(num_requests=20, arrival_rate=4.0),
+                           router="model-aware", multiplex=config)
+    snap = result.multiplex.replicas[0]
+    gib = 1 << 30
+    print(f"Residency accounting on {A100.name} "
+          f"({A100.memory_gib:.0f} GiB HBM), one resident model:\n")
+    rows = []
+    for model in models:
+        engine = ServingEngine(model, A100, SYSTEM)
+        rows.append([model.name,
+                     round(engine.weight_bytes() / gib, 1),
+                     round(config.host_link.transfer_latency(
+                         engine.weight_bytes()), 2)])
+    print(format_table(["Model", "Weights (GiB)", "Swap-in (s)"], rows))
+    print(f"\nweight budget {snap.weight_budget_bytes / gib:.1f} GiB, "
+          f"per-model KV pool {snap.kv_pool_bytes / gib:.1f} GiB x "
+          f"{len(models)} models")
+
+
+def shared_vs_partitioned(primary: str) -> None:
+    models = (get_config(primary), get_config(MODELS[1]))
+    workload = _workload()
+    shared = ClusterEngine(models[0], A100, SYSTEM,
+                           num_replicas=NUM_REPLICAS).serve(
+        workload.copy_fresh(), router="model-aware", max_num_seqs=16,
+        multiplex=MultiplexConfig(models=models, max_resident_models=1))
+
+    # Static partition: half the fleet per model, each serving only its own
+    # slice of the trace.
+    per_model = {m.name: [] for m in models}
+    for request in workload.copy_fresh().requests:
+        per_model[request.model].append(request)
+    partition_results = []
+    for model in models:
+        sub = Workload(requests=per_model[model.name])
+        partition_results.append(
+            ClusterEngine(model, A100, SYSTEM,
+                          num_replicas=NUM_REPLICAS // 2).serve(
+                sub, router="least-outstanding", max_num_seqs=16))
+
+    def goodput(results):
+        ok = sum(r.slo_goodput(TTFT_SLO_S, TPOT_SLO_S) * r.total_time_s
+                 for r in results)
+        return ok / max(r.total_time_s for r in results)
+
+    shared_good = shared.slo_goodput(TTFT_SLO_S, TPOT_SLO_S)
+    part_good = goodput(partition_results)
+    part_gpu_s = sum(r.gpu_seconds for r in partition_results)
+    print(f"\nShared multiplexed fleet ({NUM_REPLICAS} replicas, warm-first "
+          f"routing) vs static partition "
+          f"({NUM_REPLICAS // 2}+{NUM_REPLICAS // 2}), 80/20 trace:\n")
+    rows = [
+        ["multiplexed", round(shared_good, 2), round(shared.gpu_seconds, 1),
+         round(shared.metrics.ttft.p99 * 1e3, 1), shared.multiplex.swap_ins],
+        ["partitioned", round(part_good, 2), round(part_gpu_s, 1),
+         round(max(r.metrics.ttft.p99 for r in partition_results) * 1e3, 1),
+         0],
+    ]
+    print(format_table(
+        ["Fleet", "SLO goodput (req/s)", "GPU-seconds", "TTFT p99 (ms)",
+         "Swap-ins"], rows))
+    gain = shared_good / part_good - 1.0 if part_good else float("inf")
+    print(f"\naggregate SLO-goodput gain from multiplexing: {gain:+.0%} "
+          f"(swap costs priced in)")
+
+
+def per_model_slos(primary: str) -> None:
+    models = (get_config(primary), get_config(MODELS[1]))
+    result = ClusterEngine(models[0], A100, SYSTEM,
+                           num_replicas=NUM_REPLICAS).serve(
+        _workload(), router="model-aware", max_num_seqs=16,
+        multiplex=MultiplexConfig(models=models, max_resident_models=1))
+    print("\nPer-model SLOs on the multiplexed fleet:\n")
+    rows = []
+    for name, m in sorted(result.metrics.by_model().items()):
+        rows.append([name, len(m.requests),
+                     round(m.ttft.p50 * 1e3, 1),
+                     round(m.ttft.p99 * 1e3, 1),
+                     round(m.slo_attainment(TTFT_SLO_S, TPOT_SLO_S), 3)])
+    print(format_table(
+        ["Model", "Requests", "TTFT p50 (ms)", "TTFT p99 (ms)",
+         "SLO attainment"], rows))
+    report = result.multiplex
+    print(f"\nswaps: {report.swap_ins} in / {report.swap_outs} out, "
+          f"{report.swap_in_s:.2f}s of replica time on weight transfers")
+    for i, snap in enumerate(report.replicas):
+        print(f"  replica {i}: resident {snap.resident} "
+              f"(swap-ins by model: {dict(snap.swap_ins_by_model) or '-'})")
+
+
+def main(model_name: str = "llama-2-7b") -> None:
+    residency_accounting(model_name)
+    shared_vs_partitioned(model_name)
+    per_model_slos(model_name)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama-2-7b")

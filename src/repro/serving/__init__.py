@@ -46,12 +46,17 @@ goodput) under pluggable scheduling policies:
 * :mod:`repro.serving.autoscaler` — reactive fleet autoscaling: queue-depth
   and SLO-attainment signals with cooldown hysteresis, priced cold starts
   (weights over the host link), and provisioned GPU-seconds accounting;
+* :mod:`repro.serving.multiplex` — multi-model multiplexing: per-replica
+  model residency accounting against HBM (weights + workspace next to the
+  statically carved per-model KV pools), LRU weight swapping priced like
+  autoscaler cold starts, and per-model swap/residency reporting;
 * :mod:`repro.serving.cluster` — multi-replica cluster simulation behind
   pluggable routers (round-robin, least-outstanding, shortest-queue,
-  prefix-affinity, disaggregated, precision-aware), including
+  prefix-affinity, disaggregated, precision-aware, model-aware), including
   role-specialised prefill/decode replicas with priced KV-state migration,
   heterogeneous mixed-precision fleets (per-replica system presets,
-  cross-precision transfer repricing) and autoscaled fleets;
+  cross-precision transfer repricing), autoscaled fleets and multiplexed
+  multi-model fleets with swap-priced warm-first routing;
 * :mod:`repro.serving.throughput` — memory-budgeted maximum-batch search,
   throughput measurement and tensor-parallel sweeps.
 """
@@ -83,6 +88,7 @@ from repro.serving.traffic import (
     assign_tenants,
     make_diurnal_workload,
     make_flash_crowd_workload,
+    make_multi_model_workload,
     load_trace,
     save_trace,
 )
@@ -92,6 +98,13 @@ from repro.serving.autoscaler import (
     ScalingEvent,
     ReactiveAutoscaler,
     AutoscaleReport,
+    weight_transfer_s,
+)
+from repro.serving.multiplex import (
+    MultiplexConfig,
+    ModelResidency,
+    ResidencySnapshot,
+    MultiplexReport,
 )
 from repro.serving.cost_cache import CostModelCache, cache_enabled_default
 from repro.serving.kv_cache_manager import PagedKVCacheManager, PageAllocationError
@@ -155,6 +168,7 @@ from repro.serving.cluster import (
     PrefixAffinityRouter,
     DisaggregatedRouter,
     PrecisionAwareRouter,
+    ModelAwareRouter,
     ROUTERS,
     get_router,
     REPLICA_ROLES,
@@ -177,10 +191,12 @@ __all__ = [
     "make_router_study_workload", "make_shared_prefix_workload",
     "make_chat_workload", "make_mixed_precision_workload",
     "TIERS", "TenantSpec", "make_tenant_pool", "assign_tenants",
-    "make_diurnal_workload", "make_flash_crowd_workload", "load_trace",
-    "save_trace",
+    "make_diurnal_workload", "make_flash_crowd_workload",
+    "make_multi_model_workload", "load_trace", "save_trace",
     "AutoscalerConfig", "FleetSnapshot", "ScalingEvent",
-    "ReactiveAutoscaler", "AutoscaleReport",
+    "ReactiveAutoscaler", "AutoscaleReport", "weight_transfer_s",
+    "MultiplexConfig", "ModelResidency", "ResidencySnapshot",
+    "MultiplexReport",
     "CostModelCache", "cache_enabled_default",
     "PagedKVCacheManager", "PageAllocationError",
     "PrefixCache", "PrefixCacheStats", "prompt_block_keys",
@@ -201,7 +217,8 @@ __all__ = [
     "EngineStepper", "ServingEngine", "ServingResult", "StepBreakdown",
     "Router", "RoundRobinRouter", "LeastOutstandingRouter",
     "ShortestQueueRouter", "PrefixAffinityRouter", "DisaggregatedRouter",
-    "PrecisionAwareRouter", "ROUTERS", "get_router", "REPLICA_ROLES",
+    "PrecisionAwareRouter", "ModelAwareRouter", "ROUTERS", "get_router",
+    "REPLICA_ROLES",
     "ClusterResult", "ClusterEngine",
     "ThroughputResult", "max_achievable_batch", "measure_throughput",
     "max_achievable_throughput", "tp_sweep",

@@ -40,12 +40,32 @@ from typing import Dict, List, Optional, Tuple
 from repro.gpu.specs import InterconnectSpec, PCIE_GEN4
 
 __all__ = [
+    "weight_transfer_s",
     "AutoscalerConfig",
     "FleetSnapshot",
     "ScalingEvent",
     "ReactiveAutoscaler",
     "AutoscaleReport",
 ]
+
+
+def weight_transfer_s(weight_bytes: float, host_link: InterconnectSpec,
+                      provision_s: float = 0.0) -> float:
+    """Seconds to bring a model's weights onto a replica over ``host_link``.
+
+    ``provision_s`` of fixed bring-up plus the time to ship ``weight_bytes``
+    across the host link.  For a tensor-parallel replica pass the whole
+    model's bytes; the shards load in parallel but each GPU's share crosses
+    the same host link its neighbours contend on, so the full-model transfer
+    time is the honest lower bound.
+
+    This is the single pricing formula for every "weights move onto a GPU"
+    event in the simulator: autoscaler cold starts
+    (:meth:`AutoscalerConfig.cold_start_s`) and multi-model residency
+    swap-ins (:class:`repro.serving.multiplex.ModelResidency`) both charge
+    exactly this.
+    """
+    return provision_s + host_link.transfer_latency(weight_bytes)
 
 
 @dataclass(frozen=True)
@@ -119,7 +139,8 @@ class AutoscalerConfig:
         GPU's share crosses the same host link its neighbours contend on,
         so the full-model transfer time is the honest lower bound.
         """
-        return self.provision_s + self.host_link.transfer_latency(weight_bytes)
+        return weight_transfer_s(weight_bytes, self.host_link,
+                                 self.provision_s)
 
 
 @dataclass(frozen=True)

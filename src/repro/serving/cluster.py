@@ -33,6 +33,21 @@ Routers shipped by default:
   throughput traffic to the lowest-precision (cheapest) group,
   least-outstanding within a group.  Degrades to least-outstanding on a
   homogeneous fleet.
+* ``model-aware`` — the multiplexed fleet's router: prefer a replica where
+  the request's model is already warm, falling back to the least-loaded
+  replica worth warming by scoring every candidate
+  ``swap_cost_s + queue_cost_s * outstanding``.  Degrades to
+  least-outstanding on single-model fleets.
+
+**Multiplexed serving** (``serve(..., multiplex=MultiplexConfig(...))``)
+puts several models on every replica: a
+:class:`~repro.serving.multiplex.ModelResidency` accounts each model's
+weight + workspace footprint against HBM next to the statically carved
+per-model KV pools, swaps weights LRU when the residency limit is hit, and
+prices each swap-in like an autoscaler cold start — the weights cross the
+host link as a replica-busy window on the shared clock.  Co-resident
+models are serialized on one GPU timeline per replica; prefix caches are
+namespaced by model so no block is ever adopted across models.
 
 **Disaggregated serving** (DistServe/Splitwise-style) gives each replica a
 *role*: ``prefill`` replicas run prompt processing only and export every
@@ -70,6 +85,11 @@ from repro.serving.autoscaler import (
 )
 from repro.serving.engine import EngineStepper, ServingEngine, ServingResult
 from repro.serving.metrics import LatencySummary, ServingMetrics
+from repro.serving.multiplex import (
+    ModelResidency,
+    MultiplexConfig,
+    MultiplexReport,
+)
 from repro.serving.parallel import ParallelConfig
 from repro.serving.policies import SchedulingConfig
 from repro.serving.precision import SystemConfig, get_system
@@ -90,6 +110,7 @@ __all__ = [
     "PrefixAffinityRouter",
     "DisaggregatedRouter",
     "PrecisionAwareRouter",
+    "ModelAwareRouter",
     "ROUTERS",
     "get_router",
     "REPLICA_ROLES",
@@ -284,11 +305,41 @@ class PrecisionAwareRouter(Router):
                    key=lambda i: (replicas[i].outstanding_requests, i))
 
 
+class ModelAwareRouter(Router):
+    """Route to a replica where the request's model is already warm.
+
+    On a multiplexed fleet every candidate replica is scored as::
+
+        swap_cost_s(model) + queue_cost_s * outstanding_requests
+
+    A warm replica has zero swap cost, so warm replicas win unless their
+    queues are deep enough that paying for a swap-in elsewhere is cheaper
+    than waiting — the "least-loaded replica worth warming" fallback falls
+    out of the same rule.  Ties break toward the lowest replica index.  On
+    fleets whose replicas expose no residency manager (plain single-model
+    replicas), the router degrades to least-outstanding exactly.
+    """
+
+    name = "model-aware"
+
+    def route(self, request: Request, replicas: Sequence[EngineStepper]) -> int:
+        if not hasattr(replicas[0], "swap_cost_s"):
+            return min(range(len(replicas)),
+                       key=lambda i: (replicas[i].outstanding_requests, i))
+        model = replicas[0].resolve_model(request)
+        queue_cost = replicas[0].queue_cost_s
+        return min(
+            range(len(replicas)),
+            key=lambda i: (replicas[i].swap_cost_s(model)
+                           + queue_cost * replicas[i].outstanding_requests,
+                           i))
+
+
 ROUTERS: Dict[str, Type[Router]] = {
     cls.name: cls
     for cls in (RoundRobinRouter, LeastOutstandingRouter, ShortestQueueRouter,
                 PrefixAffinityRouter, DisaggregatedRouter,
-                PrecisionAwareRouter)
+                PrecisionAwareRouter, ModelAwareRouter)
 }
 
 
@@ -330,6 +381,14 @@ class ClusterResult:
     #: GPUs per replica (tensor-parallel degree); prices
     #: :attr:`gpu_seconds` for static fleets.
     gpus_per_replica: int = 1
+    #: Residency and swap accounting of a multiplexed run (``None``
+    #: otherwise).  Multiplexed runs list one result slice per
+    #: (replica, model) pair; this report is indexed by physical replica.
+    multiplex: Optional[MultiplexReport] = None
+    #: Physical GPUs-holding replicas, when result slices are finer-grained
+    #: than hardware (multiplexed runs); ``None`` means one slice per
+    #: replica, the historical layout.
+    physical_replicas: Optional[int] = None
 
     @property
     def num_replicas(self) -> int:
@@ -437,7 +496,9 @@ class ClusterResult:
         """
         if self.autoscale is not None:
             return self.autoscale.gpu_seconds
-        return self.num_replicas * self.gpus_per_replica * self.total_time_s
+        replicas = (self.num_replicas if self.physical_replicas is None
+                    else self.physical_replicas)
+        return replicas * self.gpus_per_replica * self.total_time_s
 
     @property
     def num_preemptions(self) -> int:
@@ -502,6 +563,8 @@ class ClusterResult:
             "gpu_seconds": self.gpu_seconds,
             "autoscale": (None if self.autoscale is None
                           else self.autoscale.to_json()),
+            "multiplex": (None if self.multiplex is None
+                          else self.multiplex.to_json()),
             "generation_throughput": self.generation_throughput,
             "saved_prefill_tokens": self.saved_prefill_tokens,
             "acceptance_rate": self.acceptance_rate,
@@ -515,6 +578,125 @@ class ClusterResult:
             "counters": self.counters().as_dict(),
             "replica_results": [r.to_json() for r in self.replica_results],
         }
+
+
+# ----------------------------------------------------------------------
+# Multiplexed replica
+# ----------------------------------------------------------------------
+class _MultiplexReplica:
+    """One physical replica hosting several models behind one GPU clock.
+
+    Holds one :class:`EngineStepper` per servable model plus the replica's
+    :class:`~repro.serving.multiplex.ModelResidency`.  The steppers share
+    the accelerator: this wrapper serializes them on a single timeline —
+    at any instant at most one model's iteration (or weight swap-in)
+    occupies the GPU — while each stepper keeps its own scheduler, KV pool
+    and model-namespaced prefix cache, all carved statically by the
+    residency manager.
+    """
+
+    def __init__(self, config: MultiplexConfig,
+                 steppers: List[EngineStepper],
+                 residency: ModelResidency) -> None:
+        self.config = config
+        self.steppers = steppers
+        self.by_model: Dict[str, EngineStepper] = {
+            stepper.model_name: stepper for stepper in steppers}
+        self.residency = residency
+        # Fleet counter merges must count each swap once: the residency
+        # manager reports through this replica's first stepper only.
+        steppers[0].residency = residency
+        #: Serialized GPU frontier: the time up to which the accelerator
+        #: is committed (iterations and swap windows of *any* model).
+        self.clock = 0.0
+
+    # -- router-facing views -------------------------------------------
+    @property
+    def outstanding_requests(self) -> int:
+        return sum(s.outstanding_requests for s in self.steppers)
+
+    @property
+    def pending_prefill_tokens(self) -> int:
+        return sum(s.pending_prefill_tokens for s in self.steppers)
+
+    def cached_prefix_tokens(self, request: Request) -> int:
+        return self.by_model[self.resolve_model(request)] \
+            .cached_prefix_tokens(request)
+
+    @property
+    def queue_cost_s(self) -> float:
+        return self.config.queue_cost_s
+
+    def resolve_model(self, request: Request) -> str:
+        """The model this request runs on (fleet default when untagged)."""
+        model = (request.model if request.model is not None
+                 else self.config.default_model)
+        if model not in self.by_model:
+            raise ValueError(
+                f"request {request.request_id} targets model {model!r}, "
+                f"not in this fleet's multiplex set "
+                f"{sorted(self.by_model)}")
+        return model
+
+    def swap_cost_s(self, model: str) -> float:
+        return self.residency.swap_cost_s(model)
+
+    # -- serving --------------------------------------------------------
+    def submit(self, request: Request) -> EngineStepper:
+        """Queue ``request`` on its model's stepper, swapping in if cold.
+
+        A cold model pays its weight transfer as a replica-busy window on
+        the shared clock — priced exactly like an autoscaler cold start —
+        before the stepper may run an iteration for it.
+        """
+        model = self.resolve_model(request)
+        stepper = self.by_model[model]
+        cost = self.residency.ensure_resident(model)
+        if cost > 0.0:
+            stepper.sync_clock(max(self.clock, request.arrival_time))
+            t0 = stepper.charge_busy(cost)
+            self.clock = stepper.now
+            if stepper.tracer is not None:
+                stepper.tracer.model_swap(model, t0, stepper.now)
+        stepper.submit(request)
+        return stepper
+
+    def run_until(self, t: Optional[float] = None) -> None:
+        """Advance the serialized timeline until no stepper can start < ``t``.
+
+        Repeatedly picks the stepper able to start soonest on the shared
+        GPU — its own ready time, but never before the replica's committed
+        frontier — lets it run one step, and folds the outcome back into
+        the frontier.  Ties break toward the lowest model index.
+        ``t=None`` drains everything.
+        """
+        stuck: set = set()
+        while True:
+            best = None
+            for j, stepper in enumerate(self.steppers):
+                if j in stuck:
+                    continue
+                ready = stepper.next_ready_time()
+                if ready is None:
+                    continue
+                start = max(self.clock, ready)
+                if best is None or start < best[0]:
+                    best = (start, j, stepper)
+            if best is None:
+                return
+            start, _, stepper = best
+            if t is not None and start >= t:
+                return
+            stepper.sync_clock(start)
+            if stepper.step(horizon=t):
+                self.clock = max(self.clock, stepper.now)
+            else:
+                # No admissible work on this model before the horizon
+                # (or ever); stop re-polling it this pass.
+                stuck.add(best[1])
+
+    def run(self) -> None:
+        self.run_until(None)
 
 
 # ----------------------------------------------------------------------
@@ -667,7 +849,8 @@ class ClusterEngine:
               scheduling: Optional[SchedulingConfig] = None,
               speculative: Optional[SpeculativeConfig] = None,
               telemetry: Union[None, bool, TelemetryConfig] = None,
-              autoscaler: Optional[AutoscalerConfig] = None
+              autoscaler: Optional[AutoscalerConfig] = None,
+              multiplex: Optional[MultiplexConfig] = None
               ) -> ClusterResult:
         """Serve ``workload`` across the cluster and aggregate the results.
 
@@ -693,9 +876,34 @@ class ClusterEngine:
         scale-downs drain through the migration machinery (decoding
         requests move with their KV state, prefilling ones are recomputed
         elsewhere).  Incompatible with role-specialised replicas.
+
+        ``multiplex`` turns every replica into a multi-model host: a
+        :class:`~repro.serving.multiplex.MultiplexConfig` names the model
+        set, how many may hold weights in HBM at once, and the host link
+        swap-ins are priced over.  Each replica serializes its models on
+        one GPU timeline; routing sees whole replicas (pass
+        ``router="model-aware"`` for warm-first placement) and the result
+        carries one slice per (replica, model) plus a
+        :class:`~repro.serving.multiplex.MultiplexReport`.  Incompatible
+        with roles, heterogeneous ``systems`` and autoscaling.
         """
         if isinstance(router, str):
             router = get_router(router)
+        if multiplex is not None:
+            if autoscaler is not None:
+                raise ValueError(
+                    "multiplexing and autoscaling are mutually exclusive")
+            if self.disaggregated:
+                raise ValueError(
+                    "multiplexing and role-specialised replicas are "
+                    "mutually exclusive; use mixed roles")
+            if self.heterogeneous:
+                raise ValueError(
+                    "multiplexing and per-replica systems are mutually "
+                    "exclusive")
+            return self._serve_multiplexed(workload, router, max_num_seqs,
+                                           scheduling, speculative,
+                                           telemetry, multiplex)
         if autoscaler is not None:
             if self.disaggregated:
                 raise ValueError(
@@ -753,6 +961,117 @@ class ClusterEngine:
             autoscale=autoscale,
             gpus_per_replica=self.engine.tp_degree,
         )
+
+    # ------------------------------------------------------------------
+    # Multiplexed serving
+    # ------------------------------------------------------------------
+    def _multiplex_tracers(self, telemetry: Union[None, bool, TelemetryConfig],
+                           config: MultiplexConfig
+                           ) -> List[Optional[Tracer]]:
+        """One tracer per (replica, model) stepper, flat in replica order.
+
+        Each stepper gets its own trace process named
+        ``replica<i>/<model>`` so a multiplexed Perfetto view separates
+        the co-resident models' iterations and swap windows.
+        """
+        names = [model.name for model in config.models]
+        flat = self.num_replicas * len(names)
+        if telemetry is None or telemetry is False:
+            return [None] * flat
+        if telemetry is True:
+            tconfig = TelemetryConfig()
+        elif isinstance(telemetry, TelemetryConfig):
+            tconfig = telemetry
+        else:
+            raise TypeError(
+                f"cluster telemetry must be None, bool or TelemetryConfig, "
+                f"got {type(telemetry).__name__}")
+        tracers: List[Optional[Tracer]] = []
+        for i in range(self.num_replicas):
+            for name in names:
+                tracers.append(Tracer(tconfig, replica_index=len(tracers),
+                                      replica_name=f"replica{i}/{name}"))
+        return tracers
+
+    def _serve_multiplexed(self, workload: Workload, router: Router,
+                           max_num_seqs: Optional[int],
+                           scheduling: Optional[SchedulingConfig],
+                           speculative: Optional[SpeculativeConfig],
+                           telemetry: Union[None, bool, TelemetryConfig],
+                           config: MultiplexConfig) -> ClusterResult:
+        """Serve a multi-model workload on replicas that multiplex weights.
+
+        Every replica hosts one stepper per model in ``config.models``
+        (engines are shared across replicas per model — the cost model is
+        stateless) plus a :class:`~repro.serving.multiplex.ModelResidency`
+        that accounts weight memory against HBM and prices LRU swap-ins on
+        the shared clock.  The event loop mirrors static serving: advance
+        all replicas to each arrival, route against whole replicas, then
+        drain.  The result lists one slice per (replica, model);
+        ``physical_replicas`` keeps GPU-seconds priced by hardware.
+        """
+        base = self.engine
+        engines: Dict[str, ServingEngine] = {}
+        for model in config.models:
+            if model.name == base.model.name:
+                engines[model.name] = base
+            else:
+                engines[model.name] = ServingEngine(
+                    model, base.gpu, base.system,
+                    max_seq_len=base.max_seq_len, parallel=base.parallel)
+        weight = {name: engine.weight_bytes()
+                  for name, engine in engines.items()}
+        workspace = {
+            name: (engine.weight_bytes_per_gpu()
+                   * engine.system.activation_workspace_factor
+                   + 1.0 * (1 << 30)) * engine.tp_degree
+            for name, engine in engines.items()}
+
+        tracers = self._multiplex_tracers(telemetry, config)
+        replicas: List[_MultiplexReplica] = []
+        steppers_flat: List[EngineStepper] = []
+        engines_flat: List[ServingEngine] = []
+        for i in range(self.num_replicas):
+            residency = ModelResidency(config, base.gpu, weight, workspace,
+                                       tp_degree=base.tp_degree)
+            steppers = []
+            for j, model in enumerate(config.models):
+                stepper = EngineStepper(
+                    engines[model.name], scheduling=scheduling,
+                    max_num_seqs=max_num_seqs, speculative=speculative,
+                    telemetry=tracers[i * len(config.models) + j],
+                    model_name=model.name,
+                    kv_capacity_bytes=residency.kv_pool_bytes())
+                steppers.append(stepper)
+                steppers_flat.append(stepper)
+                engines_flat.append(engines[model.name])
+            replicas.append(_MultiplexReplica(config, steppers, residency))
+
+        assignments: List[List[Request]] = [[] for _ in steppers_flat]
+        requests_by_model: Dict[str, int] = {
+            model.name: 0 for model in config.models}
+        slot = {id(stepper): k for k, stepper in enumerate(steppers_flat)}
+
+        for request in sorted(workload.requests,
+                              key=lambda r: (r.arrival_time, r.request_id)):
+            for replica in replicas:
+                replica.run_until(request.arrival_time)
+            target = router.route(request, replicas)
+            stepper = replicas[target].submit(request)
+            assignments[slot[id(stepper)]].append(request)
+            requests_by_model[replicas[target].resolve_model(request)] += 1
+        for replica in replicas:
+            replica.run()
+
+        result = self._assemble(steppers_flat, assignments,
+                                [0] * len(steppers_flat),
+                                engines=engines_flat,
+                                roles=["mixed"] * len(steppers_flat))
+        result.multiplex = MultiplexReport(
+            replicas=[replica.residency.snapshot() for replica in replicas],
+            requests_by_model=requests_by_model)
+        result.physical_replicas = self.num_replicas
+        return result
 
     # ------------------------------------------------------------------
     # Disaggregated serving

@@ -696,9 +696,21 @@ class EngineStepper:
                  max_num_seqs: Optional[int] = None,
                  migrate_out: bool = False,
                  speculative: Optional[SpeculativeConfig] = None,
-                 telemetry: Union[None, bool, TelemetryConfig, Tracer] = None
+                 telemetry: Union[None, bool, TelemetryConfig, Tracer] = None,
+                 model_name: Optional[str] = None,
+                 kv_capacity_bytes: Optional[float] = None
                  ) -> None:
         self.engine = engine
+        #: Multi-model serving: the model this stepper runs.  Guards
+        #: admission (the scheduler rejects requests tagged for another
+        #: model) and namespaces the prefix cache's block hashes so no two
+        #: models can share KV blocks.  ``None`` (the default) is the
+        #: single-model world, bitwise-identical to before.
+        self.model_name = model_name
+        #: Multiplexed serving attaches the replica's
+        #: :class:`~repro.serving.multiplex.ModelResidency` to exactly one
+        #: of the replica's steppers; counter collection picks it up there.
+        self.residency = None
         #: Telemetry recorder; ``None`` (the default) records nothing and
         #: keeps the loop's hot path free of tracing work beyond one pointer
         #: test per hook site.
@@ -715,10 +727,15 @@ class EngineStepper:
         #: iterations.  The draft model's weights and shadow KV cache come
         #: out of this replica's KV budget, so the page pool shrinks.
         self.spec: Optional[SpeculativeDecoder] = None
-        kv_capacity: Optional[float] = None
+        #: ``kv_capacity_bytes`` overrides the engine memory model's KV
+        #: budget (multiplexed serving carves one pool per resident-capable
+        #: model); the speculative draft reservation then applies on top.
+        kv_capacity: Optional[float] = kv_capacity_bytes
         if speculative is not None:
             self.spec = SpeculativeDecoder(engine, speculative)
-            kv_capacity = self.spec.usable_kv_capacity(engine.kv_capacity_bytes())
+            kv_capacity = self.spec.usable_kv_capacity(
+                engine.kv_capacity_bytes() if kv_capacity_bytes is None
+                else kv_capacity_bytes)
             if hasattr(self.planner, "decode_token_weight"):
                 # A speculating request consumes lookahead + 1 iteration
                 # tokens (its verified block), so the chunked planner's
@@ -739,7 +756,8 @@ class EngineStepper:
                     f"prefix caching requires a paged KV cache; system "
                     f"{engine.system.name!r} is non-paged")
             self.prefix_cache = PrefixCache(
-                kv_manager, demotion=self.scheduling.kv_demotion)
+                kv_manager, demotion=self.scheduling.kv_demotion,
+                namespace=model_name)
         policy = self.scheduling.build_policy()
         if hasattr(policy, "prefix_cache"):
             # Cache-aware policies rank by live cache state.
@@ -751,6 +769,7 @@ class EngineStepper:
             preemption=self.scheduling.preemption,
             prefix_cache=self.prefix_cache,
             tracer=self.tracer,
+            model_name=model_name,
             tier_admission=self.scheduling.tier_admission,
             free_tier_page_headroom=self.scheduling.free_tier_page_headroom,
             free_tier_seq_headroom=self.scheduling.free_tier_seq_headroom,
@@ -815,6 +834,45 @@ class EngineStepper:
         nodes, tokens = self.prefix_cache.match(request)
         self.prefix_cache.acquire(request, nodes, count_stats=False)
         return tokens
+
+    # -- multiplexed-replica hooks --------------------------------------
+    def sync_clock(self, t: float) -> None:
+        """Advance the idle clock to ``t`` (never backwards).
+
+        Multiplexed serving serializes one replica's per-model steppers on
+        one GPU timeline: while a sibling model's iteration (or a weight
+        swap) ran, this stepper was stalled, so its clock must not lag the
+        replica clock when it next executes.  Pure idle time — busy-seconds
+        are untouched.
+        """
+        if t > self.now:
+            self.now = t
+
+    def charge_busy(self, seconds: float) -> float:
+        """Occupy the replica for ``seconds`` (e.g. a weight swap-in).
+
+        Advances the clock and busy-time without running an iteration;
+        returns the window's start time so callers can record a span.
+        """
+        t0 = self.now
+        self.now += seconds
+        self.busy_s += seconds
+        return t0
+
+    def next_ready_time(self) -> Optional[float]:
+        """Earliest instant this stepper could execute work.
+
+        ``now`` when something is running (or an arrived request waits),
+        the head waiting request's availability otherwise, ``None`` when
+        the stepper is fully drained.  The multiplexed replica loop uses
+        this to pick which model's stepper owns the GPU next.
+        """
+        scheduler = self.scheduler
+        if scheduler.running:
+            return self.now
+        if not scheduler.waiting:
+            return None
+        return max(self.now, scheduler.waiting[0].available_time)
 
     # ------------------------------------------------------------------
     def step(self, horizon: Optional[float] = None) -> bool:

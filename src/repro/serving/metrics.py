@@ -58,6 +58,9 @@ class RequestMetrics:
     #: workloads carry the defaults.
     tenant: Optional[str] = None
     tier: str = "paid"
+    #: Multi-model serving: the model that served the request; ``None`` on
+    #: single-model engines (untagged workloads).
+    model: Optional[str] = None
 
     @property
     def ttft(self) -> float:
@@ -137,6 +140,7 @@ class RequestMetrics:
             served_precision_bits=request.served_precision_bits,
             tenant=request.tenant,
             tier=request.tier,
+            model=request.model,
         )
 
 
@@ -339,6 +343,17 @@ class ServingMetrics:
         """
         return self._split(lambda r: r.tenant if r.tenant is not None else "-")
 
+    def by_model(self) -> "dict[str, ServingMetrics]":
+        """Per-model metrics, keyed by model name (sorted).
+
+        Each value is a full :class:`ServingMetrics` over that model's
+        finished requests, so per-model SLO attainment and goodput come for
+        free — the breakout capacity planning reads to decide which models
+        should share a fleet.  Untagged requests (single-model engines)
+        group under the ``"-"`` pseudo-model.
+        """
+        return self._split(lambda r: r.model if r.model is not None else "-")
+
     def _split(self, key) -> "dict[str, ServingMetrics]":
         groups: "dict[str, List[RequestMetrics]]" = {}
         for request in self.requests:
@@ -406,5 +421,12 @@ class ServingMetrics:
                        "ttft": metrics.ttft.to_json(),
                        "tpot": metrics.tpot.to_json()}
                 for tier, metrics in self.by_tier().items()
+            },
+            "by_model": {
+                model: {"num_requests": len(metrics),
+                        "ttft": metrics.ttft.to_json(),
+                        "tpot": metrics.tpot.to_json()}
+                for model, metrics in self.by_model().items()
+                if model != "-"
             },
         }

@@ -61,7 +61,8 @@ __all__ = ["prompt_block_keys", "PrefixCacheStats", "PrefixCache"]
 _ROOT_KEY = 0
 
 
-def prompt_block_keys(request: Request, page_size: int) -> List[int]:
+def prompt_block_keys(request: Request, page_size: int,
+                      namespace: Optional[str] = None) -> List[int]:
     """Chained content hashes of the request's *complete* prompt blocks.
 
     Block ``i`` covers prompt tokens ``[i * page_size, (i + 1) * page_size)``
@@ -70,7 +71,14 @@ def prompt_block_keys(request: Request, page_size: int) -> List[int]:
     block hashing).  The trailing partial block, and requests without
     ``prompt_segments``, produce no keys — their KV state is never shared.
     Content ids and offsets are plain integers, so keys are deterministic
-    across processes (no string-hash randomization).
+    across processes (no string-hash randomization; namespaces are hashed
+    through the same integer chain via their characters' code points).
+
+    ``namespace`` salts the chain's root: multi-model serving passes the
+    model name so byte-identical prompts produce disjoint key chains per
+    model — KV state encodes model activations, so cross-model block
+    adoption would be silently wrong.  ``None`` (the default) keeps the
+    historical unsalted chain.
     """
     if request.prompt_segments is None:
         return []
@@ -95,6 +103,8 @@ def prompt_block_keys(request: Request, page_size: int) -> List[int]:
             break
     keys: List[int] = []
     parent = _ROOT_KEY
+    if namespace is not None:
+        parent = hash((_ROOT_KEY, tuple(ord(c) for c in namespace)))
     for block in blocks:
         parent = hash((parent, block))
         keys.append(parent)
@@ -165,9 +175,14 @@ class PrefixCache:
     """
 
     def __init__(self, kv_manager: PagedKVCacheManager,
-                 demotion: bool = False) -> None:
+                 demotion: bool = False,
+                 namespace: Optional[str] = None) -> None:
         self.kv_manager = kv_manager
         self.page_size = kv_manager.page_size
+        #: Key-chain salt (see :func:`prompt_block_keys`); multi-model
+        #: serving sets it to the model name so no two models' caches can
+        #: ever produce — let alone adopt — each other's block keys.
+        self.namespace = namespace
         #: Demote cold blocks to 4-bit before evicting.  Silently off on
         #: systems where the demoted tier saves no bytes (native KV4) or
         #: that lack paged KV — demotion would be a pure no-op there.
@@ -232,10 +247,10 @@ class PrefixCache:
         affinity router probe the same request many times per run.
         """
         cached = getattr(request, "_block_keys_cache", None)
-        if cached is not None and cached[0] == self.page_size:
+        if cached is not None and cached[0] == (self.page_size, self.namespace):
             return cached[1]
-        keys = prompt_block_keys(request, self.page_size)
-        request._block_keys_cache = (self.page_size, keys)
+        keys = prompt_block_keys(request, self.page_size, self.namespace)
+        request._block_keys_cache = ((self.page_size, self.namespace), keys)
         return keys
 
     def _walk(self, keys: List[int]) -> List[_RadixNode]:

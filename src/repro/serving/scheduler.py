@@ -110,6 +110,12 @@ class ContinuousBatchingScheduler:
     #: Every hook below sits behind an ``is not None`` guard, so an untraced
     #: scheduler pays one pointer test per call site at most.
     tracer: Optional["Tracer"] = None
+    #: Multi-model serving: the model whose weights every batch iteration of
+    #: this scheduler runs.  ``None`` (single-model) admits any request;
+    #: otherwise submission rejects requests tagged for a different model —
+    #: one scheduler's batch can only ever execute its own resident model,
+    #: so a mistagged request would silently produce another model's tokens.
+    model_name: Optional[str] = None
     #: Clock of the current scheduling pass, stashed by :meth:`admit` for the
     #: hooks on methods that do not receive ``now`` (preemption, export) —
     #: both run at the same simulated instant as the admission pass.
@@ -122,6 +128,14 @@ class ContinuousBatchingScheduler:
         requests additionally wait for their KV transfer to land
         (:attr:`Request.available_time`).
         """
+        if self.model_name is not None:
+            for request in requests:
+                if request.model is not None \
+                        and request.model != self.model_name:
+                    raise ValueError(
+                        f"request {request.request_id} targets model "
+                        f"{request.model!r}; this scheduler batches "
+                        f"{self.model_name!r}")
         if self.tracer is not None:
             for request in requests:
                 self.tracer.request_queued(request)

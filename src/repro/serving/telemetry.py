@@ -242,6 +242,16 @@ def collect_counters(stepper) -> CounterRegistry:
         reg.set("spec_committed_tokens_total", s.committed_tokens)
         reg.set("spec_draft_seconds_total", s.draft_time_s)
         reg.set("spec_verify_seconds_total", s.verify_time_s)
+    # Multi-model multiplexing: the serving loop attaches each replica's
+    # residency manager to exactly one of its steppers, so fleet-level
+    # merges count every swap once.
+    residency = getattr(stepper, "residency", None)
+    if residency is not None:
+        reg.set("multiplex_swap_ins_total", residency.swap_ins)
+        reg.set("multiplex_swap_outs_total", residency.swap_outs)
+        reg.set("multiplex_swap_seconds_total", residency.swap_in_s)
+        reg.set("multiplex_resident_models", len(residency.resident),
+                kind="gauge")
     return reg
 
 
@@ -276,6 +286,9 @@ class Tracer:
         self.events: List[Tuple] = []
         self.iterations: List[Tuple] = []
         self.series: List[Tuple] = []
+        #: Model weight swap-in windows ``(t0, t1, model)`` — multiplexed
+        #: serving only; empty lists add nothing to exported traces.
+        self.swaps: List[Tuple] = []
         self.counters: Optional[CounterRegistry] = None
         #: Largest simulated timestamp seen; closes dangling spans at export.
         self.clock = 0.0
@@ -346,6 +359,14 @@ class Tracer:
         if self._spans:
             self.events.append((now, "dequant", request.request_id, tokens,
                                 seconds))
+
+    def model_swap(self, model: str, t0: float, t1: float) -> None:
+        """A weight swap-in of ``model`` held the replica busy over
+        ``[t0, t1]`` (multiplexed serving)."""
+        if self._spans:
+            self.swaps.append((t0, t1, model))
+            if t1 > self.clock:
+                self.clock = t1
 
     def request_finished(self, request, now: float) -> None:
         """Final token committed; capture the exact latency timestamps.
@@ -478,6 +499,15 @@ class Tracer:
                          "free_pages": free_pages,
                          "kv_utilization": kv_util,
                          "queue_depth": queue_depth}})
+        # Weight swap-in windows share the GPU-timeline thread with the
+        # iterations they delayed; absent (every single-model run) the
+        # exported trace is byte-identical to the pre-multiplexing format.
+        for t0, t1, model in self.swaps:
+            events.append({
+                "ph": "X", "pid": pid, "tid": 1, "ts": t0 * _US,
+                "dur": (t1 - t0) * _US, "cat": "swap",
+                "name": f"swap:{model}",
+                "args": {"model": model, "seconds": t1 - t0}})
         for t, queue_depth, running, kv_util, free_pages, finished in self.series:
             for name, value in (("queue_depth", queue_depth),
                                 ("running", running),

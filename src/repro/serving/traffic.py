@@ -12,6 +12,9 @@ the open-loop traffic sources a capacity-planning study needs:
 * :func:`make_flash_crowd_workload` — piecewise-constant rates: a baseline
   Poisson process overlaid with step/spike segments (e.g. a 10x spike for
   30 s), the trace behind "minimum GPUs to hold p99 TTFT under a spike";
+* :func:`make_multi_model_workload` — Poisson arrivals whose requests are
+  stamped with models drawn from a popularity mix (e.g. 80/20 across two
+  registry models), the skewed trace multiplexing studies replay;
 * :func:`load_trace` / :func:`save_trace` — a JSONL trace format
   (``arrival_s``, prompt/output tokens, ``tenant``, ``tier``, ``model``) so
   recorded or hand-authored traces can drive the engine reproducibly;
@@ -34,6 +37,7 @@ from typing import IO, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.model.config import MODEL_REGISTRY
 from repro.serving.request import (
     _OUTPUT_LOGNORMAL,
     _PROMPT_LOGNORMAL,
@@ -49,6 +53,7 @@ __all__ = [
     "assign_tenants",
     "make_diurnal_workload",
     "make_flash_crowd_workload",
+    "make_multi_model_workload",
     "load_trace",
     "save_trace",
 ]
@@ -257,6 +262,56 @@ def make_flash_crowd_workload(num_requests: int,
                   tenants, free_fraction, seed + 1)
 
 
+def make_multi_model_workload(num_requests: int,
+                              models: Sequence[str],
+                              weights: Optional[Sequence[float]] = None,
+                              arrival_rate: float = 8.0,
+                              prompt_len: Optional[int] = None,
+                              output_len: Optional[int] = None,
+                              tenants: Optional[Union[int, Sequence[TenantSpec]]] = None,
+                              free_fraction: float = 0.5,
+                              seed: int = 0) -> Workload:
+    """Poisson arrivals tagged with models drawn from a popularity mix.
+
+    ``models`` names the registry models requests may target; ``weights``
+    gives their relative popularity (uniform when omitted) — the skewed
+    two-model trace of the multiplexing studies is
+    ``models=("llama-2-7b", "llama-2-13b"), weights=(0.8, 0.2)``.  Model
+    names are validated against the registry with the same contract as
+    :func:`load_trace`.  Lengths default to the ShareGPT-like lognormal
+    mixes; ``tenants`` stamps the result via :func:`assign_tenants`.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if not models:
+        raise ValueError("models must be non-empty")
+    for name in models:
+        if name not in MODEL_REGISTRY:
+            raise ValueError(f"unknown model {name!r}")
+    probs = None
+    if weights is not None:
+        if len(weights) != len(models):
+            raise ValueError(
+                f"weights has {len(weights)} entries for "
+                f"{len(models)} models")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative with a "
+                             "positive sum")
+        total = float(sum(weights))
+        probs = [w / total for w in weights]
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, num_requests))
+    workload = _build(rng, [float(t) for t in arrivals],
+                      prompt_len, output_len,
+                      tenants, free_fraction, seed + 1)
+    picks = rng.choice(len(models), size=num_requests, p=probs)
+    for request, pick in zip(workload.requests, picks):
+        request.model = models[int(pick)]
+    return workload
+
+
 #: JSONL trace schema: required and optional per-line fields.
 _TRACE_REQUIRED = ("arrival_s", "prompt_tokens", "output_tokens")
 _TRACE_OPTIONAL = ("tenant", "tier", "model")
@@ -293,6 +348,10 @@ def load_trace(source: Union[str, Path, IO[str], Iterable[str]]) -> Workload:
         tier = record.get("tier", "paid")
         if tier not in TIERS:
             raise ValueError(f"trace line {lineno}: unknown tier {tier!r}")
+        model = record.get("model")
+        if model is not None and model not in MODEL_REGISTRY:
+            raise ValueError(
+                f"trace line {lineno}: unknown model {model!r}")
         records.append((float(record["arrival_s"]), lineno, record, tier))
     records.sort(key=lambda item: (item[0], item[1]))
     requests = [

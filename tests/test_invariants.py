@@ -6,8 +6,8 @@ container has no ``hypothesis``) samples serving scenarios across the whole
 feature matrix — workload shape, scheduling preset (chunked prefill,
 preemption, prefix caching, SLO tiers, shedding), speculative decoding,
 single engine vs. static cluster vs. autoscaled fleet vs. disaggregated
-prefill/decode — and every scenario is checked against the invariants that
-must hold for *any* knob combination:
+prefill/decode vs. multiplexed multi-model fleet — and every scenario is
+checked against the invariants that must hold for *any* knob combination:
 
 * **Termination** — every request ends terminal (finished or dropped),
   the scheduler drains (no waiting/running leftovers), and the per-state
@@ -21,6 +21,11 @@ must hold for *any* knob combination:
   arrival) and no request finishes after the run's makespan.
 * **Counter sanity** — every counter in the unified registry snapshot is
   non-negative, for every replica of every topology.
+* **Multiplex residency** — on multiplexed fleets, HBM conservation holds
+  (weight budget + per-model KV pools fit the GPU, resident weights never
+  exceed the budget or the residency limit) and no (replica, model) slice
+  ever batched another model's requests — the observable face of
+  model-namespaced prefix caching and admission.
 
 A failing seed is a one-line repro: ``pytest tests/test_invariants.py -k
 <seed>`` rebuilds the identical scenario.
@@ -34,6 +39,7 @@ from repro.model import get_config
 from repro.serving import (
     AutoscalerConfig,
     ClusterEngine,
+    MultiplexConfig,
     RequestState,
     SCHEDULING_PRESETS,
     ServingEngine,
@@ -51,8 +57,9 @@ MODEL = get_config("llama-2-7b")
 SYSTEM = get_system("qserve-w4a8kv4-chn")
 
 #: Scenario count (acceptance floor: 25).  Seeds are the test IDs, so a
-#: failure reproduces with ``-k scenario25``.
-NUM_SCENARIOS = 28
+#: failure reproduces with ``-k scenario25``.  Seeds 0-27 cycle the four
+#: historical topologies; 28+ run multiplexed multi-model fleets.
+NUM_SCENARIOS = 36
 
 #: Scheduling presets the generator samples; ``None`` is the legacy
 #: stall-prefill path.  Disaggregation requires chunk-capable planners.
@@ -110,7 +117,10 @@ def _sample_scenario(seed: int):
     other knob is sampled from the seeded generator.
     """
     rng = np.random.default_rng(0xC0FFEE + seed)
-    topology = ("engine", "cluster", "autoscale", "disagg")[seed % 4]
+    if seed < 28:
+        topology = ("engine", "cluster", "autoscale", "disagg")[seed % 4]
+    else:
+        topology = "multiplex"
     workload = _sample_workload(rng)
     preset_pool = _DISAGG_PRESETS if topology == "disagg" else _PRESETS
     preset = preset_pool[int(rng.integers(0, len(preset_pool)))]
@@ -118,6 +128,17 @@ def _sample_scenario(seed: int):
             r.tenant for r in workload.requests):
         assign_tenants(workload, tenants=4, free_fraction=0.5,
                        seed=int(rng.integers(0, 2**31)))
+    multiplex = None
+    if topology == "multiplex":
+        # Skewed two-model mix over the sampled workload; residency limit
+        # 1 forces swaps, 2 fits both models warm.
+        names = (MODEL.name, "llama-2-13b")
+        picks = rng.choice(2, size=len(workload.requests), p=[0.7, 0.3])
+        for request, pick in zip(workload.requests, picks):
+            request.model = names[int(pick)]
+        multiplex = MultiplexConfig(
+            models=(MODEL, get_config("llama-2-13b")),
+            max_resident_models=int(rng.integers(1, 3)))
     speculative = None
     if topology in ("engine", "cluster") and rng.random() < 0.3:
         speculative = SpeculativeConfig(
@@ -135,6 +156,7 @@ def _sample_scenario(seed: int):
         "prefix_on": preset == "prefix-aware",
         "speculative": speculative,
         "max_num_seqs": max_num_seqs,
+        "multiplex": multiplex,
         "rng": rng,
     }
 
@@ -155,6 +177,18 @@ def _run_scenario(seed: int):
                               scheduling=sc["scheduling"],
                               speculative=sc["speculative"])
         return sc, result, [result.counters.as_dict()]
+    if sc["topology"] == "multiplex":
+        num_replicas = int(rng.integers(2, 4))
+        cluster = ClusterEngine(MODEL, A100, SYSTEM,
+                                num_replicas=num_replicas, max_seq_len=2048)
+        router = ("model-aware",
+                  "least-outstanding")[int(rng.integers(0, 2))]
+        result = cluster.serve(sc["workload"], router=router,
+                               max_num_seqs=sc["max_num_seqs"],
+                               scheduling=sc["scheduling"],
+                               multiplex=sc["multiplex"])
+        return sc, result, [r.counters.as_dict()
+                            for r in result.replica_results]
     kwargs = {}
     if sc["topology"] == "disagg":
         roles_pool = (["prefill", "decode"],
@@ -265,6 +299,30 @@ def _check_autoscale(result) -> None:
         assert event.time_s >= 0.0
 
 
+def _check_multiplex(sc, result) -> None:
+    report = getattr(result, "multiplex", None)
+    if report is None:
+        return
+    config = sc["multiplex"]
+    capacity = float(A100.memory_bytes)
+    for snap in report.replicas:
+        # HBM conservation: the weight budget (peak weights + workspace)
+        # plus every model's carved KV pool must fit the GPU.
+        assert snap.weight_budget_bytes \
+            + snap.kv_pool_bytes * len(config.models) <= capacity + _EPS
+        assert snap.peak_resident_bytes <= snap.weight_budget_bytes + _EPS
+        assert 1 <= len(snap.resident) <= config.resident_limit
+        assert snap.swap_outs <= snap.swap_ins
+        assert snap.swap_in_s >= 0.0
+    # Per-model isolation: every (replica, model) slice batched only its
+    # own model's requests — cross-model adoption would mix the tags.
+    for slice_ in result.replica_results:
+        models = {m.model for m in slice_.metrics.requests}
+        assert len(models) <= 1, f"mixed models in one slice: {models}"
+    assert sum(report.requests_by_model.values()) == len(
+        sc["workload"].requests)
+
+
 # ----------------------------------------------------------------------
 # The suite: every scenario, every invariant
 # ----------------------------------------------------------------------
@@ -278,13 +336,18 @@ def test_invariants(seed):
     _check_kv_conservation(sc, counters)
     _check_counters_nonnegative(counters)
     _check_autoscale(result)
+    _check_multiplex(sc, result)
 
 
 def test_generator_covers_feature_matrix():
     """The sampled scenarios actually exercise the knobs they claim to."""
     scenarios = [_sample_scenario(seed) for seed in range(NUM_SCENARIOS)]
     topologies = {sc["topology"] for sc in scenarios}
-    assert topologies == {"engine", "cluster", "autoscale", "disagg"}
+    assert topologies == {"engine", "cluster", "autoscale", "disagg",
+                          "multiplex"}
+    resident_limits = {sc["multiplex"].resident_limit for sc in scenarios
+                       if sc["multiplex"] is not None}
+    assert resident_limits == {1, 2}
     presets = {sc["preset"] for sc in scenarios}
     assert len(presets) >= 4
     assert any(sc["speculative"] is not None for sc in scenarios)

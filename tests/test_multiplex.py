@@ -1,0 +1,330 @@
+"""Tests for multi-model multiplexing: residency accounting, swap pricing,
+model-namespaced prefix caching, the model-aware router, per-model metrics
+breakouts and the multiplexed serving path."""
+
+import pytest
+
+from repro.gpu import A100, PCIE_GEN4
+from repro.model import get_config
+from repro.serving import (
+    AutoscalerConfig,
+    ClusterEngine,
+    ContinuousBatchingScheduler,
+    MultiplexConfig,
+    ModelResidency,
+    Request,
+    RequestState,
+    ServingEngine,
+    Workload,
+    get_router,
+    get_system,
+    load_trace,
+    make_multi_model_workload,
+    make_uniform_workload,
+    prompt_block_keys,
+    weight_transfer_s,
+)
+
+M7 = get_config("llama-2-7b")
+M13 = get_config("llama-2-13b")
+SYSTEM = get_system("trt-fp16")
+
+GIB = 1 << 30
+
+
+def _residency(max_resident=1, **kwargs):
+    config = MultiplexConfig(models=(M7, M13),
+                             max_resident_models=max_resident, **kwargs)
+    weights = {M7.name: 13.0 * GIB, M13.name: 25.0 * GIB}
+    workspace = {M7.name: 2.0 * GIB, M13.name: 3.0 * GIB}
+    return config, ModelResidency(config, A100, weights, workspace)
+
+
+# ----------------------------------------------------------------------
+# MultiplexConfig
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MultiplexConfig(models=())
+    with pytest.raises(ValueError):
+        MultiplexConfig(models=(M7, M7))
+    with pytest.raises(ValueError):
+        MultiplexConfig(models=(M7, M13), max_resident_models=0)
+    with pytest.raises(ValueError):
+        MultiplexConfig(models=(M7,), preload=("nope",))
+    with pytest.raises(ValueError):
+        MultiplexConfig(models=(M7, M13), queue_cost_s=-1.0)
+
+
+def test_config_defaults():
+    config = MultiplexConfig(models=(M7, M13))
+    assert config.resident_limit == 2
+    assert config.default_model == M7.name
+    assert config.preload_names() == (M7.name,)
+    assert config.model_names == (M7.name, M13.name)
+
+
+# ----------------------------------------------------------------------
+# ModelResidency
+# ----------------------------------------------------------------------
+def test_residency_lru_swapping():
+    _, res = _residency(max_resident=1)
+    assert res.resident == [M7.name]
+    assert res.is_resident(M7.name)
+    cost = res.ensure_resident(M13.name)
+    assert cost > 0.0
+    assert res.resident == [M13.name]
+    assert res.swap_ins == 1 and res.swap_outs == 1
+    # Warm hit: no cost, no new swap.
+    assert res.ensure_resident(M13.name) == 0.0
+    assert res.swap_ins == 1
+    back = res.ensure_resident(M7.name)
+    assert back > 0.0
+    assert res.swap_ins_by_model == {M13.name: 1, M7.name: 1}
+
+
+def test_residency_lru_order_tracks_recency():
+    _, res = _residency(max_resident=2)
+    res.ensure_resident(M13.name)
+    assert res.resident == [M7.name, M13.name]
+    # Touching the LRU model makes it MRU; nothing is evicted at limit 2.
+    res.ensure_resident(M7.name)
+    assert res.resident == [M13.name, M7.name]
+    assert res.swap_outs == 0
+
+
+def test_swap_cost_matches_autoscaler_cold_start():
+    """S2: residency swap-ins and autoscaler cold starts share one price."""
+    config, res = _residency(max_resident=1, provision_s=0.25)
+    auto = AutoscalerConfig(min_replicas=1, max_replicas=2,
+                            host_link=config.host_link, provision_s=0.25)
+    weights = res.weight_bytes[M13.name]
+    expected = weight_transfer_s(weights, config.host_link, 0.25)
+    assert res.swap_cost_s(M13.name) == expected
+    assert auto.cold_start_s(weights) == expected
+    assert res.swap_cost_s(M7.name) == 0.0  # warm
+
+
+def test_residency_hbm_accounting():
+    _, res = _residency(max_resident=1)
+    # Budget sized for the single largest footprint (25 + 3 GiB).
+    assert res.weight_budget_bytes == 28.0 * GIB
+    assert res.kv_pool_bytes() == (res.hbm_capacity_bytes - 28.0 * GIB) / 2
+    res.ensure_resident(M13.name)
+    assert res.peak_resident_bytes <= res.weight_budget_bytes
+    assert res.reserved_bytes() <= res.hbm_capacity_bytes
+
+
+def test_residency_rejects_oversubscribed_hbm():
+    config = MultiplexConfig(models=(M7, M13))
+    weights = {M7.name: 50.0 * GIB, M13.name: 40.0 * GIB}
+    workspace = {M7.name: 2.0 * GIB, M13.name: 2.0 * GIB}
+    with pytest.raises(ValueError, match="leave no KV memory"):
+        ModelResidency(config, A100, weights, workspace)
+
+
+def test_residency_unknown_model():
+    _, res = _residency()
+    with pytest.raises(KeyError):
+        res.ensure_resident("mystery-model")
+
+
+# ----------------------------------------------------------------------
+# Model-namespaced prefix caching
+# ----------------------------------------------------------------------
+def test_prefix_keys_namespaced_by_model():
+    request = Request(request_id=0, prompt_len=256, output_len=8,
+                      arrival_time=0.0)
+    plain = prompt_block_keys(request, 16)
+    a = prompt_block_keys(request, 16, namespace=M7.name)
+    b = prompt_block_keys(request, 16, namespace=M13.name)
+    assert len(plain) == len(a) == len(b)
+    # No block hash is shared across models, nor with the unsalted chain.
+    assert not set(a) & set(b)
+    assert not set(plain) & set(a)
+    # Same namespace, same keys: sharing within a model still works.
+    again = Request(request_id=1, prompt_len=256, output_len=8,
+                    arrival_time=0.0)
+    assert prompt_block_keys(again, 16, namespace=M7.name) == a
+
+
+# ----------------------------------------------------------------------
+# Scheduler admission guard
+# ----------------------------------------------------------------------
+def test_scheduler_rejects_mistagged_requests():
+    engine = ServingEngine(M7, A100, SYSTEM)
+    scheduler = ContinuousBatchingScheduler(kv_manager=engine.new_kv_manager(),
+                                            max_num_seqs=4,
+                                            model_name=M7.name)
+    wrong = Request(request_id=0, prompt_len=32, output_len=4,
+                    arrival_time=0.0, model=M13.name)
+    with pytest.raises(ValueError, match="targets model"):
+        scheduler.submit([wrong])
+    # Untagged and correctly tagged requests are both admitted.
+    scheduler.submit([Request(request_id=1, prompt_len=32, output_len=4,
+                              arrival_time=0.0),
+                      Request(request_id=2, prompt_len=32, output_len=4,
+                              arrival_time=0.0, model=M7.name)])
+
+
+# ----------------------------------------------------------------------
+# Model-aware router
+# ----------------------------------------------------------------------
+class _FakeReplica:
+    def __init__(self, swap_cost, outstanding):
+        self._swap_cost = swap_cost
+        self.outstanding_requests = outstanding
+        self.queue_cost_s = 0.05
+
+    def swap_cost_s(self, model):
+        return self._swap_cost
+
+    def resolve_model(self, request):
+        return request.model or M7.name
+
+
+def test_model_aware_router_prefers_warm_replicas():
+    router = get_router("model-aware")
+    request = Request(request_id=0, prompt_len=32, output_len=4,
+                      arrival_time=0.0, model=M7.name)
+    warm_busy = _FakeReplica(swap_cost=0.0, outstanding=6)
+    cold_idle = _FakeReplica(swap_cost=1.0, outstanding=0)
+    assert router.route(request, [cold_idle, warm_busy]) == 1
+    # ...until the warm queue outweighs the swap: 0.05 * 30 > 1.0.
+    warm_swamped = _FakeReplica(swap_cost=0.0, outstanding=30)
+    assert router.route(request, [cold_idle, warm_swamped]) == 0
+
+
+def test_model_aware_router_degrades_to_least_outstanding():
+    cluster = ClusterEngine(M7, A100, SYSTEM, num_replicas=2)
+    wl = make_uniform_workload(num_requests=12, prompt_len=64, output_len=8,
+                               arrival_rate=None, seed=3)
+    baseline = cluster.serve(wl.copy_fresh(), router="least-outstanding")
+    viaaware = cluster.serve(wl.copy_fresh(), router="model-aware")
+    assert baseline.requests_per_replica == viaaware.requests_per_replica
+    assert baseline.metrics.ttft.p99 == viaaware.metrics.ttft.p99
+
+
+# ----------------------------------------------------------------------
+# Multiplexed serving end to end
+# ----------------------------------------------------------------------
+def _serve_multiplexed(**overrides):
+    wl = make_multi_model_workload(
+        60, models=(M7.name, M13.name), weights=(0.8, 0.2),
+        arrival_rate=12.0, prompt_len=128, output_len=32, seed=5)
+    cluster = ClusterEngine(M7, A100, SYSTEM, num_replicas=2)
+    kwargs = dict(router="model-aware", max_num_seqs=8,
+                  multiplex=MultiplexConfig(models=(M7, M13),
+                                            max_resident_models=1))
+    kwargs.update(overrides)
+    return cluster.serve(wl, **kwargs)
+
+
+def test_multiplexed_serving_end_to_end():
+    result = _serve_multiplexed()
+    assert result.num_finished == 60
+    assert result.multiplex is not None
+    assert result.multiplex.swap_ins >= 1
+    assert result.multiplex.swap_in_s > 0.0
+    assert sum(result.multiplex.requests_by_model.values()) == 60
+    # GPU-seconds price physical replicas, not (replica, model) slices.
+    assert result.num_replicas == 4
+    assert result.physical_replicas == 2
+    assert result.gpu_seconds == pytest.approx(2 * result.total_time_s)
+
+
+def test_multiplexed_by_model_breakouts():
+    result = _serve_multiplexed()
+    by_model = result.metrics.by_model()
+    assert set(by_model) == {M7.name, M13.name}
+    assert sum(len(m.requests) for m in by_model.values()) == 60
+    for metrics in by_model.values():
+        assert metrics.ttft.p50 > 0.0
+    payload = result.metrics.to_json()["by_model"]
+    assert set(payload) == {M7.name, M13.name}
+
+
+def test_multiplexed_swap_counters_and_spans():
+    result = _serve_multiplexed(telemetry=True)
+    counters = result.counters().as_dict()
+    assert counters["multiplex_swap_ins_total"] == result.multiplex.swap_ins
+    assert counters["multiplex_swap_seconds_total"] == pytest.approx(
+        result.multiplex.swap_in_s)
+    swaps = [e for e in result.chrome_trace()["traceEvents"]
+             if e.get("cat") == "swap"]
+    assert len(swaps) == result.multiplex.swap_ins
+    assert all(e["name"].startswith("swap:") for e in swaps)
+
+
+def test_multiplexed_serving_is_deterministic():
+    a, b = _serve_multiplexed(), _serve_multiplexed()
+    assert a.multiplex.swap_ins == b.multiplex.swap_ins
+    assert a.metrics.ttft.p99 == b.metrics.ttft.p99
+    assert a.requests_per_replica == b.requests_per_replica
+
+
+def test_multiplex_mutually_exclusive_modes():
+    cluster = ClusterEngine(M7, A100, SYSTEM, num_replicas=2)
+    wl = make_uniform_workload(num_requests=4, prompt_len=32, output_len=4,
+                               arrival_rate=None, seed=0)
+    config = MultiplexConfig(models=(M7, M13))
+    with pytest.raises(ValueError, match="autoscaling"):
+        cluster.serve(wl, multiplex=config,
+                      autoscaler=AutoscalerConfig(min_replicas=1,
+                                                  max_replicas=2))
+    disagg = ClusterEngine(M7, A100, SYSTEM, num_replicas=2,
+                           roles=["prefill", "decode"])
+    with pytest.raises(ValueError, match="role-specialised"):
+        disagg.serve(wl, multiplex=config)
+
+
+def test_multiplexed_rejects_unknown_model():
+    wl = Workload(requests=[Request(request_id=0, prompt_len=32, output_len=4,
+                                    arrival_time=0.0, model="yi-34b")])
+    cluster = ClusterEngine(M7, A100, SYSTEM, num_replicas=1)
+    with pytest.raises(ValueError, match="multiplex set"):
+        cluster.serve(wl, multiplex=MultiplexConfig(models=(M7, M13)))
+
+
+def test_single_model_config_serves_untagged_workloads():
+    wl = make_uniform_workload(num_requests=8, prompt_len=64, output_len=8,
+                               arrival_rate=8.0, seed=2)
+    cluster = ClusterEngine(M7, A100, SYSTEM, num_replicas=2)
+    result = cluster.serve(wl, router="model-aware",
+                           multiplex=MultiplexConfig(models=(M7,)))
+    assert result.num_finished == 8
+    assert result.multiplex.swap_ins == 0
+    assert result.multiplex.requests_by_model == {M7.name: 8}
+
+
+# ----------------------------------------------------------------------
+# Traffic: model tags in traces and the multi-model generator
+# ----------------------------------------------------------------------
+def test_load_trace_rejects_unknown_model():
+    lines = [
+        '{"arrival_s": 0.0, "prompt_tokens": 8, "output_tokens": 2}',
+        '{"arrival_s": 0.5, "prompt_tokens": 8, "output_tokens": 2, '
+        '"model": "gpt-17"}',
+    ]
+    with pytest.raises(ValueError, match="trace line 2: unknown model"):
+        load_trace(lines)
+
+
+def test_load_trace_accepts_registered_model():
+    lines = ['{"arrival_s": 0.0, "prompt_tokens": 8, "output_tokens": 2, '
+             f'"model": "{M13.name}"}}']
+    wl = load_trace(lines)
+    assert wl.requests[0].model == M13.name
+
+
+def test_make_multi_model_workload_mix_and_validation():
+    wl = make_multi_model_workload(400, models=(M7.name, M13.name),
+                                   weights=(0.9, 0.1), seed=4)
+    counts = {M7.name: 0, M13.name: 0}
+    for r in wl.requests:
+        counts[r.model] += 1
+    assert counts[M7.name] > counts[M13.name] * 4
+    with pytest.raises(ValueError, match="unknown model"):
+        make_multi_model_workload(4, models=("nope",))
+    with pytest.raises(ValueError):
+        make_multi_model_workload(4, models=(M7.name,), weights=(0.5, 0.5))

@@ -7,8 +7,8 @@ of serving scenarios — legacy Table 4 throughput, chunked prefill with
 preemption, prefix-cache chat, a multi-replica cluster, disaggregated
 prefill/decode, speculative decoding, a heterogeneous mixed-precision fleet,
 KV-cache demotion under memory pressure, diurnal multi-tenant traffic with
-tier-aware admission and a flash-crowd autoscaled fleet — and emits a JSON
-fingerprint
+tier-aware admission, a flash-crowd autoscaled fleet and a multiplexed
+multi-model fleet — and emits a JSON fingerprint
 in which every float is hex-encoded (``float.hex()``: exact, no rounding)
 and every per-request metrics stream is hashed.
 
@@ -259,6 +259,31 @@ def build_fingerprint() -> Dict[str, object]:
                          for e in r.autoscale.events],
         "windows": [[[_hx(w[0]), _hx(w[1])] for w in slot]
                     for slot in r.autoscale.windows],
+    }
+
+    # 11. Multiplexed multi-model fleet (residency, swap pricing, routing).
+    from repro.serving import MultiplexConfig, make_multi_model_workload
+    llama13b = get_config("llama-2-13b")
+    cluster = ClusterEngine(llama7b, A100, system, num_replicas=2,
+                            max_seq_len=4096)
+    wl = make_multi_model_workload(
+        200, models=("llama-2-7b", "llama-2-13b"), weights=(0.8, 0.2),
+        arrival_rate=16.0, seed=11)
+    r = cluster.serve(wl, router="model-aware",
+                      max_num_seqs=16,
+                      multiplex=MultiplexConfig(
+                          models=(llama7b, llama13b),
+                          max_resident_models=1))
+    fp["multi-model"] = {
+        "cluster": _cluster_result(r),
+        "gpu_seconds": _hx(r.gpu_seconds),
+        "swap_ins": r.multiplex.swap_ins,
+        "swap_outs": r.multiplex.swap_outs,
+        "swap_in_s": _hx(r.multiplex.swap_in_s),
+        "requests_by_model": {m: n for m, n in
+                              sorted(r.multiplex.requests_by_model.items())},
+        "per_model_ttft_p99": {m: _hx(metrics.ttft.p99) for m, metrics in
+                               sorted(r.metrics.by_model().items())},
     }
 
     return fp
